@@ -1,0 +1,75 @@
+"""Shared cluster-size sweeps for the Figure 4/5/6/A-13/A-14 benches.
+
+Figures 4-6 and A-13/A-14 all plot the same four systems over cluster
+size — strongly connected (TTL 1) and power-law outdegree 3.1 (TTL 7),
+each with and without super-peer redundancy — differing only in which
+load statistic they read off.  The sweep is computed once per parameter
+set and cached at module level so each figure's bench reads its own
+statistic without re-running the whole analysis (the first bench to run
+pays the full cost and its timing reflects that).
+"""
+
+from __future__ import annotations
+
+from repro.config import Configuration, GraphType
+from repro.core.analysis import ConfigurationSummary, evaluate_configuration
+
+#: The paper's Figure 4/5 cluster-size grid (x axis runs 0..10,000).
+FULL_GRID = [2, 10, 50, 100, 200, 500, 1000, 2000, 5000, 10000]
+
+#: Figure 6 looks at small cluster sizes (x axis 0..300).
+SMALL_GRID = [2, 5, 10, 20, 50, 100, 200, 300]
+
+#: Appendix C's low query rate: queries-to-joins ratio ~ 1 instead of ~10.
+LOW_QUERY_RATE = 9.26e-4
+
+_SYSTEMS = (
+    ("strong", GraphType.STRONG, 1, False),
+    ("strong+red", GraphType.STRONG, 1, True),
+    ("power-3.1", GraphType.POWER_LAW, 7, False),
+    ("power-3.1+red", GraphType.POWER_LAW, 7, True),
+)
+
+_cache: dict = {}
+
+
+def four_system_sweep(
+    graph_size: int,
+    cluster_sizes: list[int],
+    query_rate: float | None = None,
+    trials: int = 2,
+    max_sources: int | None = 120,
+) -> dict[str, list[tuple[int, ConfigurationSummary]]]:
+    """Evaluate the four systems of Figures 4-6 over ``cluster_sizes``.
+
+    Returns {system label: [(cluster size, summary), ...]}.
+    """
+    key = (graph_size, tuple(cluster_sizes), query_rate, trials, max_sources)
+    if key in _cache:
+        return _cache[key]
+    result: dict[str, list[tuple[int, ConfigurationSummary]]] = {}
+    for label, graph_type, ttl, redundancy in _SYSTEMS:
+        points = []
+        for size in cluster_sizes:
+            if size > graph_size:
+                continue
+            if redundancy and size < 2:
+                continue
+            kwargs = dict(
+                graph_type=graph_type,
+                graph_size=graph_size,
+                cluster_size=size,
+                redundancy=redundancy,
+                avg_outdegree=3.1,
+                ttl=ttl,
+            )
+            if query_rate is not None:
+                kwargs["query_rate"] = query_rate
+            config = Configuration(**kwargs)
+            summary = evaluate_configuration(
+                config, trials=trials, seed=0, max_sources=max_sources
+            )
+            points.append((size, summary))
+        result[label] = points
+    _cache[key] = result
+    return result

@@ -1,0 +1,62 @@
+"""REL — extension: cluster availability under churn (Section 3.2's claim).
+
+Quantifies "the probability that all partners will fail before any failed
+partner can be replaced is much lower than the probability of a single
+super-peer failing": simulated availability and outage rates for k = 1
+and k = 2 (and k = 3 for context), against the analytic renewal model,
+at the calibrated Gnutella session lengths.
+"""
+
+from repro.core.redundancy import (
+    expected_cluster_outages_per_second,
+    virtual_superpeer_availability,
+)
+from repro.reporting import render_table
+from repro.sim.churn import simulate_cluster_churn
+
+from conftest import run_once
+
+MEAN_LIFESPAN = 1080.0   # calibrated mean session, seconds
+MEAN_REPLACEMENT = 120.0
+DURATION = 3_000_000.0
+
+
+def test_reliability_of_redundancy(benchmark, emit):
+    def experiment():
+        return {
+            k: simulate_cluster_churn(
+                k, MEAN_LIFESPAN, MEAN_REPLACEMENT, DURATION, rng=k
+            )
+            for k in (1, 2, 3)
+        }
+
+    results = run_once(benchmark, experiment)
+
+    rows = []
+    for k, result in results.items():
+        analytic = virtual_superpeer_availability(k, MEAN_LIFESPAN, MEAN_REPLACEMENT)
+        rate = expected_cluster_outages_per_second(k, MEAN_LIFESPAN, MEAN_REPLACEMENT)
+        rows.append([
+            k,
+            f"{result.availability:.6f}",
+            f"{analytic:.6f}",
+            f"{result.outage_rate * 86_400:.2f}",
+            f"{rate * 86_400:.2f}",
+        ])
+        # Simulation agrees with the analytic renewal model.
+        assert abs(result.availability - analytic) < 0.01
+
+    # 2-redundancy squares the unavailability (orders of magnitude win).
+    u1 = 1 - results[1].availability
+    u2 = 1 - results[2].availability
+    assert u2 < 0.25 * u1
+
+    emit("REL_reliability", render_table(
+        ["k", "availability (sim)", "availability (analytic)",
+         "outages/day (sim)", "outages/day (analytic)"],
+        rows,
+        title=(
+            f"k-redundant cluster availability "
+            f"(lifespan {MEAN_LIFESPAN:.0f}s, replacement {MEAN_REPLACEMENT:.0f}s)"
+        ),
+    ))

@@ -1,0 +1,68 @@
+"""T2/T3 — Tables 2 and 3: the atomic-action cost model.
+
+Regenerates the cost table (bandwidth bytes + processing units per
+atomic action, evaluated at the Table 3 general statistics) and
+benchmarks the cost-evaluation hot path the load engine leans on.
+"""
+
+from repro import constants
+from repro.core import costs
+from repro.reporting import render_table
+
+from conftest import run_once
+
+
+def _cost_table_rows():
+    L = constants.QUERY_STRING_LENGTH
+    rows = [
+        ["Send Query", f"82 + len = {82 + L}",
+         f".44 + .003 len = {0.44 + 0.003 * L:.3f}"],
+        ["Recv Query", f"82 + len = {82 + L}",
+         f".57 + .004 len = {0.57 + 0.004 * L:.3f}"],
+        ["Process Query", "0", ".14 + 1.1/result"],
+        ["Send Response", "80 + 28/addr + 76/result", ".21 + .31/addr + .2/result"],
+        ["Recv Response", "80 + 28/addr + 76/result", ".26 + .41/addr + .3/result"],
+        ["Send Join", "80 + 72/file", ".44 + .2/file"],
+        ["Recv Join", "80 + 72/file", ".56 + .3/file"],
+        ["Process Join", "0", ".14 + .105/file"],
+        ["Send Update", "152", ".6"],
+        ["Recv Update", "152", ".8"],
+        ["Process Update", "0", ".30"],
+        ["Packet Multiplex", "0", ".01/connection/message"],
+    ]
+    return rows
+
+
+def test_t2_cost_table(benchmark, emit):
+    def experiment():
+        # The hot path: a batch of atomic-cost evaluations like one
+        # source-cluster accumulation performs.
+        total = costs.CostVector()
+        for results in range(200):
+            total = total + costs.send_response(
+                connections=30, num_messages=0.8,
+                num_addresses=results * 0.1, num_results=float(results),
+            )
+            total = total + costs.process_query(float(results))
+        return total
+
+    total = run_once(benchmark, experiment)
+    assert total.is_nonnegative()
+
+    table = render_table(
+        ["Action", "Bandwidth (bytes)", "Processing (units)"],
+        _cost_table_rows(),
+        title="Table 2 — costs of atomic actions (1 unit = 7200 cycles)",
+    )
+    stats = render_table(
+        ["Statistic", "Value"],
+        [
+            ["Expected query string length", f"{constants.QUERY_STRING_LENGTH} B"],
+            ["Average result record size", f"{constants.RESULT_RECORD_SIZE} B"],
+            ["Average per-file metadata size", f"{constants.FILE_METADATA_SIZE} B"],
+            ["Queries per user per second", f"{constants.DEFAULT_QUERY_RATE:.2e}"],
+            ["Updates per user per second", f"{constants.DEFAULT_UPDATE_RATE:.2e}"],
+        ],
+        title="Table 3 — general statistics",
+    )
+    emit("T2_T3_costs", table + "\n\n" + stats)

@@ -1,0 +1,265 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``analyze``   evaluate a configuration's expected loads
+``sweep``     sweep one configuration parameter and tabulate the loads
+``design``    run the Figure 10 global design procedure
+``capacity``  largest cluster size fitting a per-super-peer budget
+``simulate``  run the event-driven simulator on a configuration
+``crawl``     synthesize a Gnutella-style crawl and summarize it
+
+Every command accepts ``--seed`` for reproducibility and prints the same
+tables the library's reporting helpers produce.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .config import Configuration, GraphType
+from .reporting import render_load_row, render_table
+from .units import format_bps, format_hz
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--graph-size", type=int, default=10_000,
+                        help="number of peers (Table 1 default: 10000)")
+    parser.add_argument("--cluster-size", type=int, default=10,
+                        help="peers per cluster, super-peer included")
+    parser.add_argument("--outdegree", type=float, default=3.1,
+                        help="suggested average super-peer outdegree")
+    parser.add_argument("--ttl", type=int, default=7, help="query TTL")
+    parser.add_argument("--strong", action="store_true",
+                        help="strongly connected overlay instead of power-law")
+    parser.add_argument("--redundancy", action="store_true",
+                        help="2-redundant virtual super-peers")
+    parser.add_argument("--query-rate", type=float, default=None,
+                        help="queries per user per second (default 9.26e-3)")
+
+
+def _config_from_args(args: argparse.Namespace) -> Configuration:
+    kwargs = dict(
+        graph_type=GraphType.STRONG if args.strong else GraphType.POWER_LAW,
+        graph_size=args.graph_size,
+        cluster_size=args.cluster_size,
+        avg_outdegree=args.outdegree,
+        ttl=args.ttl,
+        redundancy=args.redundancy,
+    )
+    if args.query_rate is not None:
+        kwargs["query_rate"] = args.query_rate
+    return Configuration(**kwargs)
+
+
+def _print_summary(summary) -> None:
+    sp = summary.superpeer_load()
+    cl = summary.client_load()
+    agg = summary.aggregate_load()
+    print(render_load_row("super-peer (individual)",
+                          sp.incoming_bps, sp.outgoing_bps, sp.processing_hz))
+    print(render_load_row("client (individual)",
+                          cl.incoming_bps, cl.outgoing_bps, cl.processing_hz))
+    print(render_load_row("aggregate (all nodes)",
+                          agg.incoming_bps, agg.outgoing_bps, agg.processing_hz))
+    print(f"results per query: {summary.ci('results_per_query')}   "
+          f"reach: {summary.mean('reach_peers'):.0f} peers   "
+          f"EPL: {summary.mean('epl'):.2f} hops")
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from .core.analysis import evaluate_configuration
+
+    config = _config_from_args(args)
+    print(f"configuration: {config.describe()}")
+    summary = evaluate_configuration(
+        config, trials=args.trials, seed=args.seed, max_sources=args.max_sources
+    )
+    _print_summary(summary)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .core.analysis import evaluate_configuration
+
+    base = _config_from_args(args)
+    values = [_parse_value(args.param, v) for v in args.values.split(",")]
+    rows = []
+    for value in values:
+        config = base.with_changes(**{args.param: value})
+        summary = evaluate_configuration(
+            config, trials=args.trials, seed=args.seed, max_sources=args.max_sources
+        )
+        sp = summary.superpeer_load()
+        agg = summary.aggregate_load()
+        rows.append([
+            value,
+            format_bps(sp.total_bandwidth_bps),
+            format_hz(sp.processing_hz),
+            format_bps(agg.total_bandwidth_bps),
+            f"{summary.mean('results_per_query'):.0f}",
+            f"{summary.mean('epl'):.2f}",
+        ])
+    print(render_table(
+        [args.param, "sp bandwidth", "sp processing",
+         "aggregate bandwidth", "results", "EPL"],
+        rows,
+        title=f"sweep of {args.param} over {base.describe()}",
+    ))
+    return 0
+
+
+def _parse_value(param: str, raw: str):
+    field_types = {
+        "cluster_size": int, "graph_size": int, "ttl": int,
+        "avg_outdegree": float, "query_rate": float, "update_rate": float,
+        "redundancy": lambda v: v.lower() in ("1", "true", "yes"),
+    }
+    if param not in field_types:
+        raise SystemExit(
+            f"unsupported sweep parameter {param!r}; one of {sorted(field_types)}"
+        )
+    return field_types[param](raw)
+
+
+def cmd_design(args: argparse.Namespace) -> int:
+    from .core.design import DesignConstraints, design_topology
+
+    constraints = DesignConstraints(
+        num_users=args.users,
+        desired_reach_peers=args.reach,
+        max_incoming_bps=args.max_in,
+        max_outgoing_bps=args.max_out,
+        max_processing_hz=args.max_proc,
+        max_connections=args.max_connections,
+        allow_redundancy=not args.no_redundancy,
+    )
+    outcome = design_topology(
+        constraints, trials=args.trials, seed=args.seed, max_sources=args.max_sources
+    )
+    print(outcome.describe())
+    print()
+    _print_summary(outcome.summary)
+    return 0 if outcome.feasible else 1
+
+
+def cmd_capacity(args: argparse.Namespace) -> int:
+    from .core.capacity import LoadBudget, max_supported_cluster_size, saturating_resource
+
+    base = _config_from_args(args)
+    budget = LoadBudget(args.max_in, args.max_out, args.max_proc)
+    best = max_supported_cluster_size(
+        base, budget, trials=args.trials, seed=args.seed,
+        max_sources=args.max_sources, max_connections=args.max_connections,
+    )
+    if best == 0:
+        print("even a plain peer (cluster size 1) exceeds the budget")
+        return 1
+    print(f"largest supportable cluster size: {best}")
+    resource, usage = saturating_resource(
+        base.with_changes(cluster_size=best), budget,
+        trials=args.trials, seed=args.seed, max_sources=args.max_sources,
+    )
+    print(f"binding resource at that size: {resource} ({usage:.0%} of budget)")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from .sim.network import simulate_instance
+    from .topology.builder import build_instance
+
+    config = _config_from_args(args)
+    instance = build_instance(config, seed=args.seed)
+    print(instance.describe())
+    report = simulate_instance(instance, duration=args.duration, rng=args.seed)
+    sp_in, sp_out, sp_proc = report.mean_superpeer_load()
+    print(f"simulated {args.duration:.0f}s: {report.num_queries} queries, "
+          f"{report.num_joins} joins, {report.num_updates} updates")
+    print(render_load_row("super-peer (measured)", sp_in, sp_out, sp_proc))
+    print(f"results per query: {report.mean_results_per_query:.1f}   "
+          f"reach: {report.mean_reach_clusters:.1f} clusters")
+    return 0
+
+
+def cmd_crawl(args: argparse.Namespace) -> int:
+    from .topology.crawl import synthesize_crawl
+
+    crawl = synthesize_crawl(
+        num_peers=args.graph_size, avg_outdegree=args.outdegree, seed=args.seed
+    )
+    summary = crawl.summary()
+    rows = [[key, value] for key, value in summary.items()]
+    tau, r2 = crawl.powerlaw_fit()
+    rows.append(["power-law exponent (fit)", f"{tau:.2f} (R^2 {r2:.2f})"])
+    print(render_table(["statistic", "value"], rows,
+                       title="synthetic Gnutella crawl"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Super-peer network analysis (Yang & Garcia-Molina, ICDE 2003)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root random seed")
+    parser.add_argument("--trials", type=int, default=2,
+                        help="instances per configuration")
+    parser.add_argument("--max-sources", type=int, default=300,
+                        help="source-sampling bound for the load analysis")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="expected loads of one configuration")
+    _add_config_arguments(p)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("sweep", help="sweep one configuration parameter")
+    _add_config_arguments(p)
+    p.add_argument("--param", required=True,
+                   help="field to sweep (e.g. cluster_size, ttl, avg_outdegree)")
+    p.add_argument("--values", required=True,
+                   help="comma-separated values, e.g. 1,10,100,1000")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("design", help="run the Figure 10 design procedure")
+    p.add_argument("--users", type=int, required=True)
+    p.add_argument("--reach", type=int, required=True,
+                   help="desired reach in peers")
+    p.add_argument("--max-in", type=float, default=100_000.0,
+                   help="per-super-peer incoming bps limit")
+    p.add_argument("--max-out", type=float, default=100_000.0)
+    p.add_argument("--max-proc", type=float, default=10_000_000.0)
+    p.add_argument("--max-connections", type=int, default=100)
+    p.add_argument("--no-redundancy", action="store_true")
+    p.set_defaults(func=cmd_design)
+
+    p = sub.add_parser("capacity", help="largest cluster size under a budget")
+    _add_config_arguments(p)
+    p.add_argument("--max-in", type=float, default=100_000.0)
+    p.add_argument("--max-out", type=float, default=100_000.0)
+    p.add_argument("--max-proc", type=float, default=10_000_000.0)
+    p.add_argument("--max-connections", type=int, default=None)
+    p.set_defaults(func=cmd_capacity)
+
+    p = sub.add_parser("simulate", help="run the event-driven simulator")
+    _add_config_arguments(p)
+    p.add_argument("--duration", type=float, default=3600.0,
+                   help="virtual seconds to simulate")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("crawl", help="synthesize a Gnutella-style crawl")
+    p.add_argument("--graph-size", type=int, default=20_000)
+    p.add_argument("--outdegree", type=float, default=3.1)
+    p.set_defaults(func=cmd_crawl)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

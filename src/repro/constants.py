@@ -1,0 +1,92 @@
+"""Paper constants: general statistics (Table 3) and protocol framing.
+
+Table 3 ("General Statistics") of the paper records values observed over a
+one-month measurement of the Gnutella network (via the authors' earlier
+work) plus the OpenNap query rate used as the default workload:
+
+=============================================  =========
+Statistic                                      Value
+=============================================  =========
+Expected length of a query string              12 B
+Average size of a result record                76 B
+Average size of metadata for a single file     72 B
+Average number of queries per user per second  9.26e-3
+=============================================  =========
+
+Message framing follows Gnutella v0.4: a 22-byte Gnutella header plus a
+2-byte flags field, carried over TCP/IP and Ethernet whose combined
+headers account for the remainder of the fixed per-message sizes in
+Table 2 (e.g. a query message totals ``82 + len(query)`` bytes).
+"""
+
+from __future__ import annotations
+
+# --- Table 3: general statistics -------------------------------------------
+
+#: Expected length of a query string, bytes.
+QUERY_STRING_LENGTH = 12
+
+#: Average size of one result record inside a Response message, bytes.
+RESULT_RECORD_SIZE = 76
+
+#: Average size of the metadata describing a single shared file, bytes.
+FILE_METADATA_SIZE = 72
+
+#: Expected queries per user per second (OpenNap-derived; Table 1 default).
+DEFAULT_QUERY_RATE = 9.26e-3
+
+#: Expected updates per user per second (Table 1 default).  Derived from
+#: the OpenNap download rate; the paper notes overall performance is not
+#: sensitive to this value.
+DEFAULT_UPDATE_RATE = 1.85e-3
+
+# --- Wire framing (used to justify the Table 2 byte constants) -------------
+
+#: Gnutella v0.4 descriptor header, bytes.
+GNUTELLA_HEADER_SIZE = 22
+
+#: Query-specific flags field ("minimum speed"), bytes.
+QUERY_FLAGS_SIZE = 2
+
+#: Combined lower-layer (Ethernet + IP + TCP) header budget assumed by the
+#: paper's fixed message costs, bytes.  82 = 22 + 2 + 58 for a query.
+TRANSPORT_HEADER_SIZE = 58
+
+#: Fixed portion of a query message: transport + Gnutella header + flags.
+QUERY_MESSAGE_BASE = TRANSPORT_HEADER_SIZE + GNUTELLA_HEADER_SIZE + QUERY_FLAGS_SIZE  # = 82
+
+#: Fixed portion of Response / Join / Update messages (Table 2 uses 80).
+RESPONSE_MESSAGE_BASE = 80
+JOIN_MESSAGE_BASE = 80
+
+#: Per-client-address overhead inside a Response message, bytes.
+RESPONSE_ADDRESS_SIZE = 28
+
+#: Size of an Update message (fixed; carries one file's metadata delta).
+UPDATE_MESSAGE_SIZE = 152
+
+# --- Derived sanity values ---------------------------------------------------
+
+#: Average total size of a query message (82 + 12), quoted in Section 4.1
+#: as "query messages are very small (average 94 bytes)".
+AVERAGE_QUERY_MESSAGE_SIZE = QUERY_MESSAGE_BASE + QUERY_STRING_LENGTH
+
+# --- Calibration targets (paper observables used to pin synthetic data) ----
+
+#: Expected results per *peer* covered by a query's reach.  Figure 11 reports
+#: 269 results for a reach of 3000 peers (today's Gnutella row) and Figure 8
+#: shows ~890 results for a full 10,000-peer reach; both imply ~0.09
+#: results per reached peer, which we adopt as the calibration constant for
+#: the synthetic query model.
+EXPECTED_RESULTS_PER_PEER = 0.09
+
+#: Mean number of files shared per peer (Saroiu-style measurement; drives
+#: index sizes and join costs).  With the free-rider mass included.
+MEAN_FILES_PER_PEER = 168.0
+
+#: Fraction of peers sharing zero files ("free riders", Adar & Huberman).
+FREE_RIDER_FRACTION = 0.25
+
+#: Mean session length in seconds.  Chosen so that the ratio of queries to
+#: joins is roughly 10 (Appendix C): mean_session ~= 10 / query_rate.
+MEAN_SESSION_SECONDS = 10.0 / DEFAULT_QUERY_RATE  # ~1080 s

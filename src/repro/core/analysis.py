@@ -1,0 +1,135 @@
+"""Step 4 of the analysis: repeated trials and confidence intervals.
+
+"We run analysis over several instances of a configuration and average
+E[M | I] over these trials to calculate E[E[M | I]] = E[M], the value by
+which we compare different configurations.  We also calculate 95%
+confidence intervals."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..config import Configuration
+from ..querymodel.distributions import QueryModel
+from ..stats.confidence import ConfidenceInterval, mean_confidence_interval
+from ..topology.builder import build_instance
+from .load import LoadReport, LoadVector, evaluate_instance
+
+#: The scalar statistics extracted from every trial's LoadReport.
+_METRICS: dict[str, Callable[[LoadReport], float]] = {
+    "aggregate_incoming_bps": lambda r: r.aggregate_load().incoming_bps,
+    "aggregate_outgoing_bps": lambda r: r.aggregate_load().outgoing_bps,
+    "aggregate_processing_hz": lambda r: r.aggregate_load().processing_hz,
+    "superpeer_incoming_bps": lambda r: r.mean_superpeer_load().incoming_bps,
+    "superpeer_outgoing_bps": lambda r: r.mean_superpeer_load().outgoing_bps,
+    "superpeer_processing_hz": lambda r: r.mean_superpeer_load().processing_hz,
+    "client_incoming_bps": lambda r: r.mean_client_load().incoming_bps,
+    "client_outgoing_bps": lambda r: r.mean_client_load().outgoing_bps,
+    "client_processing_hz": lambda r: r.mean_client_load().processing_hz,
+    "results_per_query": lambda r: r.mean_results_per_query(),
+    "epl": lambda r: r.mean_epl(),
+    "reach_clusters": lambda r: r.mean_reach_clusters(),
+    "reach_peers": lambda r: r.mean_reach_peers(),
+    "superpeer_connections": lambda r: float(r.instance.superpeer_connections.mean()),
+}
+
+
+@dataclass(frozen=True)
+class ConfigurationSummary:
+    """Trial-averaged statistics of one configuration, with 95% CIs."""
+
+    config: Configuration
+    num_trials: int
+    intervals: dict[str, ConfidenceInterval]
+    reports: tuple[LoadReport, ...] = field(repr=False, default=())
+
+    def mean(self, metric: str) -> float:
+        """Trial mean of one metric (KeyError lists valid names)."""
+        if metric not in self.intervals:
+            raise KeyError(
+                f"unknown metric {metric!r}; one of {sorted(self.intervals)}"
+            )
+        return self.intervals[metric].mean
+
+    def ci(self, metric: str) -> ConfidenceInterval:
+        return self.intervals[metric]
+
+    def aggregate_load(self) -> LoadVector:
+        """Trial-mean aggregate load E[M] (Eq. 4, then step 4)."""
+        return LoadVector(
+            incoming_bps=self.mean("aggregate_incoming_bps"),
+            outgoing_bps=self.mean("aggregate_outgoing_bps"),
+            processing_hz=self.mean("aggregate_processing_hz"),
+        )
+
+    def superpeer_load(self) -> LoadVector:
+        """Trial-mean individual super-peer (partner) load."""
+        return LoadVector(
+            incoming_bps=self.mean("superpeer_incoming_bps"),
+            outgoing_bps=self.mean("superpeer_outgoing_bps"),
+            processing_hz=self.mean("superpeer_processing_hz"),
+        )
+
+    def client_load(self) -> LoadVector:
+        """Trial-mean individual client load."""
+        return LoadVector(
+            incoming_bps=self.mean("client_incoming_bps"),
+            outgoing_bps=self.mean("client_outgoing_bps"),
+            processing_hz=self.mean("client_processing_hz"),
+        )
+
+
+def evaluate_configuration(
+    config: Configuration,
+    trials: int = 3,
+    seed: int | None = 0,
+    model: QueryModel | None = None,
+    max_sources: int | None = 400,
+    keep_reports: bool = False,
+) -> ConfigurationSummary:
+    """Generate ``trials`` instances of ``config`` and average their loads.
+
+    Parameters
+    ----------
+    trials:
+        Number of independent instances (Section 4.1, step 4).
+    seed:
+        Root seed; trial t uses an independent derived stream.
+    max_sources:
+        Per-instance source-sampling bound passed to
+        :func:`~repro.core.load.evaluate_instance`; ``None`` forces the
+        exact all-sources computation.
+    keep_reports:
+        Retain each trial's full :class:`LoadReport` (memory permitting) —
+        needed by the histogram and rank-plot figures.
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    samples: dict[str, list[float]] = {name: [] for name in _METRICS}
+    reports: list[LoadReport] = []
+    for trial in range(trials):
+        instance = build_instance(config, seed=_trial_seed(seed, trial))
+        report = evaluate_instance(
+            instance, model=model, max_sources=max_sources, rng=_trial_seed(seed, trial)
+        )
+        for name, extract in _METRICS.items():
+            samples[name].append(extract(report))
+        if keep_reports:
+            reports.append(report)
+    intervals = {
+        name: mean_confidence_interval(values) for name, values in samples.items()
+    }
+    return ConfigurationSummary(
+        config=config,
+        num_trials=trials,
+        intervals=intervals,
+        reports=tuple(reports),
+    )
+
+
+def _trial_seed(seed: int | None, trial: int) -> int:
+    """Derive a scalar per-trial seed from the root seed."""
+    base = 0 if seed is None else int(seed)
+    return base * 1_000_003 + trial

@@ -1,0 +1,799 @@
+"""Mean-value load analysis (Section 4.1, steps 2-3; Eqs. 1-4).
+
+For one generated :class:`~repro.topology.builder.NetworkInstance`, this
+module computes the expected load — incoming bandwidth, outgoing
+bandwidth, processing — on every super-peer partner and every client,
+plus the expected results per query and expected path length (EPL).
+
+The computation follows the paper exactly:
+
+* **Queries** flood the super-peer overlay by BFS with TTL (``routing``);
+  every transmission, duplicate receipt, index probe, Response
+  origination and reverse-path Response forward is charged to the node
+  performing it using the Table 2 atomic costs (``costs``).  Expected
+  result and address counts come from the Appendix B query model
+  (``querymodel.expectation``).
+* **Joins** are the client <-> super-peer metadata transfer of Section
+  3.2, at per-node rates 1/lifespan, including the index insertion and
+  the removal performed at the matching leave.  A super-peer's own join
+  is a connection handshake with each of its open connections (one empty
+  message each way); under k-redundancy a joining partner also ships its
+  own metadata to its fellow partners.
+* **Updates** are the fixed-size metadata deltas of Table 2.
+* **k-redundancy** (Section 3.2): clients round-robin across the k
+  partners, so each partner carries 1/k of the cluster's query traffic
+  but a *full* copy of every client's join and update stream; every
+  partner indexes all cluster data, and the open-connection counts grow
+  as described in the paper (k^2 between neighbouring clusters).
+
+Two evaluation modes: *exact* visits every source cluster; *sampled*
+(seeded) visits a uniform subset and scales, keeping 20,000-peer
+configurations tractable.  Strongly connected overlays use a closed-form
+path that never materializes K_n.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import constants
+from ..querymodel.distributions import QueryModel, default_query_model
+from ..querymodel.expectation import ClusterExpectations, cluster_expectations
+from ..stats.rng import derive_rng
+from ..topology.builder import NetworkInstance
+from ..topology.strong import CompleteGraph
+from ..units import bytes_per_second_to_bps, units_per_second_to_hz
+from . import costs
+from .routing import propagate_query
+
+#: Query message size with the default 12-byte query string (94 bytes).
+_QUERY_BYTES = constants.QUERY_MESSAGE_BASE + constants.QUERY_STRING_LENGTH
+_SEND_Q_UNITS = costs.SEND_QUERY_BASE + costs.SEND_QUERY_PER_BYTE * constants.QUERY_STRING_LENGTH
+_RECV_Q_UNITS = costs.RECV_QUERY_BASE + costs.RECV_QUERY_PER_BYTE * constants.QUERY_STRING_LENGTH
+_MUX = costs.MULTIPLEX_PER_CONNECTION
+
+#: Handshake between a joining super-peer and one existing connection:
+#: one empty message each way.  By definition (Section 4.1) sending plus
+#: receiving an empty message costs one unit; we split it with the
+#: empty-query send/recv constants, which sum to ~1.
+_HANDSHAKE_BYTES = 80.0
+_HANDSHAKE_SEND_UNITS = costs.SEND_QUERY_BASE
+_HANDSHAKE_RECV_UNITS = costs.RECV_QUERY_BASE
+
+
+@dataclass(frozen=True)
+class LoadVector:
+    """Load along the three resources, in the figures' units."""
+
+    incoming_bps: float = 0.0
+    outgoing_bps: float = 0.0
+    processing_hz: float = 0.0
+
+    def __add__(self, other: "LoadVector") -> "LoadVector":
+        if not isinstance(other, LoadVector):
+            return NotImplemented
+        return LoadVector(
+            self.incoming_bps + other.incoming_bps,
+            self.outgoing_bps + other.outgoing_bps,
+            self.processing_hz + other.processing_hz,
+        )
+
+    def __mul__(self, factor: float) -> "LoadVector":
+        return LoadVector(
+            self.incoming_bps * factor,
+            self.outgoing_bps * factor,
+            self.processing_hz * factor,
+        )
+
+    __rmul__ = __mul__
+
+    @property
+    def total_bandwidth_bps(self) -> float:
+        """In + out bandwidth — what Figure 4 plots."""
+        return self.incoming_bps + self.outgoing_bps
+
+    def as_dict(self) -> dict:
+        return {
+            "incoming_bps": self.incoming_bps,
+            "outgoing_bps": self.outgoing_bps,
+            "processing_hz": self.processing_hz,
+        }
+
+
+@dataclass
+class _Accumulator:
+    """Per-cluster and per-client running byte/unit rates (per second)."""
+
+    num_clusters: int
+    total_clients: int
+
+    def __post_init__(self) -> None:
+        n, m = self.num_clusters, self.total_clients
+        # Cluster-level query-traffic totals (summed over partners).
+        self.q_in = np.zeros(n)
+        self.q_out = np.zeros(n)
+        self.q_proc = np.zeros(n)
+        # Per-partner join/update/handshake loads (each partner incurs these
+        # in full, they are not split by redundancy).
+        self.p_in = np.zeros(n)
+        self.p_out = np.zeros(n)
+        self.p_proc = np.zeros(n)
+        # Per-client loads (flat arrays aligned with instance.client_files).
+        self.c_in = np.zeros(m)
+        self.c_out = np.zeros(m)
+        self.c_proc = np.zeros(m)
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Expected loads and query outcomes for one network instance (Eq. 1-4)."""
+
+    instance: NetworkInstance
+    expectations: ClusterExpectations
+
+    #: Per-partner load of each cluster's super-peer (n-vectors, figure units).
+    superpeer_incoming_bps: np.ndarray
+    superpeer_outgoing_bps: np.ndarray
+    superpeer_processing_hz: np.ndarray
+
+    #: Per-client loads (flat arrays over all clients).
+    client_incoming_bps: np.ndarray
+    client_outgoing_bps: np.ndarray
+    client_processing_hz: np.ndarray
+
+    #: Expected results per query and response EPL, by source cluster.
+    #: In sampled mode, entries for unsampled sources are NaN.
+    results_per_query: np.ndarray
+    epl_per_query: np.ndarray
+    reach_clusters: np.ndarray
+    reach_peers: np.ndarray
+
+    #: Which source clusters were evaluated, and the scale-up factor.
+    evaluated_sources: np.ndarray
+    source_scale: float
+
+    # --- aggregates (Eq. 4) ----------------------------------------------------
+
+    @property
+    def partners(self) -> int:
+        return self.instance.partners
+
+    def aggregate_load(self) -> LoadVector:
+        """E[M | I]: sum of the loads of all nodes in the system (Eq. 4)."""
+        k = self.partners
+        return LoadVector(
+            incoming_bps=float(k * self.superpeer_incoming_bps.sum() + self.client_incoming_bps.sum()),
+            outgoing_bps=float(k * self.superpeer_outgoing_bps.sum() + self.client_outgoing_bps.sum()),
+            processing_hz=float(k * self.superpeer_processing_hz.sum() + self.client_processing_hz.sum()),
+        )
+
+    def mean_superpeer_load(self) -> LoadVector:
+        """E[M_Q | I] with Q = the super-peer partners (Eq. 3)."""
+        return LoadVector(
+            incoming_bps=float(self.superpeer_incoming_bps.mean()),
+            outgoing_bps=float(self.superpeer_outgoing_bps.mean()),
+            processing_hz=float(self.superpeer_processing_hz.mean()),
+        )
+
+    def mean_client_load(self) -> LoadVector:
+        """E[M_Q | I] with Q = the clients (zero vector if there are none)."""
+        if self.client_incoming_bps.size == 0:
+            return LoadVector()
+        return LoadVector(
+            incoming_bps=float(self.client_incoming_bps.mean()),
+            outgoing_bps=float(self.client_outgoing_bps.mean()),
+            processing_hz=float(self.client_processing_hz.mean()),
+        )
+
+    def mean_results_per_query(self) -> float:
+        """E[R_S] (Eq. 2) averaged over evaluated source clusters."""
+        values = self.results_per_query[self.evaluated_sources]
+        return float(values.mean()) if values.size else 0.0
+
+    def mean_epl(self) -> float:
+        """Response-message-weighted expected path length."""
+        values = self.epl_per_query[self.evaluated_sources]
+        finite = values[np.isfinite(values)]
+        return float(finite.mean()) if finite.size else 0.0
+
+    def mean_reach_clusters(self) -> float:
+        values = self.reach_clusters[self.evaluated_sources]
+        return float(values.mean()) if values.size else 0.0
+
+    def mean_reach_peers(self) -> float:
+        values = self.reach_peers[self.evaluated_sources]
+        return float(values.mean()) if values.size else 0.0
+
+    def all_node_loads(self, resource: str) -> np.ndarray:
+        """Every node's load for one resource — the Figure 12 rank plot.
+
+        ``resource`` is one of ``"incoming"``, ``"outgoing"``,
+        ``"processing"``.  Super-peer partners are repeated k times.
+        """
+        arrays = {
+            "incoming": (self.superpeer_incoming_bps, self.client_incoming_bps),
+            "outgoing": (self.superpeer_outgoing_bps, self.client_outgoing_bps),
+            "processing": (self.superpeer_processing_hz, self.client_processing_hz),
+        }
+        if resource not in arrays:
+            raise ValueError(f"unknown resource {resource!r}")
+        sp, cl = arrays[resource]
+        return np.concatenate([np.repeat(sp, self.partners), cl])
+
+
+#: The three action workloads of the analysis (Section 4.1, step 3).
+WORKLOAD_COMPONENTS = ("query", "join", "update")
+
+#: How Response messages travel back to the source (Section 3.1).  The
+#: paper assumes the reverse path ("it will travel up the predecessor
+#: graph ... until it reaches the source"); the alternative it discusses
+#: — each responder opening a temporary connection and transferring
+#: results directly — is provided as an ablation.
+RESPONSE_MODES = ("reverse-path", "direct")
+
+
+def evaluate_instance(
+    instance: NetworkInstance,
+    model: QueryModel | None = None,
+    max_sources: int | None = None,
+    rng: np.random.Generator | int | None = None,
+    components: tuple[str, ...] = WORKLOAD_COMPONENTS,
+    response_mode: str = "reverse-path",
+) -> LoadReport:
+    """Run the mean-value analysis over one instance.
+
+    Parameters
+    ----------
+    instance:
+        The generated network (Section 4.1, step 1).
+    model:
+        Query model; defaults to the calibrated OpenNap substitute.
+    max_sources:
+        If given and smaller than the number of clusters, evaluate a
+        uniform random subset of source clusters and scale up (seeded by
+        ``rng``).  Exact otherwise.
+    components:
+        Which action workloads to include — any subset of
+        ``("query", "join", "update")``.  Restricting the set decomposes
+        load by action type (used by the relative-rate study of
+        Appendix C and by the simulator cross-validation tests).
+    response_mode:
+        ``"reverse-path"`` (the paper's model) or ``"direct"``: each
+        responder opens a temporary connection to the source and ships
+        its Response in one hop, paying a connection handshake but no
+        forwarding — the Section 3.1 alternative, as an ablation.
+    """
+    unknown = set(components) - set(WORKLOAD_COMPONENTS)
+    if unknown:
+        raise ValueError(f"unknown workload components: {sorted(unknown)}")
+    if response_mode not in RESPONSE_MODES:
+        raise ValueError(
+            f"unknown response_mode {response_mode!r}; one of {RESPONSE_MODES}"
+        )
+    model = model or default_query_model()
+    exp = cluster_expectations(instance, model)
+    acc = _Accumulator(instance.num_clusters, instance.total_clients)
+
+    n = instance.num_clusters
+    config = instance.config
+    if max_sources is not None and max_sources < 1:
+        raise ValueError("max_sources must be >= 1")
+    if max_sources is None or max_sources >= n:
+        sources = np.arange(n, dtype=np.int64)
+        scale = 1.0
+    else:
+        sampler = derive_rng(rng, "load-sources")
+        sources = np.sort(sampler.choice(n, size=max_sources, replace=False))
+        scale = n / max_sources
+
+    per_source = _QuerySourceOutputs(n)
+    if "query" in components:
+        if isinstance(instance.graph, CompleteGraph):
+            # On K_n every responder already neighbours the source, so the
+            # reverse path *is* the direct hop (minus the temporary
+            # connection handshake, which the ablation adds below).
+            _accumulate_queries_strong(instance, exp, acc, per_source)
+            if response_mode == "direct":
+                _add_direct_connection_overhead(instance, exp, acc)
+            # Closed form is exact over all sources regardless of sampling.
+            sources = np.arange(n, dtype=np.int64)
+            scale = 1.0
+        else:
+            _accumulate_queries_bfs(
+                instance, exp, acc, per_source, sources, scale, response_mode
+            )
+        _accumulate_client_query_costs(instance, acc, per_source, sources, scale)
+    if "join" in components:
+        _accumulate_joins(instance, acc)
+    if "update" in components:
+        _accumulate_updates(instance, acc)
+
+    k = instance.partners
+    sp_in = acc.q_in / k + acc.p_in
+    sp_out = acc.q_out / k + acc.p_out
+    sp_proc = acc.q_proc / k + acc.p_proc
+
+    return LoadReport(
+        instance=instance,
+        expectations=exp,
+        superpeer_incoming_bps=bytes_per_second_to_bps(sp_in),
+        superpeer_outgoing_bps=bytes_per_second_to_bps(sp_out),
+        superpeer_processing_hz=units_per_second_to_hz(sp_proc),
+        client_incoming_bps=bytes_per_second_to_bps(acc.c_in),
+        client_outgoing_bps=bytes_per_second_to_bps(acc.c_out),
+        client_processing_hz=units_per_second_to_hz(acc.c_proc),
+        results_per_query=per_source.results,
+        epl_per_query=per_source.epl,
+        reach_clusters=per_source.reach_clusters,
+        reach_peers=per_source.reach_peers,
+        evaluated_sources=sources,
+        source_scale=scale,
+    )
+
+
+class _QuerySourceOutputs:
+    """Per-source query outcomes filled in during accumulation."""
+
+    def __init__(self, num_clusters: int) -> None:
+        self.results = np.full(num_clusters, np.nan)
+        self.epl = np.full(num_clusters, np.nan)
+        self.reach_clusters = np.full(num_clusters, np.nan)
+        self.reach_peers = np.full(num_clusters, np.nan)
+        # Response traffic delivered to the querying client, per source
+        # cluster and per query: messages / addresses / results.
+        self.to_client_msgs = np.full(num_clusters, np.nan)
+        self.to_client_addr = np.full(num_clusters, np.nan)
+        self.to_client_results = np.full(num_clusters, np.nan)
+
+
+def _cluster_rates(instance: NetworkInstance) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(users per cluster, query rate per cluster, client fraction)."""
+    users = instance.clients + instance.partners
+    q_rates = instance.config.query_rate * users
+    client_fraction = np.divide(
+        instance.clients, users, out=np.zeros_like(q_rates), where=users > 0
+    )
+    return users.astype(float), q_rates, client_fraction
+
+
+def _response_triple(exp: ClusterExpectations) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(expected messages, addresses, results) originated per cluster."""
+    return exp.prob_respond, exp.expected_collections, exp.expected_results
+
+
+def _accumulate_queries_bfs(
+    instance: NetworkInstance,
+    exp: ClusterExpectations,
+    acc: _Accumulator,
+    per_source: _QuerySourceOutputs,
+    sources: np.ndarray,
+    scale: float,
+    response_mode: str = "reverse-path",
+) -> None:
+    """Flooding query accounting over an explicit overlay, per source."""
+    graph = instance.graph
+    ttl = instance.config.ttl
+    m_sp = instance.superpeer_connections.astype(float)
+    users, q_rates, _ = _cluster_rates(instance)
+    msgs_o, addr_o, res_o = _response_triple(exp)
+
+    send_q_proc = _SEND_Q_UNITS + _MUX * m_sp
+    recv_q_proc = _RECV_Q_UNITS + _MUX * m_sp
+
+    for s in sources.tolist():
+        w = q_rates[s] * scale
+        prop = propagate_query(graph, s, ttl)
+        reached = prop.reached
+
+        # Query transmission and receipt costs.
+        acc.q_out += w * prop.transmissions * _QUERY_BYTES
+        acc.q_proc += w * prop.transmissions * send_q_proc
+        acc.q_in += w * prop.receipts * _QUERY_BYTES
+        acc.q_proc += w * prop.receipts * recv_q_proc
+
+        # Index probe at every node that processes the query (source included).
+        acc.q_proc[reached] += w * (
+            costs.PROCESS_QUERY_BASE
+            + costs.PROCESS_QUERY_PER_RESULT * res_o[reached]
+        )
+
+        # Response origination weights: every reached cluster except the
+        # source responds over the overlay.
+        msgs_w = np.where(reached, msgs_o, 0.0)
+        addr_w = np.where(reached, addr_o, 0.0)
+        res_w = np.where(reached, res_o, 0.0)
+        msgs_w[s] = addr_w[s] = res_w[s] = 0.0
+
+        if response_mode == "direct":
+            # Section 3.1 alternative: every responder ships its Response
+            # straight to the source over a temporary connection — no
+            # forwarding, but a handshake pair per response and a
+            # connection-request storm at the source.
+            fw_m = msgs_w.copy()
+            fw_a = addr_w.copy()
+            fw_r = res_w.copy()
+            fw_m[s] = msgs_w.sum()
+            fw_a[s] = addr_w.sum()
+            fw_r[s] = res_w.sum()
+            acc.q_out += w * _HANDSHAKE_BYTES * fw_m
+            acc.q_in += w * _HANDSHAKE_BYTES * fw_m
+            acc.q_proc += w * fw_m * (
+                _HANDSHAKE_SEND_UNITS + _HANDSHAKE_RECV_UNITS + 2.0 * _MUX * m_sp
+            )
+        else:
+            fw_m = prop.accumulate_to_source(msgs_w)
+            fw_a = prop.accumulate_to_source(addr_w)
+            fw_r = prop.accumulate_to_source(res_w)
+
+        senders = reached.copy()
+        senders[s] = False
+        acc.q_out[senders] += w * (
+            constants.RESPONSE_MESSAGE_BASE * fw_m[senders]
+            + constants.RESPONSE_ADDRESS_SIZE * fw_a[senders]
+            + constants.RESULT_RECORD_SIZE * fw_r[senders]
+        )
+        acc.q_proc[senders] += w * (
+            (costs.SEND_RESPONSE_BASE + _MUX * m_sp[senders]) * fw_m[senders]
+            + costs.SEND_RESPONSE_PER_ADDRESS * fw_a[senders]
+            + costs.SEND_RESPONSE_PER_RESULT * fw_r[senders]
+        )
+
+        inc_m = fw_m - msgs_w
+        inc_a = fw_a - addr_w
+        inc_r = fw_r - res_w
+        acc.q_in[reached] += w * (
+            constants.RESPONSE_MESSAGE_BASE * inc_m[reached]
+            + constants.RESPONSE_ADDRESS_SIZE * inc_a[reached]
+            + constants.RESULT_RECORD_SIZE * inc_r[reached]
+        )
+        acc.q_proc[reached] += w * (
+            (costs.RECV_RESPONSE_BASE + _MUX * m_sp[reached]) * inc_m[reached]
+            + costs.RECV_RESPONSE_PER_ADDRESS * inc_a[reached]
+            + costs.RECV_RESPONSE_PER_RESULT * inc_r[reached]
+        )
+
+        # Per-source outcomes.
+        arrived_m, arrived_a, arrived_r = fw_m[s], fw_a[s], fw_r[s]
+        per_source.results[s] = arrived_r + res_o[s]
+        total_msgs = msgs_w.sum()
+        if total_msgs <= 0:
+            per_source.epl[s] = 0.0
+        elif response_mode == "direct":
+            per_source.epl[s] = 1.0  # every response travels one direct hop
+        else:
+            per_source.epl[s] = float((prop.depth * msgs_w)[reached].sum() / total_msgs)
+        per_source.reach_clusters[s] = prop.reach
+        per_source.reach_peers[s] = float(users[reached].sum())
+        per_source.to_client_msgs[s] = arrived_m + msgs_o[s]
+        per_source.to_client_addr[s] = arrived_a + addr_o[s]
+        per_source.to_client_results[s] = arrived_r + res_o[s]
+
+
+def _accumulate_queries_strong(
+    instance: NetworkInstance,
+    exp: ClusterExpectations,
+    acc: _Accumulator,
+    per_source: _QuerySourceOutputs,
+) -> None:
+    """Closed-form query accounting on the complete overlay K_n.
+
+    On K_n every non-source cluster sits at depth 1, so responses travel
+    one hop (EPL = 1) and nothing is forwarded.  With TTL >= 2 each
+    non-source node additionally floods n-2 duplicate copies, which are
+    received and dropped — the redundant-query waste rule #4 measures.
+    Exact over all sources at O(n) cost.
+    """
+    n = instance.num_clusters
+    ttl = instance.config.ttl
+    m_sp = instance.superpeer_connections.astype(float)
+    users, q_rates, _ = _cluster_rates(instance)
+    msgs_o, addr_o, res_o = _response_triple(exp)
+
+    total_q = q_rates.sum()
+    others_q = total_q - q_rates  # rate of queries sourced elsewhere
+
+    send_q_proc = _SEND_Q_UNITS + _MUX * m_sp
+    recv_q_proc = _RECV_Q_UNITS + _MUX * m_sp
+
+    # --- query transmissions / receipts ---------------------------------------
+    # As source: n-1 transmissions per own query.
+    acc.q_out += q_rates * (n - 1) * _QUERY_BYTES
+    acc.q_proc += q_rates * (n - 1) * send_q_proc
+    # As non-source: one receipt per foreign query...
+    acc.q_in += others_q * _QUERY_BYTES
+    acc.q_proc += others_q * recv_q_proc
+    if ttl >= 2 and n > 2:
+        # ...plus n-2 duplicate forwards sent and n-2 duplicates received.
+        acc.q_out += others_q * (n - 2) * _QUERY_BYTES
+        acc.q_proc += others_q * (n - 2) * send_q_proc
+        acc.q_in += others_q * (n - 2) * _QUERY_BYTES
+        acc.q_proc += others_q * (n - 2) * recv_q_proc
+
+    # --- index probes -----------------------------------------------------------
+    # Every query in the system (own + foreign) probes every cluster's index.
+    acc.q_proc += total_q * (
+        costs.PROCESS_QUERY_BASE + costs.PROCESS_QUERY_PER_RESULT * res_o
+    )
+
+    # --- responses ---------------------------------------------------------------
+    # As responder (for every foreign query): send own response directly.
+    acc.q_out += others_q * (
+        constants.RESPONSE_MESSAGE_BASE * msgs_o
+        + constants.RESPONSE_ADDRESS_SIZE * addr_o
+        + constants.RESULT_RECORD_SIZE * res_o
+    )
+    acc.q_proc += others_q * (
+        (costs.SEND_RESPONSE_BASE + _MUX * m_sp) * msgs_o
+        + costs.SEND_RESPONSE_PER_ADDRESS * addr_o
+        + costs.SEND_RESPONSE_PER_RESULT * res_o
+    )
+    # As source: receive every other cluster's response.
+    tot_m, tot_a, tot_r = msgs_o.sum(), addr_o.sum(), res_o.sum()
+    arr_m, arr_a, arr_r = tot_m - msgs_o, tot_a - addr_o, tot_r - res_o
+    acc.q_in += q_rates * (
+        constants.RESPONSE_MESSAGE_BASE * arr_m
+        + constants.RESPONSE_ADDRESS_SIZE * arr_a
+        + constants.RESULT_RECORD_SIZE * arr_r
+    )
+    acc.q_proc += q_rates * (
+        (costs.RECV_RESPONSE_BASE + _MUX * m_sp) * arr_m
+        + costs.RECV_RESPONSE_PER_ADDRESS * arr_a
+        + costs.RECV_RESPONSE_PER_RESULT * arr_r
+    )
+
+    # --- per-source outcomes -------------------------------------------------------
+    per_source.results[:] = tot_r  # full reach: every cluster contributes
+    per_source.epl[:] = 1.0 if n > 1 else 0.0
+    per_source.reach_clusters[:] = n
+    per_source.reach_peers[:] = users.sum()
+    per_source.to_client_msgs[:] = arr_m + msgs_o
+    per_source.to_client_addr[:] = arr_a + addr_o
+    per_source.to_client_results[:] = arr_r + res_o
+
+
+def _add_direct_connection_overhead(
+    instance: NetworkInstance,
+    exp: ClusterExpectations,
+    acc: _Accumulator,
+) -> None:
+    """Temporary-connection handshakes for direct responses on K_n.
+
+    On the complete overlay each response already travels one hop; the
+    only delta of the ``direct`` ablation is the handshake pair each
+    responder/source exchanges to open the temporary connection.
+    """
+    users, q_rates, _ = _cluster_rates(instance)
+    m_sp = instance.superpeer_connections.astype(float)
+    msgs_o = exp.prob_respond
+    total_q = q_rates.sum()
+    others_q = total_q - q_rates
+    # As responder: one handshake pair per response to a foreign query.
+    per_responder = others_q * msgs_o
+    # As source: one handshake pair per arriving response.
+    arriving = q_rates * (msgs_o.sum() - msgs_o)
+    handshakes = per_responder + arriving
+    acc.q_out += handshakes * _HANDSHAKE_BYTES
+    acc.q_in += handshakes * _HANDSHAKE_BYTES
+    acc.q_proc += handshakes * (
+        _HANDSHAKE_SEND_UNITS + _HANDSHAKE_RECV_UNITS + 2.0 * _MUX * m_sp
+    )
+
+
+def _accumulate_client_query_costs(
+    instance: NetworkInstance,
+    acc: _Accumulator,
+    per_source: _QuerySourceOutputs,
+    sources: np.ndarray,
+    scale: float,
+) -> None:
+    """The client leg of client-sourced queries.
+
+    A querying client sends the query to (one of) its super-peer
+    partner(s) and receives every Response the super-peer collects —
+    including the super-peer's own-index results — forwarded as individual
+    Response messages (Section 3.2).
+    """
+    config = instance.config
+    n = instance.num_clusters
+    k = instance.partners
+    m_sp = instance.superpeer_connections.astype(float)
+    m_cl = float(instance.client_connections)
+    users, q_rates, client_fraction = _cluster_rates(instance)
+
+    # Per-cluster, per-query response volume to the client.  In sampled
+    # mode unsampled clusters inherit the sampled mean (the statistic is
+    # homogeneous across clusters of the same configuration).
+    msgs = per_source.to_client_msgs
+    addr = per_source.to_client_addr
+    res = per_source.to_client_results
+    evaluated = np.zeros(n, dtype=bool)
+    evaluated[sources] = True
+    if not evaluated.all():
+        msgs = np.where(evaluated, msgs, np.nanmean(msgs[evaluated]))
+        addr = np.where(evaluated, addr, np.nanmean(addr[evaluated]))
+        res = np.where(evaluated, res, np.nanmean(res[evaluated]))
+
+    # Rate of client-sourced queries per cluster.
+    cq_rate = q_rates * client_fraction
+
+    # Super-peer side: receive the query, send the collected responses.
+    acc.q_in += cq_rate * _QUERY_BYTES
+    acc.q_proc += cq_rate * (_RECV_Q_UNITS + _MUX * m_sp)
+    resp_bytes = (
+        constants.RESPONSE_MESSAGE_BASE * msgs
+        + constants.RESPONSE_ADDRESS_SIZE * addr
+        + constants.RESULT_RECORD_SIZE * res
+    )
+    acc.q_out += cq_rate * resp_bytes
+    acc.q_proc += cq_rate * (
+        (costs.SEND_RESPONSE_BASE + _MUX * m_sp) * msgs
+        + costs.SEND_RESPONSE_PER_ADDRESS * addr
+        + costs.SEND_RESPONSE_PER_RESULT * res
+    )
+
+    # Client side: each client submits queries at the per-user rate.
+    q = config.query_rate
+    cluster_of_client = np.repeat(np.arange(n), instance.clients)
+    if cluster_of_client.size:
+        acc.c_out += q * _QUERY_BYTES
+        acc.c_proc += q * (_SEND_Q_UNITS + _MUX * m_cl)
+        acc.c_in += q * resp_bytes[cluster_of_client]
+        acc.c_proc += q * (
+            (costs.RECV_RESPONSE_BASE + _MUX * m_cl) * msgs[cluster_of_client]
+            + costs.RECV_RESPONSE_PER_ADDRESS * addr[cluster_of_client]
+            + costs.RECV_RESPONSE_PER_RESULT * res[cluster_of_client]
+        )
+
+
+def _cluster_sum(values: np.ndarray, instance: NetworkInstance) -> np.ndarray:
+    """Sum a flat per-client array into per-cluster totals."""
+    sums = np.add.reduceat(np.append(values, 0.0), instance.client_ptr[:-1])
+    sums[instance.clients == 0] = 0.0
+    return sums
+
+
+def _neighbor_sum(instance: NetworkInstance, values: np.ndarray) -> np.ndarray:
+    """For each cluster, the sum of ``values`` over its overlay neighbours."""
+    graph = instance.graph
+    if isinstance(graph, CompleteGraph):
+        return values.sum() - values
+    tails, heads = graph.directed_edge_arrays()
+    return np.bincount(
+        tails, weights=values[heads], minlength=instance.num_clusters
+    )
+
+
+def _accumulate_joins(instance: NetworkInstance, acc: _Accumulator) -> None:
+    """Join (and the associated leave) costs at per-node rates 1/lifespan."""
+    k = instance.partners
+    m_sp = instance.superpeer_connections.astype(float)
+    m_cl = float(instance.client_connections)
+
+    # --- client joins ----------------------------------------------------------
+    rates = 1.0 / instance.client_lifespans
+    files = instance.client_files.astype(float)
+    rate_sum = _cluster_sum(rates, instance)
+    rate_files_sum = _cluster_sum(rates * files, instance)
+
+    # Client side: send the Join (with metadata) to each of the k partners.
+    if rates.size:
+        acc.c_out += rates * k * (
+            constants.JOIN_MESSAGE_BASE + constants.FILE_METADATA_SIZE * files
+        )
+        acc.c_proc += rates * k * (
+            costs.SEND_JOIN_BASE
+            + costs.SEND_JOIN_PER_FILE * files
+            + _MUX * m_cl
+        )
+
+    # Partner side: every partner receives every client's Join, inserts the
+    # metadata, and removes it again at the client's leave.
+    acc.p_in += (
+        constants.JOIN_MESSAGE_BASE * rate_sum
+        + constants.FILE_METADATA_SIZE * rate_files_sum
+    )
+    acc.p_proc += (
+        (costs.RECV_JOIN_BASE + _MUX * m_sp) * rate_sum
+        + costs.RECV_JOIN_PER_FILE * rate_files_sum
+        # index insertion at join + removal at leave
+        + 2.0 * (costs.PROCESS_JOIN_BASE * rate_sum + costs.PROCESS_JOIN_PER_FILE * rate_files_sum)
+    )
+
+    # --- super-peer (partner) joins ---------------------------------------------
+    # A joining partner handshakes (one empty message each way) over every
+    # connection it opens; the peers at the other end each handle one pair.
+    partner_rates = (1.0 / instance.partner_lifespans).sum(axis=1)  # per cluster
+    acc.p_in += (partner_rates / k) * _HANDSHAKE_BYTES * m_sp
+    acc.p_out += (partner_rates / k) * _HANDSHAKE_BYTES * m_sp
+    acc.p_proc += (partner_rates / k) * m_sp * (
+        _HANDSHAKE_SEND_UNITS + _HANDSHAKE_RECV_UNITS + 2.0 * _MUX * m_sp
+    )
+
+    # Peers on the other end of those handshakes:
+    # * this cluster's clients (each is touched by each partner join),
+    cluster_of_client = np.repeat(np.arange(instance.num_clusters), instance.clients)
+    if cluster_of_client.size:
+        touch = partner_rates[cluster_of_client]
+        acc.c_in += touch * _HANDSHAKE_BYTES
+        acc.c_out += touch * _HANDSHAKE_BYTES
+        acc.c_proc += touch * (
+            _HANDSHAKE_SEND_UNITS + _HANDSHAKE_RECV_UNITS + 2.0 * _MUX * m_cl
+        )
+    # * fellow partners ((k-1) of the k partner connections, split evenly),
+    if k > 1:
+        fellow = partner_rates * (k - 1) / k
+        acc.p_in += fellow * _HANDSHAKE_BYTES
+        acc.p_out += fellow * _HANDSHAKE_BYTES
+        acc.p_proc += fellow * (
+            _HANDSHAKE_SEND_UNITS + _HANDSHAKE_RECV_UNITS + 2.0 * _MUX * m_sp
+        )
+    # * neighbouring clusters' partners (k handshakes per neighbouring
+    #   cluster per join, i.e. one per partner there).
+    neighbour_rates = _neighbor_sum(instance, partner_rates)
+    acc.p_in += neighbour_rates * _HANDSHAKE_BYTES
+    acc.p_out += neighbour_rates * _HANDSHAKE_BYTES
+    acc.p_proc += neighbour_rates * (
+        _HANDSHAKE_SEND_UNITS + _HANDSHAKE_RECV_UNITS + 2.0 * _MUX * m_sp
+    )
+
+    # Under redundancy, a joining partner also ships its own metadata to
+    # its k-1 fellow partners (each partner holds the others' data too).
+    if k > 1:
+        p_rates = 1.0 / instance.partner_lifespans  # (n, k)
+        p_files = instance.partner_files.astype(float)
+        rate_sum_p = (p_rates).sum(axis=1)
+        rate_files_p = (p_rates * p_files).sum(axis=1)
+        # Sender side (averaged over the cluster's partners):
+        acc.p_out += (k - 1) / k * (
+            constants.JOIN_MESSAGE_BASE * rate_sum_p
+            + constants.FILE_METADATA_SIZE * rate_files_p
+        )
+        acc.p_proc += (k - 1) / k * (
+            (costs.SEND_JOIN_BASE + _MUX * m_sp) * rate_sum_p
+            + costs.SEND_JOIN_PER_FILE * rate_files_p
+        )
+        # Receiver side: each fellow partner receives, inserts, and later
+        # removes the metadata.
+        acc.p_in += (k - 1) / k * (
+            constants.JOIN_MESSAGE_BASE * rate_sum_p
+            + constants.FILE_METADATA_SIZE * rate_files_p
+        )
+        acc.p_proc += (k - 1) / k * (
+            (costs.RECV_JOIN_BASE + _MUX * m_sp) * rate_sum_p
+            + costs.RECV_JOIN_PER_FILE * rate_files_p
+            + 2.0 * (costs.PROCESS_JOIN_BASE * rate_sum_p + costs.PROCESS_JOIN_PER_FILE * rate_files_p)
+        )
+
+
+def _accumulate_updates(instance: NetworkInstance, acc: _Accumulator) -> None:
+    """Update costs: fixed-size metadata deltas at the per-user update rate."""
+    u = instance.config.update_rate
+    if u == 0.0:
+        return
+    k = instance.partners
+    m_sp = instance.superpeer_connections.astype(float)
+    m_cl = float(instance.client_connections)
+    upd_bytes = float(constants.UPDATE_MESSAGE_SIZE)
+
+    # Clients: send one Update to each partner; partners receive and apply.
+    clients = instance.clients.astype(float)
+    if instance.total_clients:
+        acc.c_out += u * k * upd_bytes
+        acc.c_proc += u * k * (costs.SEND_UPDATE_UNITS + _MUX * m_cl)
+    acc.p_in += u * clients * upd_bytes
+    acc.p_proc += u * clients * (
+        costs.RECV_UPDATE_UNITS + _MUX * m_sp + costs.PROCESS_UPDATE_UNITS
+    )
+
+    # Partners' own updates: applied locally; under redundancy also
+    # propagated to the k-1 fellow partners.
+    acc.p_proc += u * costs.PROCESS_UPDATE_UNITS
+    if k > 1:
+        acc.p_out += u * (k - 1) * upd_bytes
+        acc.p_proc += u * (k - 1) * (costs.SEND_UPDATE_UNITS + _MUX * m_sp)
+        acc.p_in += u * (k - 1) * upd_bytes
+        acc.p_proc += u * (k - 1) * (
+            costs.RECV_UPDATE_UNITS + _MUX * m_sp + costs.PROCESS_UPDATE_UNITS
+        )

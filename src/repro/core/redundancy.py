@@ -1,0 +1,156 @@
+"""k-redundant "virtual" super-peers: load deltas and reliability.
+
+Section 3.2 introduces k-redundancy: k partner nodes share one super-peer
+role, each holding the full cluster index and each connected to every
+client and to every partner of every neighbouring cluster.  The paper
+analyses k = 2 ("super-peer redundancy") because inter-cluster
+connections grow as k^2.
+
+Two quantitative stories live here:
+
+* **Load** (rule #2): :func:`compare_redundancy` evaluates the same
+  configuration (a) without redundancy, (b) with it, and (c) the
+  strawman alternative the paper discusses — half-size clusters with no
+  redundancy — exposing the "best of both worlds" effect.
+* **Reliability**: a virtual super-peer fails only if *all* partners die
+  before any failed partner is replaced.  :func:`virtual_superpeer_availability`
+  gives the steady-state analytic model; the event simulator
+  (``repro.sim.churn``) validates it empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import Configuration
+from .analysis import ConfigurationSummary, evaluate_configuration
+
+
+@dataclass(frozen=True)
+class RedundancyComparison:
+    """Loads of a configuration without / with redundancy / half-clusters."""
+
+    base: ConfigurationSummary
+    redundant: ConfigurationSummary
+    half_clusters: ConfigurationSummary
+
+    def aggregate_delta(self, metric: str) -> float:
+        """Relative aggregate-load change of redundancy vs the base, e.g.
+        +0.025 means redundancy costs 2.5% more in aggregate."""
+        base = self.base.mean(f"aggregate_{metric}")
+        red = self.redundant.mean(f"aggregate_{metric}")
+        return red / base - 1.0
+
+    def individual_delta(self, metric: str) -> float:
+        """Relative per-partner load change vs the base super-peer, e.g.
+        -0.48 means each partner carries 48% less than the lone super-peer."""
+        base = self.base.mean(f"superpeer_{metric}")
+        red = self.redundant.mean(f"superpeer_{metric}")
+        return red / base - 1.0
+
+    def redundant_vs_half_clusters(self, metric: str) -> float:
+        """Per-super-peer load of redundancy relative to the half-cluster
+        alternative (negative: redundancy is the better deal, the paper's
+        surprising finding)."""
+        half = self.half_clusters.mean(f"superpeer_{metric}")
+        red = self.redundant.mean(f"superpeer_{metric}")
+        return red / half - 1.0
+
+
+def compare_redundancy(
+    config: Configuration,
+    trials: int = 3,
+    seed: int | None = 0,
+    max_sources: int | None = 400,
+) -> RedundancyComparison:
+    """Evaluate ``config`` against its 2-redundant and half-cluster variants.
+
+    ``config`` must be non-redundant with an even cluster size >= 4 so the
+    comparisons are well defined.
+    """
+    if config.redundancy:
+        raise ValueError("pass the non-redundant base configuration")
+    if config.cluster_size < 4:
+        raise ValueError("cluster_size must be >= 4 to halve meaningfully")
+    base = evaluate_configuration(config, trials=trials, seed=seed, max_sources=max_sources)
+    redundant = evaluate_configuration(
+        config.with_changes(redundancy=True), trials=trials, seed=seed, max_sources=max_sources
+    )
+    half = evaluate_configuration(
+        config.with_changes(cluster_size=config.cluster_size // 2),
+        trials=trials,
+        seed=seed,
+        max_sources=max_sources,
+    )
+    return RedundancyComparison(base=base, redundant=redundant, half_clusters=half)
+
+
+# --- reliability --------------------------------------------------------------
+
+
+def single_superpeer_unavailability(
+    mean_lifespan: float, mean_replacement: float
+) -> float:
+    """Fraction of time a 1-redundant (plain) super-peer leaves its cluster
+    disconnected: an alternating renewal process of up-times with mean
+    ``mean_lifespan`` and replacement gaps with mean ``mean_replacement``.
+    """
+    if mean_lifespan <= 0 or mean_replacement <= 0:
+        raise ValueError("means must be positive")
+    return mean_replacement / (mean_lifespan + mean_replacement)
+
+
+def virtual_superpeer_availability(
+    k: int, mean_lifespan: float, mean_replacement: float
+) -> float:
+    """Steady-state availability of a k-redundant virtual super-peer.
+
+    Models each partner as an independent alternating renewal process
+    (exponential up-times with mean ``mean_lifespan``, replacement times
+    with mean ``mean_replacement``); the cluster is served while at least
+    one partner is up.  Independence gives
+
+        A_k = 1 - U^k,   U = replacement / (lifespan + replacement).
+
+    The exact birth-death treatment couples the partners slightly (a dead
+    partner is replaced regardless of the others), which independence
+    approximates well for U << 1; ``repro.sim.churn`` checks this
+    empirically.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    u = single_superpeer_unavailability(mean_lifespan, mean_replacement)
+    return 1.0 - u**k
+
+
+def expected_cluster_outages_per_second(
+    k: int, mean_lifespan: float, mean_replacement: float
+) -> float:
+    """Rate at which a k-redundant cluster loses its *last* live partner.
+
+    For the independent-partner model, an outage begins when one of the
+    ``j = 1`` remaining live partners fails while the other ``k - 1`` are
+    down: rate = k * U^(k-1) * (1 - U) * (1 / mean_lifespan) is the
+    binomial-weighted failure flow from the one-survivor state.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    u = single_superpeer_unavailability(mean_lifespan, mean_replacement)
+    p_one_survivor = k * (1.0 - u) * u ** (k - 1)
+    return p_one_survivor / mean_lifespan
+
+
+def interconnections_per_edge(k: int) -> int:
+    """Open connections one overlay edge costs between two k-redundant
+    virtual super-peers: every partner pairs with every remote partner,
+    the k^2 growth that confines the paper to k = 2."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return k * k
+
+
+def index_copies_per_cluster(k: int) -> int:
+    """Full index replicas a k-redundant cluster maintains (one per partner)."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return k

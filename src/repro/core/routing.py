@@ -1,0 +1,218 @@
+"""Query propagation: BFS flooding with TTL and reverse-path responses.
+
+Section 4.1, step 2: "We use a breadth-first traversal over the network to
+determine which nodes receive the query, where the source of the traversal
+is the query source S, and the depth is equal to the TTL of the query
+message.  Any response message will then travel along the reverse path of
+the query, meaning it will travel up the predecessor graph of the
+breadth-first traversal until it reaches the source S."
+
+Flooding semantics (baseline Gnutella search, Section 3.1):
+
+* the source sends the query to **all** of its neighbours;
+* a node receiving the query for the first time at depth d forwards it to
+  all neighbours except the sender, provided d < TTL;
+* duplicate receipts are received (incurring receive cost) and dropped.
+
+:class:`QueryPropagation` captures one traversal — depths, predecessors,
+per-node query transmissions and receipts — and provides the reverse-path
+accumulator used to charge Response forwarding costs on every node along
+each responder's path back to the source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..topology.graph import OverlayGraph
+from ..topology.strong import CompleteGraph
+
+
+@dataclass(frozen=True)
+class QueryPropagation:
+    """One query's breadth-first flood from ``source`` with the given TTL."""
+
+    source: int
+    ttl: int
+    depth: np.ndarray          # (n,) BFS depth; -1 if not reached
+    pred: np.ndarray           # (n,) BFS predecessor (first sender); -1 at source/unreached
+    transmissions: np.ndarray  # (n,) query messages sent by each node
+    receipts: np.ndarray       # (n,) query messages received by each node
+
+    # --- reach ----------------------------------------------------------------
+
+    @property
+    def reached(self) -> np.ndarray:
+        """Mask of nodes that process the query (source included)."""
+        return self.depth >= 0
+
+    @property
+    def reach(self) -> int:
+        """Number of nodes that process the query (the paper's *reach*)."""
+        return int(np.count_nonzero(self.reached))
+
+    @property
+    def max_depth(self) -> int:
+        return int(self.depth.max(initial=0))
+
+    def total_query_messages(self) -> float:
+        """Total query transmissions (equals total receipts by conservation)."""
+        return float(self.transmissions.sum())
+
+    # --- reverse-path accumulation ---------------------------------------------
+
+    def accumulate_to_source(self, weights: np.ndarray) -> np.ndarray:
+        """Sum ``weights`` up the predecessor forest toward the source.
+
+        Returns ``forwarded`` where ``forwarded[v]`` is the total weight
+        originating in the predecessor subtree rooted at ``v`` (``v``'s own
+        weight included).  Interpreting ``weights[v]`` as the expected
+        Response messages (or result records, or addresses) originated by
+        ``v``, then for every node ``v != source``:
+
+        * ``forwarded[v]`` is what ``v`` *sends* toward its predecessor;
+        * ``forwarded[v] - weights[v]`` is what ``v`` *receives* from its
+          subtree children.
+
+        At the source, ``forwarded[source] - weights[source]`` is the total
+        weight arriving over the overlay.  Weights at unreached nodes must
+        be zero (they never respond).
+        """
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != self.depth.shape:
+            raise ValueError("weights must have one entry per node")
+        if np.any(weights[~self.reached] != 0.0):
+            raise ValueError("unreached nodes cannot carry response weight")
+        forwarded = weights.astype(float).copy()
+        # Fold levels bottom-up: children at depth d add into their
+        # predecessor at depth d-1.  np.add.at handles shared predecessors.
+        for d in range(self.max_depth, 0, -1):
+            level = np.nonzero(self.depth == d)[0]
+            if level.size:
+                np.add.at(forwarded, self.pred[level], forwarded[level])
+        return forwarded
+
+    def response_path_lengths(self) -> np.ndarray:
+        """Hop count of each reached node's response path (its BFS depth)."""
+        return self.depth[self.reached]
+
+
+def _neighbors_of_frontier(
+    graph: OverlayGraph, frontier: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """(senders, targets) arrays for all out-edges of ``frontier`` nodes."""
+    starts = graph.indptr[frontier]
+    ends = graph.indptr[frontier + 1]
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.array([], dtype=np.int64)
+        return empty, empty
+    # Gather CSR slices without a Python loop: offsets[j] walks each
+    # frontier node's adjacency range consecutively.
+    repeats = np.repeat(starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts)
+    offsets = np.arange(total, dtype=np.int64) + repeats
+    targets = graph.indices[offsets]
+    senders = np.repeat(frontier, counts)
+    return senders, targets
+
+
+def propagate_query(graph, source: int, ttl: int) -> QueryPropagation:
+    """Breadth-first flood of a query from ``source`` with the given TTL.
+
+    Works on :class:`OverlayGraph` and on small :class:`CompleteGraph`
+    instances (which it materializes); the load engine uses closed forms
+    for large complete graphs instead of calling this.
+    """
+    if isinstance(graph, CompleteGraph):
+        graph = graph.materialize()
+    n = graph.num_nodes
+    if not 0 <= source < n:
+        raise IndexError(f"source {source} out of range [0, {n})")
+    if ttl < 1:
+        raise ValueError("ttl must be >= 1")
+
+    depth = np.full(n, -1, dtype=np.int64)
+    pred = np.full(n, -1, dtype=np.int64)
+    depth[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    for d in range(ttl):
+        senders, targets = _neighbors_of_frontier(graph, frontier)
+        fresh = depth[targets] == -1
+        targets = targets[fresh]
+        senders = senders[fresh]
+        if targets.size == 0:
+            break
+        # First writer wins: the predecessor is the first sender to deliver
+        # the query, matching the BFS predecessor-graph approximation.
+        unique_targets, first_index = np.unique(targets, return_index=True)
+        depth[unique_targets] = d + 1
+        pred[unique_targets] = senders[first_index]
+        frontier = unique_targets
+
+    degrees = graph.degrees
+    reached = depth >= 0
+    # Forwarders re-send to every neighbour except the first sender; the
+    # source has no sender and fans out to all its neighbours.
+    forwarder = reached & (depth < ttl)
+    transmissions = np.zeros(n, dtype=np.float64)
+    transmissions[forwarder] = degrees[forwarder] - 1
+    if forwarder[source]:
+        transmissions[source] = degrees[source]
+
+    # Receipts: every directed edge (v -> u) with v a forwarder delivers a
+    # copy to u, except the edge back to v's own predecessor.
+    tails, heads = graph.directed_edge_arrays()
+    live = forwarder[tails] & (pred[tails] != heads)
+    receipts = np.bincount(heads[live], minlength=n).astype(np.float64)
+
+    return QueryPropagation(
+        source=source,
+        ttl=ttl,
+        depth=depth,
+        pred=pred,
+        transmissions=transmissions,
+        receipts=receipts,
+    )
+
+
+def complete_graph_propagation(num_nodes: int, source: int, ttl: int) -> QueryPropagation:
+    """Closed-form propagation on K_n (any size, no adjacency needed).
+
+    With TTL = 1 the source sends n-1 queries and every other node receives
+    exactly one.  With TTL >= 2, every non-source node additionally
+    forwards to its n-2 non-predecessor neighbours, so each non-source node
+    receives 1 + (n-2) copies (all duplicates dropped) and the source
+    receives 0 extra (every node's predecessor is the source itself, and
+    flooding skips the predecessor).
+    """
+    if not 0 <= source < num_nodes:
+        raise IndexError(f"source {source} out of range [0, {num_nodes})")
+    if ttl < 1:
+        raise ValueError("ttl must be >= 1")
+    n = num_nodes
+    depth = np.ones(n, dtype=np.int64)
+    depth[source] = 0
+    pred = np.full(n, source, dtype=np.int64)
+    pred[source] = -1
+    transmissions = np.zeros(n, dtype=np.float64)
+    receipts = np.zeros(n, dtype=np.float64)
+    if n > 1:
+        transmissions[source] = n - 1
+        receipts[:] = 1.0
+        receipts[source] = 0.0
+        if ttl >= 2 and n > 2:
+            # Depth-1 nodes forward to everyone but the source.
+            non_source = np.arange(n) != source
+            transmissions[non_source] = n - 2
+            receipts[non_source] += n - 2
+    return QueryPropagation(
+        source=source,
+        ttl=ttl,
+        depth=depth,
+        pred=pred,
+        transmissions=transmissions,
+        receipts=receipts,
+    )

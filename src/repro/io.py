@@ -1,0 +1,174 @@
+"""Persistence: save and load network instances and load reports.
+
+Long sweeps (the 20,000-peer design walkthrough, the Figure 12 rank
+plots) are worth caching to disk; downstream users also want to archive
+the exact instance behind a published number.  Instances serialize to a
+single ``.npz`` (arrays) with the configuration embedded as JSON;
+reports serialize the derived load arrays the same way.
+
+The format is versioned; loading refuses unknown versions rather than
+guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .config import Configuration, GraphType
+from .core.load import LoadReport
+from .querymodel.expectation import ClusterExpectations
+from .topology.builder import NetworkInstance
+from .topology.graph import OverlayGraph
+from .topology.strong import CompleteGraph
+
+FORMAT_VERSION = 1
+
+
+def _config_to_json(config: Configuration) -> str:
+    payload = {
+        "graph_type": config.graph_type.value,
+        "graph_size": config.graph_size,
+        "cluster_size": config.cluster_size,
+        "redundancy": config.redundancy,
+        "avg_outdegree": config.avg_outdegree,
+        "ttl": config.ttl,
+        "query_rate": config.query_rate,
+        "update_rate": config.update_rate,
+        "redundancy_factor": config.redundancy_factor,
+        "cluster_size_sigma": config.cluster_size_sigma,
+    }
+    return json.dumps(payload)
+
+
+def _config_from_json(raw: str) -> Configuration:
+    payload = json.loads(raw)
+    payload["graph_type"] = GraphType(payload["graph_type"])
+    return Configuration(**payload)
+
+
+def save_instance(instance: NetworkInstance, path: str | Path) -> Path:
+    """Serialize a NetworkInstance to ``path`` (.npz appended if missing)."""
+    path = Path(path)
+    graph = instance.graph
+    if isinstance(graph, CompleteGraph):
+        graph_kind = "complete"
+        indptr = np.array([graph.num_nodes], dtype=np.int64)
+        indices = np.array([], dtype=np.int64)
+    else:
+        graph_kind = "csr"
+        indptr = graph.indptr
+        indices = graph.indices
+    np.savez_compressed(
+        path,
+        version=np.array([FORMAT_VERSION]),
+        config=np.frombuffer(_config_to_json(instance.config).encode("utf-8"), dtype=np.uint8),
+        graph_kind=np.frombuffer(graph_kind.encode("utf-8"), dtype=np.uint8),
+        indptr=indptr,
+        indices=indices,
+        clients=instance.clients,
+        client_ptr=instance.client_ptr,
+        client_files=instance.client_files,
+        client_lifespans=instance.client_lifespans,
+        partner_files=instance.partner_files,
+        partner_lifespans=instance.partner_lifespans,
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_instance(path: str | Path) -> NetworkInstance:
+    """Load a NetworkInstance previously saved with :func:`save_instance`."""
+    with np.load(path) as data:
+        version = int(data["version"][0])
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported instance format version {version}")
+        config = _config_from_json(bytes(data["config"]).decode("utf-8"))
+        graph_kind = bytes(data["graph_kind"]).decode("utf-8")
+        if graph_kind == "complete":
+            graph = CompleteGraph(num_nodes=int(data["indptr"][0]))
+        elif graph_kind == "csr":
+            graph = OverlayGraph(
+                num_nodes=int(data["indptr"].shape[0] - 1),
+                indptr=data["indptr"].copy(),
+                indices=data["indices"].copy(),
+            )
+        else:
+            raise ValueError(f"unknown graph kind {graph_kind!r}")
+        return NetworkInstance(
+            config=config,
+            graph=graph,
+            clients=data["clients"].copy(),
+            client_ptr=data["client_ptr"].copy(),
+            client_files=data["client_files"].copy(),
+            client_lifespans=data["client_lifespans"].copy(),
+            partner_files=data["partner_files"].copy(),
+            partner_lifespans=data["partner_lifespans"].copy(),
+        )
+
+
+def save_report(report: LoadReport, path: str | Path) -> Path:
+    """Serialize a LoadReport's arrays (the instance is saved alongside)."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        version=np.array([FORMAT_VERSION]),
+        config=np.frombuffer(
+            _config_to_json(report.instance.config).encode("utf-8"), dtype=np.uint8
+        ),
+        superpeer_incoming_bps=report.superpeer_incoming_bps,
+        superpeer_outgoing_bps=report.superpeer_outgoing_bps,
+        superpeer_processing_hz=report.superpeer_processing_hz,
+        client_incoming_bps=report.client_incoming_bps,
+        client_outgoing_bps=report.client_outgoing_bps,
+        client_processing_hz=report.client_processing_hz,
+        results_per_query=report.results_per_query,
+        epl_per_query=report.epl_per_query,
+        reach_clusters=report.reach_clusters,
+        reach_peers=report.reach_peers,
+        evaluated_sources=report.evaluated_sources,
+        source_scale=np.array([report.source_scale]),
+        expected_results=report.expectations.expected_results,
+        expected_collections=report.expectations.expected_collections,
+        prob_respond=report.expectations.prob_respond,
+        mean_selection_power=np.array([report.expectations.mean_selection_power]),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_report(path: str | Path, instance: NetworkInstance) -> LoadReport:
+    """Load a LoadReport saved with :func:`save_report`.
+
+    The caller supplies the matching instance (saved separately with
+    :func:`save_instance`); a configuration mismatch is rejected.
+    """
+    with np.load(path) as data:
+        version = int(data["version"][0])
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported report format version {version}")
+        config = _config_from_json(bytes(data["config"]).decode("utf-8"))
+        if config != instance.config:
+            raise ValueError("report was produced from a different configuration")
+        expectations = ClusterExpectations(
+            expected_results=data["expected_results"].copy(),
+            expected_collections=data["expected_collections"].copy(),
+            prob_respond=data["prob_respond"].copy(),
+            mean_selection_power=float(data["mean_selection_power"][0]),
+        )
+        return LoadReport(
+            instance=instance,
+            expectations=expectations,
+            superpeer_incoming_bps=data["superpeer_incoming_bps"].copy(),
+            superpeer_outgoing_bps=data["superpeer_outgoing_bps"].copy(),
+            superpeer_processing_hz=data["superpeer_processing_hz"].copy(),
+            client_incoming_bps=data["client_incoming_bps"].copy(),
+            client_outgoing_bps=data["client_outgoing_bps"].copy(),
+            client_processing_hz=data["client_processing_hz"].copy(),
+            results_per_query=data["results_per_query"].copy(),
+            epl_per_query=data["epl_per_query"].copy(),
+            reach_clusters=data["reach_clusters"].copy(),
+            reach_peers=data["reach_peers"].copy(),
+            evaluated_sources=data["evaluated_sources"].copy(),
+            source_scale=float(data["source_scale"][0]),
+        )

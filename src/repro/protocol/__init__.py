@@ -1,0 +1,18 @@
+"""Gnutella-style wire protocol accounting: message sizes, connections."""
+
+from .messages import (
+    query_message_bytes,
+    response_message_bytes,
+    join_message_bytes,
+    update_message_bytes,
+)
+from .connections import multiplex_cost, select_scan_cost_per_descriptor
+
+__all__ = [
+    "query_message_bytes",
+    "response_message_bytes",
+    "join_message_bytes",
+    "update_message_bytes",
+    "multiplex_cost",
+    "select_scan_cost_per_descriptor",
+]

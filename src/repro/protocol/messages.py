@@ -1,0 +1,49 @@
+"""Message size accounting (the bandwidth column of Table 2).
+
+Sizes follow the Gnutella v0.4 protocol where it specifies them, plus the
+Ethernet/TCP/IP framing the paper includes:
+
+* Query:    ``82 + query length`` bytes (22 B Gnutella header + 2 B flags
+  + null-terminated query string + transport headers);
+* Response: ``80 + 28 * #addresses + 76 * #results`` bytes;
+* Join:     ``80 + 72 * #files`` bytes (72 B metadata per shared file);
+* Update:   ``152`` bytes (one file's metadata delta).
+
+All functions accept floats because the load analysis works with
+*expected* result/address counts.
+"""
+
+from __future__ import annotations
+
+from .. import constants
+
+
+def query_message_bytes(query_length: float = constants.QUERY_STRING_LENGTH) -> float:
+    """Size of a Query message carrying a ``query_length``-byte string."""
+    if query_length < 0:
+        raise ValueError("query_length must be non-negative")
+    return constants.QUERY_MESSAGE_BASE + query_length
+
+
+def response_message_bytes(num_addresses: float, num_results: float) -> float:
+    """Size of a Response carrying ``num_results`` records for
+    ``num_addresses`` distinct responding collections."""
+    if num_addresses < 0 or num_results < 0:
+        raise ValueError("counts must be non-negative")
+    return (
+        constants.RESPONSE_MESSAGE_BASE
+        + constants.RESPONSE_ADDRESS_SIZE * num_addresses
+        + constants.RESULT_RECORD_SIZE * num_results
+    )
+
+
+def join_message_bytes(num_files: float) -> float:
+    """Size of a Join: fixed header plus per-file metadata records."""
+    if num_files < 0:
+        raise ValueError("num_files must be non-negative")
+    return constants.JOIN_MESSAGE_BASE + constants.FILE_METADATA_SIZE * num_files
+
+
+def update_message_bytes() -> float:
+    """Size of an Update message (single-file metadata delta)."""
+    return float(constants.UPDATE_MESSAGE_SIZE)

@@ -1,0 +1,130 @@
+"""Peer-capacity heterogeneity: the motivation behind super-peers.
+
+The paper's introduction: the August 2000 Gnutella meltdown "was caused
+by peers connected by dialup modems becoming saturated by the increased
+load, dying, and fragmenting the network", and Saroiu et al. measured
+"up to 3 orders of magnitude difference in bandwidth" across peers.  The
+whole super-peer idea is to "take advantage of this heterogeneity,
+assigning greater responsibility to those who are more capable".
+
+This module supplies a 2001-flavoured capacity mix (dialup / DSL / cable
+/ campus-LAN classes with asymmetric up/down links, shaped after the
+Saroiu measurement's reported proportions) and the two analyses the
+motivation implies:
+
+* :func:`overload_fraction` — what fraction of peers a topology pushes
+  past their own link capacity (the meltdown metric);
+* :func:`eligible_fraction` — what fraction of peers could shoulder a
+  given super-peer load, i.e. whether a design's super-peer demand can be
+  staffed from the population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..stats.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class CapacityClass:
+    """One connection class: name, link capacities (bps), population share."""
+
+    name: str
+    downstream_bps: float
+    upstream_bps: float
+    fraction: float
+
+    def __post_init__(self) -> None:
+        if min(self.downstream_bps, self.upstream_bps) <= 0:
+            raise ValueError("capacities must be positive")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class CapacityMix:
+    """A population of capacity classes (fractions summing to 1)."""
+
+    classes: tuple[CapacityClass, ...]
+
+    def __post_init__(self) -> None:
+        total = sum(c.fraction for c in self.classes)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"class fractions must sum to 1, got {total}")
+        if not self.classes:
+            raise ValueError("at least one class required")
+
+    def sample(
+        self, rng: np.random.Generator | int | None, size: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(downstream, upstream) capacities for ``size`` peers."""
+        rng = derive_rng(rng, "capacities")
+        probabilities = [c.fraction for c in self.classes]
+        picks = rng.choice(len(self.classes), size=size, p=probabilities)
+        down = np.array([self.classes[i].downstream_bps for i in picks])
+        up = np.array([self.classes[i].upstream_bps for i in picks])
+        return down, up
+
+    def eligible_fraction(
+        self, required_down_bps: float, required_up_bps: float
+    ) -> float:
+        """Population share whose link fits a given super-peer load."""
+        if required_down_bps < 0 or required_up_bps < 0:
+            raise ValueError("requirements must be non-negative")
+        return sum(
+            c.fraction
+            for c in self.classes
+            if c.downstream_bps >= required_down_bps
+            and c.upstream_bps >= required_up_bps
+        )
+
+
+@lru_cache(maxsize=1)
+def default_capacity_mix() -> CapacityMix:
+    """A 2001-flavoured mix shaped after the Saroiu measurement.
+
+    Roughly a quarter of peers on dialup, half on asymmetric consumer
+    broadband, and a capable tail on campus/office links — spanning the
+    three orders of magnitude the paper quotes.
+    """
+    return CapacityMix(classes=(
+        CapacityClass("dialup-56k", 56_000.0, 33_600.0, 0.25),
+        CapacityClass("dsl-768k", 768_000.0, 128_000.0, 0.30),
+        CapacityClass("cable-3m", 3_000_000.0, 384_000.0, 0.25),
+        CapacityClass("t1", 1_544_000.0, 1_544_000.0, 0.12),
+        CapacityClass("lan-100m", 100_000_000.0, 100_000_000.0, 0.08),
+    ))
+
+
+def overload_fraction(
+    incoming_bps: np.ndarray,
+    outgoing_bps: np.ndarray,
+    mix: CapacityMix | None = None,
+    rng=None,
+    utilization_limit: float = 1.0,
+) -> float:
+    """Fraction of peers whose load exceeds their sampled link capacity.
+
+    ``incoming_bps``/``outgoing_bps`` are per-node expected loads (e.g.
+    from :meth:`LoadReport.all_node_loads`); capacities are sampled from
+    the mix independently of position (the paper's pure-network premise:
+    roles are assigned blind to capability).  ``utilization_limit`` below
+    1.0 models the Section 5.2 advice to keep expected load "far below
+    the actual capabilities of the peer".
+    """
+    incoming = np.asarray(incoming_bps, dtype=float)
+    outgoing = np.asarray(outgoing_bps, dtype=float)
+    if incoming.shape != outgoing.shape:
+        raise ValueError("incoming and outgoing arrays must align")
+    if not 0.0 < utilization_limit <= 1.0:
+        raise ValueError("utilization_limit must be in (0, 1]")
+    mix = mix or default_capacity_mix()
+    down, up = mix.sample(rng, incoming.size)
+    overloaded = (incoming > utilization_limit * down) | (
+        outgoing > utilization_limit * up
+    )
+    return float(overloaded.mean()) if incoming.size else 0.0

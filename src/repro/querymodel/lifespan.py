@@ -1,0 +1,74 @@
+"""Session-lifespan distribution and join rates.
+
+Step 1 assigns each peer a lifespan "according to the distribution of ...
+lifespans measured by [22] over Gnutella", and step 3 derives the join
+rate: "if the size of the network is stable, when a node leaves the
+network, another node is joining elsewhere.  Hence, the rate at which
+nodes join the system is the inverse of the length of time they remain
+logged in."
+
+Saroiu et al. report strongly skewed session lengths (many minutes-long
+sessions, a long tail of day-long ones); we use a lognormal with that
+shape.  The mean is calibrated so that the queries-to-joins ratio is
+roughly 10 — the figure Appendix C quotes for the Gnutella rates — i.e.
+``mean_session ~= 10 / query_rate ~= 1080 s``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from .. import constants
+from ..stats.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class LifespanDistribution:
+    """LogNormal session lengths, truncated below at ``min_seconds``."""
+
+    lognormal_mu: float
+    lognormal_sigma: float
+    min_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.lognormal_sigma < 0:
+            raise ValueError("lognormal_sigma must be non-negative")
+        if self.min_seconds <= 0:
+            raise ValueError("min_seconds must be positive")
+
+    @property
+    def mean(self) -> float:
+        """Mean session length in seconds (ignoring the small truncation)."""
+        return math.exp(self.lognormal_mu + self.lognormal_sigma**2 / 2.0)
+
+    def sample(self, rng: np.random.Generator | int | None, size: int) -> np.ndarray:
+        """Draw session lengths (seconds) for ``size`` peers."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        rng = derive_rng(rng, "lifespan")
+        spans = rng.lognormal(self.lognormal_mu, self.lognormal_sigma, size)
+        return np.maximum(spans, self.min_seconds)
+
+    def join_rates(self, lifespans: np.ndarray) -> np.ndarray:
+        """Per-node join rate = 1 / lifespan (Section 4.1, step 3)."""
+        return 1.0 / np.asarray(lifespans, dtype=float)
+
+
+def make_lifespan_distribution(
+    mean_seconds: float = constants.MEAN_SESSION_SECONDS, sigma: float = 1.0
+) -> LifespanDistribution:
+    """Solve the lognormal location for a target mean session length."""
+    if mean_seconds <= 0:
+        raise ValueError("mean_seconds must be positive")
+    mu = math.log(mean_seconds) - sigma**2 / 2.0
+    return LifespanDistribution(lognormal_mu=mu, lognormal_sigma=sigma)
+
+
+@lru_cache(maxsize=1)
+def default_lifespan_distribution() -> LifespanDistribution:
+    """Calibrated default: mean ~1080 s so queries:joins ~ 10."""
+    return make_lifespan_distribution()

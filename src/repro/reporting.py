@@ -1,0 +1,81 @@
+"""ASCII table and series renderers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints it in a terminal-friendly form: tables as aligned columns, figures
+as labelled (x, y) series — the same rows/series the paper plots, so the
+shapes can be compared side by side with the original.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .units import format_bps, format_hz
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    errors: Sequence[float] | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one figure curve as labelled (x, y [, +/- err]) rows."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must align")
+    if errors is not None and len(errors) != len(xs):
+        raise ValueError("errors must align with xs")
+    lines = [f"series: {name}  ({x_label} -> {y_label})"]
+    for i, (x, y) in enumerate(zip(xs, ys)):
+        err = f"  +/- {_cell(errors[i])}" if errors is not None else ""
+        lines.append(f"  {_cell(x):>12}  {_cell(y):>14}{err}")
+    return "\n".join(lines)
+
+
+def render_load_row(label: str, incoming_bps: float, outgoing_bps: float,
+                    processing_hz: float) -> str:
+    """One Figure 11-style row: label + three formatted load cells."""
+    return (
+        f"{label:<28} in={format_bps(incoming_bps):>12} "
+        f"out={format_bps(outgoing_bps):>12} proc={format_hz(processing_hz):>12}"
+    )
+
+
+def _cell(value: object) -> str:
+    """Format one table cell: compact scientific notation for floats."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e5 or magnitude < 1e-3:
+        return f"{value:.3e}"
+    if magnitude >= 100:
+        return f"{value:.1f}"
+    return f"{value:.3g}"

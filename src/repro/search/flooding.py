@@ -1,0 +1,67 @@
+"""Baseline Gnutella flood (the paper's protocol), as a SearchProtocol.
+
+Thin adapter over :mod:`repro.core.routing` so the protocol comparison
+measures the same flood the load engine charges; response accounting is
+reverse-path with per-hop forwarding (every hop re-transmits the
+Response message).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.routing import complete_graph_propagation, propagate_query
+from ..topology.strong import CompleteGraph
+from .base import QUERY_BYTES, QueryCost, SearchProtocol
+
+
+class FloodingSearch(SearchProtocol):
+    """BFS flood with the instance's configured TTL."""
+
+    name = "flooding"
+
+    def __init__(self, instance, model=None, ttl: int | None = None):
+        super().__init__(instance, model)
+        self.ttl = ttl if ttl is not None else instance.config.ttl
+        if self.ttl < 1:
+            raise ValueError("ttl must be >= 1")
+
+    def _propagate(self, source: int):
+        graph = self.instance.graph
+        if isinstance(graph, CompleteGraph):
+            return complete_graph_propagation(graph.num_nodes, source, self.ttl)
+        return propagate_query(graph, source, self.ttl)
+
+    def query_cost(self, source: int) -> QueryCost:
+        prop = self._propagate(source)
+        reached = prop.reached
+        responders = reached.copy()
+        responders[source] = False
+
+        msgs, addr, res = self._response_triple(responders)
+        own_results = float(self.expectations.expected_results[source])
+
+        # Response forwarding: each responder's message is re-sent at
+        # every hop of its reverse path, so the transmission count is the
+        # depth-weighted sum of response weights.
+        exp = self.expectations
+        weights = np.where(responders, exp.prob_respond, 0.0)
+        depth_weighted = float((prop.depth * weights)[reached].sum())
+        addr_weighted = float(
+            (prop.depth * np.where(responders, exp.expected_collections, 0.0))[reached].sum()
+        )
+        res_weighted = float(
+            (prop.depth * np.where(responders, exp.expected_results, 0.0))[reached].sum()
+        )
+        response_bytes = self._response_bytes(depth_weighted, addr_weighted, res_weighted)
+
+        epl = depth_weighted / msgs if msgs > 0 else 0.0
+        return QueryCost(
+            query_messages=float(prop.transmissions.sum()),
+            response_messages=depth_weighted,
+            query_bytes=float(prop.transmissions.sum()) * QUERY_BYTES,
+            response_bytes=response_bytes,
+            expected_results=res + own_results,
+            reach=float(prop.reach),
+            mean_response_hops=epl,
+        )

@@ -1,0 +1,33 @@
+"""Event-driven simulation substrate.
+
+The paper's results come from mean-value analysis (``repro.core``).  This
+subpackage adds a discrete-event simulator for the things MVA cannot
+express — sampled (not expected) query outcomes, churn and cluster
+availability, and the Section 5.3 adaptive local rules — and doubles as
+an independent check of the analytical engine: on the same instance, the
+simulator's long-run average loads must converge to the MVA's
+expectations.
+
+``simpy`` is not available in this environment, so ``engine`` implements
+the event scheduler from scratch (binary heap, cancellable events).
+"""
+
+from .engine import Simulator, EventHandle
+from .workload import PoissonProcess, exponential_interarrivals
+from .network import SimulationReport, simulate_instance
+from .churn import ChurnResult, simulate_cluster_churn
+from .local import AdaptiveNetwork, AdaptiveLimits, AdaptiveHistory
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "PoissonProcess",
+    "exponential_interarrivals",
+    "SimulationReport",
+    "simulate_instance",
+    "ChurnResult",
+    "simulate_cluster_churn",
+    "AdaptiveNetwork",
+    "AdaptiveLimits",
+    "AdaptiveHistory",
+]

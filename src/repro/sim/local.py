@@ -1,0 +1,343 @@
+"""Local decision rules (Section 5.3) running adaptively.
+
+"In the case where constraints and properties of the system can not be
+accurately specified at design time ... super-peers should be able to
+make local decisions that will tend towards a globally efficient
+topology."  The three guidelines:
+
+I.   A super-peer should always accept new clients; when overloaded it
+     splits its cluster (promoting a capable client to super-peer); when
+     far under its limit it coalesces with a small neighbouring cluster.
+II.  A super-peer should increase its outdegree while it has resources
+     to spare.
+III. A super-peer should decrease its TTL as long as its reach is
+     unaffected.
+
+:class:`AdaptiveNetwork` holds a mutable cluster/overlay state, and each
+round (a) snapshots itself into a :class:`NetworkInstance`, (b) measures
+per-super-peer loads with the mean-value engine, and (c) lets every
+super-peer apply the rules against its own load limit.  Starting from a
+pure network (every peer a super-peer), the history should drift toward
+the shape the global design procedure picks: larger clusters, higher
+outdegree, smaller TTL.  The rules use only node-local observations
+(own load, own reach) plus the "limited altruism" assumption the paper
+makes explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import Configuration, GraphType
+from ..core.epl import measure_reach
+from ..core.load import evaluate_instance
+from ..querymodel.files import default_file_distribution
+from ..querymodel.lifespan import default_lifespan_distribution
+from ..stats.rng import derive_rng
+from ..topology.builder import NetworkInstance
+from ..topology.graph import OverlayGraph
+
+
+@dataclass(frozen=True)
+class AdaptiveLimits:
+    """The load limit each super-peer enforces on itself."""
+
+    max_incoming_bps: float
+    max_outgoing_bps: float
+    max_processing_hz: float
+    #: Below this fraction of every limit a super-peer has "resources to
+    #: spare" and follows rule II (more neighbours) / considers coalescing.
+    spare_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if min(self.max_incoming_bps, self.max_outgoing_bps, self.max_processing_hz) <= 0:
+            raise ValueError("limits must be positive")
+        if not 0.0 < self.spare_fraction < 1.0:
+            raise ValueError("spare_fraction must be in (0, 1)")
+
+
+@dataclass(frozen=True)
+class AdaptiveRound:
+    """Summary of the network after one adaptation round."""
+
+    round_index: int
+    num_clusters: int
+    mean_cluster_size: float
+    avg_outdegree: float
+    ttl: int
+    mean_superpeer_bandwidth_bps: float
+    max_superpeer_bandwidth_bps: float
+    aggregate_bandwidth_bps: float
+    overloaded_superpeers: int
+    splits: int
+    merges: int
+    edges_added: int
+
+
+@dataclass
+class AdaptiveHistory:
+    """The trajectory of an adaptive run."""
+
+    rounds: list[AdaptiveRound] = field(default_factory=list)
+
+    def last(self) -> AdaptiveRound:
+        if not self.rounds:
+            raise ValueError("no rounds recorded yet")
+        return self.rounds[-1]
+
+    def series(self, attribute: str) -> list[float]:
+        return [getattr(r, attribute) for r in self.rounds]
+
+
+class _Cluster:
+    """Mutable cluster: the super-peer plus its client peer ids."""
+
+    __slots__ = ("superpeer", "clients", "neighbors")
+
+    def __init__(self, superpeer: int, clients: list[int]) -> None:
+        self.superpeer = superpeer
+        self.clients = clients
+        self.neighbors: set["_Cluster"] = set()
+
+    @property
+    def size(self) -> int:
+        return 1 + len(self.clients)
+
+
+class AdaptiveNetwork:
+    """A super-peer network governed by the Section 5.3 local rules."""
+
+    def __init__(
+        self,
+        num_peers: int,
+        limits: AdaptiveLimits,
+        seed: int | None = 0,
+        initial_cluster_size: int = 1,
+        initial_outdegree: float = 3.1,
+        ttl: int = 7,
+        query_rate: float | None = None,
+    ) -> None:
+        if num_peers < 4:
+            raise ValueError("num_peers must be >= 4")
+        self.limits = limits
+        self.ttl = ttl
+        self._rng = derive_rng(seed, "adaptive")
+        self._round = 0
+
+        # Peer attributes (stable across reorganizations).
+        self.files = default_file_distribution().sample(self._rng, num_peers)
+        self.lifespans = default_lifespan_distribution().sample(self._rng, num_peers)
+
+        # Bootstrap from a configuration instance for the initial shape.
+        config = Configuration(
+            graph_type=GraphType.POWER_LAW,
+            graph_size=num_peers,
+            cluster_size=initial_cluster_size,
+            avg_outdegree=initial_outdegree,
+            ttl=ttl,
+            **({"query_rate": query_rate} if query_rate is not None else {}),
+        )
+        self._config = config
+        peers = list(range(num_peers))
+        self._rng.shuffle(peers)
+        n_clusters = config.num_clusters
+        self.clusters: list[_Cluster] = []
+        bounds = np.linspace(0, num_peers, n_clusters + 1).astype(int)
+        for i in range(n_clusters):
+            members = peers[bounds[i]: bounds[i + 1]]
+            self.clusters.append(_Cluster(members[0], list(members[1:])))
+        from ..topology.plod import plod_graph
+
+        overlay = plod_graph(n_clusters, initial_outdegree, self._rng)
+        for u, v in overlay.edge_list():
+            self._connect(self.clusters[u], self.clusters[v])
+
+    # --- structural edits -------------------------------------------------------
+
+    @staticmethod
+    def _connect(a: _Cluster, b: _Cluster) -> None:
+        if a is b:
+            return
+        a.neighbors.add(b)
+        b.neighbors.add(a)
+
+    @staticmethod
+    def _disconnect(a: _Cluster, b: _Cluster) -> None:
+        a.neighbors.discard(b)
+        b.neighbors.discard(a)
+
+    def _split(self, cluster: _Cluster) -> None:
+        """Rule I under overload: promote a client, hand over half the rest."""
+        if not cluster.clients:
+            return
+        # "select a capable client": the most stable one (longest lifespan)
+        # is the best super-peer candidate.
+        capable = max(cluster.clients, key=lambda p: self.lifespans[p])
+        cluster.clients.remove(capable)
+        half = len(cluster.clients) // 2
+        moved = cluster.clients[:half]
+        cluster.clients = cluster.clients[half:]
+        newborn = _Cluster(capable, moved)
+        self.clusters.append(newborn)
+        # The newborn keeps contact with its origin and inherits a couple
+        # of its neighbours so it is immediately routable.
+        self._connect(newborn, cluster)
+        inherited = list(cluster.neighbors - {newborn})
+        self._rng.shuffle(inherited)
+        for neighbor in inherited[:2]:
+            self._connect(newborn, neighbor)
+
+    def _coalesce(self, cluster: _Cluster, into: _Cluster) -> None:
+        """Rule I under persistent spare capacity: merge two small clusters."""
+        into.clients.extend(cluster.clients)
+        into.clients.append(cluster.superpeer)
+        for neighbor in list(cluster.neighbors):
+            self._disconnect(cluster, neighbor)
+            if neighbor is not into:
+                self._connect(into, neighbor)
+        self.clusters.remove(cluster)
+
+    def _add_neighbor(self, cluster: _Cluster) -> bool:
+        """Rule II: open one more overlay connection."""
+        candidates = [c for c in self.clusters if c is not cluster and c not in cluster.neighbors]
+        if not candidates:
+            return False
+        pick = candidates[int(self._rng.integers(0, len(candidates)))]
+        self._connect(cluster, pick)
+        return True
+
+    # --- snapshot & measurement ---------------------------------------------------
+
+    def snapshot(self) -> NetworkInstance:
+        """Freeze the current structure into a NetworkInstance for analysis."""
+        n = len(self.clusters)
+        index = {id(c): i for i, c in enumerate(self.clusters)}
+        edges = set()
+        for c in self.clusters:
+            for neighbor in c.neighbors:
+                a, b = index[id(c)], index[id(neighbor)]
+                edges.add((min(a, b), max(a, b)))
+        graph = OverlayGraph.from_edges(n, sorted(edges))
+        clients = np.array([len(c.clients) for c in self.clusters], dtype=np.int64)
+        client_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(clients, out=client_ptr[1:])
+        client_ids = [p for c in self.clusters for p in c.clients]
+        sp_ids = [c.superpeer for c in self.clusters]
+        mean_size = float(np.mean([c.size for c in self.clusters]))
+        config = self._config.with_changes(
+            cluster_size=max(1, round(mean_size)),
+            avg_outdegree=max(1.0, 2.0 * len(edges) / max(1, n)),
+            ttl=self.ttl,
+        )
+        return NetworkInstance(
+            config=config,
+            graph=graph,
+            clients=clients,
+            client_ptr=client_ptr,
+            client_files=self.files[client_ids] if client_ids else np.zeros(0, dtype=np.int64),
+            client_lifespans=self.lifespans[client_ids] if client_ids else np.zeros(0),
+            partner_files=self.files[sp_ids].reshape(n, 1),
+            partner_lifespans=self.lifespans[sp_ids].reshape(n, 1),
+        )
+
+    # --- one adaptation round -------------------------------------------------------
+
+    def step(self, max_sources: int = 128) -> AdaptiveRound:
+        """Measure loads, let every super-peer apply rules I-III once."""
+        instance = self.snapshot()
+        report = evaluate_instance(instance, max_sources=max_sources, rng=self._round)
+        sp_in = report.superpeer_incoming_bps
+        sp_out = report.superpeer_outgoing_bps
+        sp_proc = report.superpeer_processing_hz
+
+        limits = self.limits
+        over = (
+            (sp_in > limits.max_incoming_bps)
+            | (sp_out > limits.max_outgoing_bps)
+            | (sp_proc > limits.max_processing_hz)
+        )
+        spare = (
+            (sp_in < limits.spare_fraction * limits.max_incoming_bps)
+            & (sp_out < limits.spare_fraction * limits.max_outgoing_bps)
+            & (sp_proc < limits.spare_fraction * limits.max_processing_hz)
+        )
+
+        splits = merges = edges_added = 0
+        order = list(range(len(self.clusters)))
+        self._rng.shuffle(order)
+        snapshot_clusters = list(self.clusters)
+        index_of = {id(c): i for i, c in enumerate(snapshot_clusters)}
+        merged_this_round: set[int] = set()
+        for i in order:
+            cluster = snapshot_clusters[i]
+            if cluster not in self.clusters or id(cluster) in merged_this_round:
+                continue  # already coalesced away this round
+            if over[i]:
+                self._split(cluster)
+                splits += 1
+            elif spare[i]:
+                # Rule I: with load far below the limit, "the super-peer
+                # may try to find another small cluster, and coalesce".
+                # Merge with a neighbour that also has spare capacity; the
+                # per-round load measurement is the feedback that stops
+                # clusters from growing past the limit.
+                partner = next(
+                    (
+                        nb for nb in cluster.neighbors
+                        if nb in self.clusters
+                        and id(nb) not in merged_this_round
+                        and id(nb) in index_of
+                        and spare[index_of[id(nb)]]
+                    ),
+                    None,
+                )
+                if partner is not None and len(self.clusters) > 2:
+                    merged_this_round.add(id(cluster))
+                    merged_this_round.add(id(partner))
+                    self._coalesce(cluster, partner)
+                    merges += 1
+                elif self._add_neighbor(cluster):
+                    # Rule II: spend remaining headroom on a new neighbour.
+                    edges_added += 1
+
+        # Rule III: shrink the TTL while full reach is preserved.
+        if self.ttl > 1 and len(self.clusters) > 1:
+            new_instance = self.snapshot()
+            full = len(self.clusters)
+            reach_lower = measure_reach(
+                new_instance.graph, self.ttl - 1,
+                num_sources=min(32, full), rng=self._round,
+            )
+            if reach_lower >= 0.99 * full:
+                self.ttl -= 1
+
+        self._round += 1
+        agg = report.aggregate_load()
+        bandwidth = sp_in + sp_out
+        return AdaptiveRound(
+            round_index=self._round,
+            num_clusters=len(self.clusters),
+            mean_cluster_size=float(np.mean([c.size for c in self.clusters])),
+            avg_outdegree=float(
+                np.mean([len(c.neighbors) for c in self.clusters])
+            ),
+            ttl=self.ttl,
+            mean_superpeer_bandwidth_bps=float(bandwidth.mean()),
+            max_superpeer_bandwidth_bps=float(bandwidth.max()),
+            aggregate_bandwidth_bps=agg.total_bandwidth_bps,
+            overloaded_superpeers=int(over.sum()),
+            splits=splits,
+            merges=merges,
+            edges_added=edges_added,
+        )
+
+    def run(self, rounds: int, max_sources: int = 128) -> AdaptiveHistory:
+        """Run ``rounds`` adaptation rounds and return the trajectory."""
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        history = AdaptiveHistory()
+        for _ in range(rounds):
+            history.rounds.append(self.step(max_sources=max_sources))
+        return history

@@ -1,0 +1,443 @@
+"""Message-level simulation of a super-peer network instance.
+
+Where the mean-value analysis (``repro.core.load``) charges *expected*
+costs, this simulator samples the actual randomness: Poisson query /
+update arrivals, lifespan-driven churn with live index mutation, sampled
+query classes (from g) and sampled per-collection match outcomes (from
+f), and round-robin partner selection under k-redundancy.
+
+Arrival processes run on the discrete-event engine; each query is then
+accounted synchronously along its BFS flood and reverse-path responses
+(message costs do not depend on delivery timing, so collapsing a query's
+message exchange into its arrival event keeps the event count linear in
+the number of actions without changing any measured load).
+
+The headline use is validation: on the same instance, the long-run
+average loads measured here must converge to the MVA's expectations —
+``tests/test_sim_vs_mva.py`` holds that contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import constants
+from ..core import costs
+from ..core.load import LoadReport, _HANDSHAKE_BYTES, _HANDSHAKE_RECV_UNITS, _HANDSHAKE_SEND_UNITS
+from ..core.routing import complete_graph_propagation, propagate_query
+from ..querymodel.distributions import QueryModel, default_query_model
+from ..querymodel.files import default_file_distribution
+from ..stats.rng import derive_rng
+from ..topology.builder import NetworkInstance
+from ..topology.strong import CompleteGraph
+from ..units import bytes_per_second_to_bps, units_per_second_to_hz
+from .engine import Simulator
+
+_QUERY_BYTES = constants.QUERY_MESSAGE_BASE + constants.QUERY_STRING_LENGTH
+_SEND_Q = costs.SEND_QUERY_BASE + costs.SEND_QUERY_PER_BYTE * constants.QUERY_STRING_LENGTH
+_RECV_Q = costs.RECV_QUERY_BASE + costs.RECV_QUERY_PER_BYTE * constants.QUERY_STRING_LENGTH
+_MUX = costs.MULTIPLEX_PER_CONNECTION
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Measured long-run loads of one simulated instance."""
+
+    duration: float
+    num_queries: int
+    num_joins: int
+    num_updates: int
+
+    superpeer_incoming_bps: np.ndarray   # (n,) mean per partner
+    superpeer_outgoing_bps: np.ndarray
+    superpeer_processing_hz: np.ndarray
+    client_incoming_bps: np.ndarray      # flat over clients
+    client_outgoing_bps: np.ndarray
+    client_processing_hz: np.ndarray
+
+    mean_results_per_query: float
+    mean_reach_clusters: float
+
+    def mean_superpeer_load(self) -> tuple[float, float, float]:
+        return (
+            float(self.superpeer_incoming_bps.mean()),
+            float(self.superpeer_outgoing_bps.mean()),
+            float(self.superpeer_processing_hz.mean()),
+        )
+
+    def aggregate_bandwidth_bps(self) -> float:
+        sp = self.superpeer_incoming_bps.sum() + self.superpeer_outgoing_bps.sum()
+        cl = self.client_incoming_bps.sum() + self.client_outgoing_bps.sum()
+        return float(sp + cl)
+
+    def relative_error_vs(self, report: LoadReport) -> dict[str, float]:
+        """Relative differences of mean super-peer loads vs an MVA report."""
+        mva = report.mean_superpeer_load()
+        sim_in, sim_out, sim_proc = self.mean_superpeer_load()
+        return {
+            "incoming": sim_in / mva.incoming_bps - 1.0 if mva.incoming_bps else 0.0,
+            "outgoing": sim_out / mva.outgoing_bps - 1.0 if mva.outgoing_bps else 0.0,
+            "processing": sim_proc / mva.processing_hz - 1.0 if mva.processing_hz else 0.0,
+        }
+
+
+class _State:
+    """Mutable simulation state: who holds which files, live meters."""
+
+    def __init__(self, instance: NetworkInstance, model: QueryModel,
+                 rng: np.random.Generator) -> None:
+        self.instance = instance
+        self.model = model
+        self.rng = rng
+        self.n = instance.num_clusters
+        self.k = instance.partners
+        # Mutable copies: churn replaces peers (and their collections).
+        self.client_files = instance.client_files.astype(np.int64).copy()
+        self.partner_files = instance.partner_files.astype(np.int64).copy()
+        self.cluster_of_client = np.repeat(np.arange(self.n), instance.clients)
+        self.m_sp = instance.superpeer_connections.astype(float)
+        self.m_cl = float(instance.client_connections)
+        self.round_robin = np.zeros(self.n, dtype=np.int64)
+        # Meters: byte and unit totals.
+        self.sp_in = np.zeros(self.n)
+        self.sp_out = np.zeros(self.n)
+        self.sp_proc = np.zeros(self.n)
+        self.cl_in = np.zeros(instance.total_clients)
+        self.cl_out = np.zeros(instance.total_clients)
+        self.cl_proc = np.zeros(instance.total_clients)
+        # Outcome counters.
+        self.num_queries = 0
+        self.num_joins = 0
+        self.num_updates = 0
+        self.total_results = 0.0
+        self.total_reach = 0.0
+
+    # --- index bookkeeping ------------------------------------------------------
+
+    def index_size(self, cluster: int) -> int:
+        clients = self._cluster_client_slice(cluster)
+        return int(clients.sum() + self.partner_files[cluster].sum())
+
+    def index_sizes(self) -> np.ndarray:
+        ptr = self.instance.client_ptr
+        sums = np.add.reduceat(np.append(self.client_files, 0), ptr[:-1])
+        sums[self.instance.clients == 0] = 0
+        return sums + self.partner_files.sum(axis=1)
+
+    def _cluster_client_slice(self, cluster: int) -> np.ndarray:
+        ptr = self.instance.client_ptr
+        return self.client_files[ptr[cluster]: ptr[cluster + 1]]
+
+    def next_partner(self, cluster: int) -> int:
+        """Round-robin partner selection (Section 3.2, footnote 1)."""
+        p = int(self.round_robin[cluster])
+        self.round_robin[cluster] = (p + 1) % self.k
+        return p
+
+
+def _propagate(state: _State, source: int, ttl: int):
+    graph = state.instance.graph
+    if isinstance(graph, CompleteGraph):
+        return complete_graph_propagation(graph.num_nodes, source, ttl)
+    return propagate_query(graph, source, ttl)
+
+
+def _run_query(state: _State, source_cluster: int, client_index: int | None) -> None:
+    """Account one full query: flood, sampled matches, reverse-path responses.
+
+    ``client_index`` is the flat client id when client-sourced, else None
+    (the super-peer itself is the source).
+    """
+    st = state
+    s = source_cluster
+    ttl = st.instance.config.ttl
+    rng = st.rng
+    st.num_queries += 1
+
+    # Sample the query class; its selection power drives every match below.
+    j = int(rng.choice(st.model.num_classes, p=st.model.g))
+    f_j = float(st.model.f[j])
+
+    if client_index is not None:
+        st.cl_out[client_index] += _QUERY_BYTES
+        st.cl_proc[client_index] += _SEND_Q + _MUX * st.m_cl
+        st.sp_in[s] += _QUERY_BYTES / st.k
+        st.sp_proc[s] += (_RECV_Q + _MUX * st.m_sp[s]) / st.k
+
+    prop = _propagate(st, s, ttl)
+    reached = prop.reached
+    st.total_reach += prop.reach
+
+    # Query flood messages (each handled by one partner; average the meter).
+    st.sp_out += prop.transmissions * _QUERY_BYTES / st.k
+    st.sp_proc += prop.transmissions * (_SEND_Q + _MUX * st.m_sp) / st.k
+    st.sp_in += prop.receipts * _QUERY_BYTES / st.k
+    st.sp_proc += prop.receipts * (_RECV_Q + _MUX * st.m_sp) / st.k
+
+    # Sample per-collection match counts: every file matches independently
+    # with probability f_j (the Appendix B model), so a collection of x
+    # files contributes Binomial(x, f_j) results.  N_T and K_T then follow
+    # from the *same* draws, keeping them mutually consistent.
+    client_matches = rng.binomial(st.client_files, f_j) if f_j > 0 else np.zeros_like(st.client_files)
+    partner_matches = (
+        rng.binomial(st.partner_files, f_j) if f_j > 0 else np.zeros_like(st.partner_files)
+    )
+    ptr = st.instance.client_ptr
+    client_sum = np.add.reduceat(np.append(client_matches, 0), ptr[:-1])
+    client_sum[st.instance.clients == 0] = 0
+    client_hit_count = np.add.reduceat(np.append(client_matches > 0, False), ptr[:-1])
+    client_hit_count[st.instance.clients == 0] = 0
+    n_results = client_sum + partner_matches.sum(axis=1)
+    k_addr = client_hit_count + (partner_matches > 0).sum(axis=1)
+
+    # Index probe at every reached cluster.
+    st.sp_proc[reached] += (
+        costs.PROCESS_QUERY_BASE + costs.PROCESS_QUERY_PER_RESULT * n_results[reached]
+    ) / st.k
+
+    # Responses travel the reverse path.
+    msgs_w = np.where(reached & (n_results > 0), 1.0, 0.0)
+    msgs_w[s] = 0.0
+    addr_w = np.where(msgs_w > 0, k_addr, 0).astype(float)
+    res_w = np.where(msgs_w > 0, n_results, 0).astype(float)
+    fw_m = prop.accumulate_to_source(msgs_w)
+    fw_a = prop.accumulate_to_source(addr_w)
+    fw_r = prop.accumulate_to_source(res_w)
+
+    senders = reached.copy()
+    senders[s] = False
+    st.sp_out[senders] += (
+        constants.RESPONSE_MESSAGE_BASE * fw_m[senders]
+        + constants.RESPONSE_ADDRESS_SIZE * fw_a[senders]
+        + constants.RESULT_RECORD_SIZE * fw_r[senders]
+    ) / st.k
+    st.sp_proc[senders] += (
+        (costs.SEND_RESPONSE_BASE + _MUX * st.m_sp[senders]) * fw_m[senders]
+        + costs.SEND_RESPONSE_PER_ADDRESS * fw_a[senders]
+        + costs.SEND_RESPONSE_PER_RESULT * fw_r[senders]
+    ) / st.k
+    inc_m, inc_a, inc_r = fw_m - msgs_w, fw_a - addr_w, fw_r - res_w
+    st.sp_in[reached] += (
+        constants.RESPONSE_MESSAGE_BASE * inc_m[reached]
+        + constants.RESPONSE_ADDRESS_SIZE * inc_a[reached]
+        + constants.RESULT_RECORD_SIZE * inc_r[reached]
+    ) / st.k
+    st.sp_proc[reached] += (
+        (costs.RECV_RESPONSE_BASE + _MUX * st.m_sp[reached]) * inc_m[reached]
+        + costs.RECV_RESPONSE_PER_ADDRESS * inc_a[reached]
+        + costs.RECV_RESPONSE_PER_RESULT * inc_r[reached]
+    ) / st.k
+
+    # Deliver everything (remote + own-index results) to the querying client.
+    own_msg = 1.0 if n_results[s] > 0 else 0.0
+    to_m = fw_m[s] + own_msg
+    to_a = fw_a[s] + (k_addr[s] if own_msg else 0)
+    to_r = fw_r[s] + (n_results[s] if own_msg else 0)
+    st.total_results += fw_r[s] + n_results[s]
+    if client_index is not None and to_m > 0:
+        bytes_to_client = (
+            constants.RESPONSE_MESSAGE_BASE * to_m
+            + constants.RESPONSE_ADDRESS_SIZE * to_a
+            + constants.RESULT_RECORD_SIZE * to_r
+        )
+        st.sp_out[s] += bytes_to_client / st.k
+        st.sp_proc[s] += (
+            (costs.SEND_RESPONSE_BASE + _MUX * st.m_sp[s]) * to_m
+            + costs.SEND_RESPONSE_PER_ADDRESS * to_a
+            + costs.SEND_RESPONSE_PER_RESULT * to_r
+        ) / st.k
+        st.cl_in[client_index] += bytes_to_client
+        st.cl_proc[client_index] += (
+            (costs.RECV_RESPONSE_BASE + _MUX * st.m_cl) * to_m
+            + costs.RECV_RESPONSE_PER_ADDRESS * to_a
+            + costs.RECV_RESPONSE_PER_RESULT * to_r
+        )
+
+
+def _run_client_churn(state: _State, client_index: int) -> None:
+    """One client leaves and its replacement joins (metadata to each partner)."""
+    st = state
+    st.num_joins += 1
+    cluster = int(st.cluster_of_client[client_index])
+    old_files = int(st.client_files[client_index])
+    # Removal of the departing client's metadata at every partner.
+    st.sp_proc[cluster] += (
+        costs.PROCESS_JOIN_BASE + costs.PROCESS_JOIN_PER_FILE * old_files
+    )
+    # Replacement joins with a fresh collection.
+    new_files = int(default_file_distribution().sample(st.rng, 1)[0])
+    st.client_files[client_index] = new_files
+    join_bytes = constants.JOIN_MESSAGE_BASE + constants.FILE_METADATA_SIZE * new_files
+    st.cl_out[client_index] += st.k * join_bytes
+    st.cl_proc[client_index] += st.k * (
+        costs.SEND_JOIN_BASE + costs.SEND_JOIN_PER_FILE * new_files + _MUX * st.m_cl
+    )
+    # Every partner receives and indexes the metadata.
+    st.sp_in[cluster] += join_bytes
+    st.sp_proc[cluster] += (
+        costs.RECV_JOIN_BASE + costs.RECV_JOIN_PER_FILE * new_files + _MUX * st.m_sp[cluster]
+        + costs.PROCESS_JOIN_BASE + costs.PROCESS_JOIN_PER_FILE * new_files
+    )
+
+
+def _run_partner_churn(state: _State, cluster: int, partner: int) -> None:
+    """One super-peer partner is replaced: handshakes + (k>1) index exchange."""
+    st = state
+    st.num_joins += 1
+    m = st.m_sp[cluster]
+    # Handshake one empty message each way per open connection; mirror side
+    # is attributed to this cluster's meter in aggregate form (neighbours,
+    # fellow partners and clients all pay one pair each).
+    st.sp_out[cluster] += _HANDSHAKE_BYTES * m / st.k
+    st.sp_in[cluster] += _HANDSHAKE_BYTES * m / st.k
+    st.sp_proc[cluster] += m * (
+        _HANDSHAKE_SEND_UNITS + _HANDSHAKE_RECV_UNITS + 2 * _MUX * m
+    ) / st.k
+    new_files = int(default_file_distribution().sample(st.rng, 1)[0])
+    old_files = int(st.partner_files[cluster, partner])
+    st.partner_files[cluster, partner] = new_files
+    if st.k > 1:
+        join_bytes = constants.JOIN_MESSAGE_BASE + constants.FILE_METADATA_SIZE * new_files
+        # Ship own metadata to the k-1 fellows; they index it (and drop the
+        # departed partner's records).
+        st.sp_out[cluster] += (st.k - 1) * join_bytes / st.k
+        st.sp_in[cluster] += (st.k - 1) * join_bytes / st.k
+        st.sp_proc[cluster] += (st.k - 1) * (
+            costs.SEND_JOIN_BASE + costs.SEND_JOIN_PER_FILE * new_files
+            + costs.RECV_JOIN_BASE + costs.RECV_JOIN_PER_FILE * new_files
+            + 2 * _MUX * st.m_sp[cluster]
+            + costs.PROCESS_JOIN_BASE + costs.PROCESS_JOIN_PER_FILE * new_files
+            + costs.PROCESS_JOIN_BASE + costs.PROCESS_JOIN_PER_FILE * old_files
+        ) / st.k
+
+
+def _run_update(state: _State, cluster: int, client_index: int | None) -> None:
+    """One update: a client's (or partner's) single-file metadata delta."""
+    st = state
+    st.num_updates += 1
+    upd = float(constants.UPDATE_MESSAGE_SIZE)
+    if client_index is not None:
+        st.cl_out[client_index] += st.k * upd
+        st.cl_proc[client_index] += st.k * (costs.SEND_UPDATE_UNITS + _MUX * st.m_cl)
+        st.sp_in[cluster] += upd
+        st.sp_proc[cluster] += (
+            costs.RECV_UPDATE_UNITS + _MUX * st.m_sp[cluster] + costs.PROCESS_UPDATE_UNITS
+        )
+    else:
+        st.sp_proc[cluster] += costs.PROCESS_UPDATE_UNITS / st.k
+        if st.k > 1:
+            st.sp_out[cluster] += (st.k - 1) * upd / st.k
+            st.sp_in[cluster] += (st.k - 1) * upd / st.k
+            st.sp_proc[cluster] += (st.k - 1) * (
+                costs.SEND_UPDATE_UNITS + costs.RECV_UPDATE_UNITS
+                + 2 * _MUX * st.m_sp[cluster] + costs.PROCESS_UPDATE_UNITS
+            ) / st.k
+
+
+def simulate_instance(
+    instance: NetworkInstance,
+    duration: float = 3600.0,
+    model: QueryModel | None = None,
+    rng: np.random.Generator | int | None = None,
+    enable_churn: bool = True,
+    enable_updates: bool = True,
+) -> SimulationReport:
+    """Simulate ``duration`` seconds of the network's life and measure loads.
+
+    Arrivals are Poisson per cluster at the Table 1 per-user rates; churn
+    replaces each departing peer with a fresh one (stable network size),
+    mutating the live indexes the later queries probe.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    model = model or default_query_model()
+    rng = derive_rng(rng, "sim")
+    state = _State(instance, model, rng)
+    sim = Simulator()
+    config = instance.config
+    n = state.n
+    users = instance.clients + state.k
+
+    # Per-cluster aggregated Poisson query arrivals.
+    def make_query_action(cluster: int):
+        def fire(_now: float) -> None:
+            clients_here = int(instance.clients[cluster])
+            # Uniformly choose the querying user within the cluster.
+            pick = int(rng.integers(0, clients_here + state.k))
+            if pick < clients_here:
+                client_index = int(instance.client_ptr[cluster]) + pick
+            else:
+                client_index = None
+            _run_query(state, cluster, client_index)
+        return fire
+
+    def schedule_poisson(rate: float, action) -> None:
+        def reschedule() -> None:
+            action(sim.now)
+            sim.schedule(float(rng.exponential(1.0 / rate)), reschedule)
+        sim.schedule(float(rng.exponential(1.0 / rate)), reschedule)
+
+    for c in range(n):
+        rate = config.query_rate * float(users[c])
+        if rate > 0:
+            schedule_poisson(rate, make_query_action(c))
+
+    if enable_updates and config.update_rate > 0:
+        def make_update_action(cluster: int):
+            def fire(_now: float) -> None:
+                clients_here = int(instance.clients[cluster])
+                pick = int(rng.integers(0, clients_here + state.k))
+                if pick < clients_here:
+                    _run_update(state, cluster, int(instance.client_ptr[cluster]) + pick)
+                else:
+                    _run_update(state, cluster, None)
+            return fire
+
+        for c in range(n):
+            rate = config.update_rate * float(users[c])
+            if rate > 0:
+                schedule_poisson(rate, make_update_action(c))
+
+    if enable_churn:
+        # Sessions are exponential with each slot's instance-assigned mean
+        # lifespan, so the long-run churn rate at slot i is exactly the
+        # 1 / lifespan_i the mean-value analysis uses (step 3).
+        def schedule_client_leave(client_index: int) -> None:
+            gap = float(rng.exponential(instance.client_lifespans[client_index]))
+            def leave() -> None:
+                _run_client_churn(state, client_index)
+                schedule_client_leave(client_index)
+            sim.schedule(gap, leave)
+
+        def schedule_partner_leave(cluster: int, partner: int) -> None:
+            gap = float(rng.exponential(instance.partner_lifespans[cluster, partner]))
+            def leave() -> None:
+                _run_partner_churn(state, cluster, partner)
+                schedule_partner_leave(cluster, partner)
+            sim.schedule(gap, leave)
+
+        for i in range(instance.total_clients):
+            schedule_client_leave(i)
+        for c in range(n):
+            for p in range(state.k):
+                schedule_partner_leave(c, p)
+
+    sim.run_until(duration)
+
+    queries = max(1, state.num_queries)
+    return SimulationReport(
+        duration=duration,
+        num_queries=state.num_queries,
+        num_joins=state.num_joins,
+        num_updates=state.num_updates,
+        superpeer_incoming_bps=bytes_per_second_to_bps(state.sp_in / duration),
+        superpeer_outgoing_bps=bytes_per_second_to_bps(state.sp_out / duration),
+        superpeer_processing_hz=units_per_second_to_hz(state.sp_proc / duration),
+        client_incoming_bps=bytes_per_second_to_bps(state.cl_in / duration),
+        client_outgoing_bps=bytes_per_second_to_bps(state.cl_out / duration),
+        client_processing_hz=units_per_second_to_hz(state.cl_proc / duration),
+        mean_results_per_query=state.total_results / queries,
+        mean_reach_clusters=state.total_reach / queries,
+    )

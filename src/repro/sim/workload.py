@@ -1,0 +1,77 @@
+"""Workload generators driving the event-driven simulator.
+
+User behaviour in the paper is memoryless at fixed rates (Table 1), so
+query and update arrivals are Poisson processes per user; joins follow
+the lifespan renewal process (a node stays for its sampled session
+length, then leaves and is replaced — "when a node leaves the network,
+another node is joining elsewhere").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..stats.rng import derive_rng
+from .engine import Simulator
+
+
+def exponential_interarrivals(
+    rng: np.random.Generator, rate: float
+) -> Iterator[float]:
+    """Endless exponential inter-arrival gaps for a Poisson process."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    while True:
+        yield float(rng.exponential(1.0 / rate))
+
+
+class PoissonProcess:
+    """A self-rescheduling Poisson arrival process bound to a simulator.
+
+    Each arrival calls ``action(sim.now)`` and schedules the next one.
+    Start with :meth:`start`; stop by cancelling the returned handle's
+    chain via :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate: float,
+        action: Callable[[float], None],
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self._sim = sim
+        self._rate = rate
+        self._action = action
+        self._rng = derive_rng(rng, "poisson")
+        self._handle = None
+        self._running = False
+        self.arrivals = 0
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("process already running")
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _schedule_next(self) -> None:
+        gap = float(self._rng.exponential(1.0 / self._rate))
+        self._handle = self._sim.schedule(gap, self._fire)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self.arrivals += 1
+        self._action(self._sim.now)
+        if self._running:
+            self._schedule_next()

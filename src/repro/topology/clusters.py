@@ -1,0 +1,41 @@
+"""Cluster population model.
+
+Step 1 of the analysis (Section 4.1) attaches C clients to each
+(virtual) super-peer, where C follows the normal distribution
+N(c, .2c) and c is the mean number of clients:
+
+* no redundancy:  c = ClusterSize - 1 (one super-peer per cluster);
+* k-redundancy:   c = ClusterSize - k (k partners per cluster).
+
+The paper argues any well-constructed client-discovery method is "fair,
+or at least random", hence the normal model.  We truncate at zero (a
+cluster cannot have negative clients) by resampling; with sigma = .2c the
+truncation is negligible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import Configuration
+from ..stats.rng import derive_rng, sample_truncated_normal
+
+
+def sample_cluster_clients(
+    config: Configuration, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Sample the number of clients of every cluster.
+
+    Returns an int array of length ``config.num_clusters``.  For a pure
+    network (cluster size 1) every cluster has zero clients.
+    """
+    rng = derive_rng(rng, "clusters")
+    num_clusters = config.num_clusters
+    mean_clients = config.mean_clients_per_cluster
+    if mean_clients == 0.0:
+        return np.zeros(num_clusters, dtype=np.int64)
+    sigma = config.cluster_size_sigma * mean_clients
+    if sigma == 0.0:
+        return np.full(num_clusters, round(mean_clients), dtype=np.int64)
+    values = sample_truncated_normal(rng, mean_clients, sigma, num_clusters, low=0.0)
+    return np.round(values).astype(np.int64)

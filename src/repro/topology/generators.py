@@ -1,0 +1,126 @@
+"""Alternative overlay generators for topology-robustness ablations.
+
+The paper studies two topology families (strongly connected and PLOD
+power-law).  Its rules of thumb, however, are claimed as general design
+guidance, so a reproduction worth adopting should let users check them
+under other overlay shapes.  These generators wrap :mod:`networkx`
+constructions into :class:`~repro.topology.graph.OverlayGraph`; all are
+simple undirected graphs and (where the construction allows) stitched to
+a single component like the PLOD path.
+
+Used by ``benchmarks/bench_ablation_topology.py`` to show the rules
+holding (or bending) beyond PLOD.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from ..stats.rng import derive_rng
+from .graph import OverlayGraph
+from .plod import _stitch_components
+
+
+def _finalize(graph: nx.Graph, rng: np.random.Generator, ensure_connected: bool) -> OverlayGraph:
+    overlay = OverlayGraph.from_networkx(graph)
+    if ensure_connected and not overlay.is_connected():
+        overlay = _stitch_components(rng, overlay)
+    return overlay
+
+
+def barabasi_albert_graph(
+    num_nodes: int,
+    avg_outdegree: float,
+    rng: np.random.Generator | int | None = None,
+    ensure_connected: bool = True,
+) -> OverlayGraph:
+    """Preferential-attachment overlay with the given mean outdegree.
+
+    BA graphs have mean degree ~2m for attachment parameter m, so
+    ``m = round(avg_outdegree / 2)`` (minimum 1).  Heavier hubs than
+    PLOD at the same mean — a stress case for rule #3's fairness claim.
+    """
+    if num_nodes < 2:
+        return OverlayGraph.from_edges(num_nodes, [])
+    rng = derive_rng(rng, "ba")
+    m = max(1, round(avg_outdegree / 2.0))
+    m = min(m, num_nodes - 1)
+    seed = int(rng.integers(0, 2**31 - 1))
+    graph = nx.barabasi_albert_graph(num_nodes, m, seed=seed)
+    return _finalize(graph, rng, ensure_connected)
+
+
+def erdos_renyi_graph(
+    num_nodes: int,
+    avg_outdegree: float,
+    rng: np.random.Generator | int | None = None,
+    ensure_connected: bool = True,
+) -> OverlayGraph:
+    """G(n, p) overlay with expected degree ``avg_outdegree``.
+
+    Degree distribution is Poisson — no hubs at all, the opposite stress
+    case to Barabasi-Albert.
+    """
+    if num_nodes < 2:
+        return OverlayGraph.from_edges(num_nodes, [])
+    rng = derive_rng(rng, "er")
+    p = min(1.0, avg_outdegree / (num_nodes - 1))
+    seed = int(rng.integers(0, 2**31 - 1))
+    graph = nx.fast_gnp_random_graph(num_nodes, p, seed=seed)
+    return _finalize(graph, rng, ensure_connected)
+
+
+def random_regular_graph(
+    num_nodes: int,
+    outdegree: int,
+    rng: np.random.Generator | int | None = None,
+) -> OverlayGraph:
+    """Every super-peer with exactly ``outdegree`` neighbours.
+
+    The zero-variance extreme: perfectly "fair" by construction, the
+    baseline against which Figure 7's spread is judged.
+    """
+    if num_nodes < 2:
+        return OverlayGraph.from_edges(num_nodes, [])
+    if outdegree >= num_nodes:
+        raise ValueError("outdegree must be below num_nodes")
+    if (num_nodes * outdegree) % 2:
+        raise ValueError("num_nodes * outdegree must be even")
+    rng = derive_rng(rng, "regular")
+    seed = int(rng.integers(0, 2**31 - 1))
+    graph = nx.random_regular_graph(outdegree, num_nodes, seed=seed)
+    return OverlayGraph.from_networkx(graph)
+
+
+def watts_strogatz_graph(
+    num_nodes: int,
+    avg_outdegree: float,
+    rewire_probability: float = 0.1,
+    rng: np.random.Generator | int | None = None,
+    ensure_connected: bool = True,
+) -> OverlayGraph:
+    """Small-world overlay: ring lattice with rewired shortcuts.
+
+    High clustering with a few shortcuts — long EPLs at low rewiring, a
+    stress case for rule #4's TTL analysis.
+    """
+    if num_nodes < 3:
+        return OverlayGraph.from_edges(num_nodes, [])
+    if not 0.0 <= rewire_probability <= 1.0:
+        raise ValueError("rewire_probability must be in [0, 1]")
+    rng = derive_rng(rng, "ws")
+    k = max(2, 2 * round(avg_outdegree / 2.0))
+    k = min(k, num_nodes - 1 - ((num_nodes - 1) % 2))
+    seed = int(rng.integers(0, 2**31 - 1))
+    graph = nx.watts_strogatz_graph(num_nodes, k, rewire_probability, seed=seed)
+    return _finalize(graph, rng, ensure_connected)
+
+
+#: Registry used by the topology-robustness ablation.
+GENERATORS = {
+    "plod": None,  # the default, provided by topology.plod
+    "barabasi-albert": barabasi_albert_graph,
+    "erdos-renyi": erdos_renyi_graph,
+    "watts-strogatz": watts_strogatz_graph,
+}

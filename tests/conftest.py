@@ -1,0 +1,71 @@
+"""Shared fixtures: small, fast network instances for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import Configuration, GraphType
+from repro.topology.builder import NetworkInstance, build_instance
+from repro.topology.graph import OverlayGraph
+
+
+@pytest.fixture
+def small_power_config() -> Configuration:
+    """A small power-law configuration that evaluates in milliseconds."""
+    return Configuration(
+        graph_type=GraphType.POWER_LAW,
+        graph_size=300,
+        cluster_size=10,
+        avg_outdegree=4.0,
+        ttl=4,
+    )
+
+
+@pytest.fixture
+def small_power_instance(small_power_config) -> NetworkInstance:
+    return build_instance(small_power_config, seed=3)
+
+
+@pytest.fixture
+def small_strong_config() -> Configuration:
+    return Configuration(
+        graph_type=GraphType.STRONG,
+        graph_size=200,
+        cluster_size=10,
+        ttl=1,
+    )
+
+
+@pytest.fixture
+def small_strong_instance(small_strong_config) -> NetworkInstance:
+    return build_instance(small_strong_config, seed=5)
+
+
+def make_instance(**overrides) -> NetworkInstance:
+    """Build a small instance with configuration overrides (test helper)."""
+    defaults = dict(
+        graph_type=GraphType.POWER_LAW,
+        graph_size=200,
+        cluster_size=10,
+        avg_outdegree=4.0,
+        ttl=4,
+    )
+    defaults.update(overrides)
+    seed = defaults.pop("seed", 0)
+    return build_instance(Configuration(**defaults), seed=seed)
+
+
+def path_graph(n: int) -> OverlayGraph:
+    """A simple path 0-1-2-...-(n-1) for hand-checkable routing tests."""
+    return OverlayGraph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def ring_graph(n: int) -> OverlayGraph:
+    """A cycle 0-1-...-(n-1)-0."""
+    return OverlayGraph.from_edges(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def star_graph(n: int) -> OverlayGraph:
+    """Node 0 connected to 1..n-1."""
+    return OverlayGraph.from_edges(n, [(0, i) for i in range(1, n)])

@@ -1,0 +1,80 @@
+"""Repeated-trial configuration evaluation (Section 4.1, step 4)."""
+
+import pytest
+
+from repro.config import Configuration, GraphType
+from repro.core.analysis import evaluate_configuration
+
+
+@pytest.fixture(scope="module")
+def summary():
+    config = Configuration(graph_size=300, cluster_size=10, avg_outdegree=4.0, ttl=4)
+    return evaluate_configuration(config, trials=3, seed=0, max_sources=60)
+
+
+def test_metric_intervals_present(summary):
+    for name in (
+        "aggregate_incoming_bps",
+        "superpeer_processing_hz",
+        "results_per_query",
+        "epl",
+        "reach_peers",
+    ):
+        ci = summary.ci(name)
+        assert ci.num_trials == 3
+        assert ci.mean >= 0
+
+
+def test_unknown_metric_raises(summary):
+    with pytest.raises(KeyError):
+        summary.mean("not_a_metric")
+
+
+def test_load_vector_accessors(summary):
+    agg = summary.aggregate_load()
+    sp = summary.superpeer_load()
+    cl = summary.client_load()
+    assert agg.incoming_bps > sp.incoming_bps > cl.incoming_bps >= 0
+    # Conservation survives trial averaging.
+    assert agg.incoming_bps == pytest.approx(agg.outgoing_bps, rel=1e-9)
+
+
+def test_deterministic_given_seed():
+    config = Configuration(graph_size=200, cluster_size=10)
+    a = evaluate_configuration(config, trials=2, seed=7, max_sources=40)
+    b = evaluate_configuration(config, trials=2, seed=7, max_sources=40)
+    assert a.mean("aggregate_incoming_bps") == b.mean("aggregate_incoming_bps")
+
+
+def test_trials_reduce_to_distinct_instances():
+    config = Configuration(graph_size=200, cluster_size=10)
+    summary = evaluate_configuration(config, trials=3, seed=1, max_sources=40)
+    # With 3 distinct instances the CI should have nonzero width.
+    assert summary.ci("aggregate_incoming_bps").half_width > 0
+
+
+def test_keep_reports():
+    config = Configuration(graph_size=150, cluster_size=10)
+    summary = evaluate_configuration(
+        config, trials=2, seed=0, max_sources=30, keep_reports=True
+    )
+    assert len(summary.reports) == 2
+    assert summary.reports[0].instance.config == config
+
+
+def test_reports_dropped_by_default(summary):
+    assert summary.reports == ()
+
+
+def test_invalid_trials():
+    with pytest.raises(ValueError):
+        evaluate_configuration(Configuration(graph_size=100), trials=0)
+
+
+def test_strong_configuration_summary():
+    config = Configuration(
+        graph_type=GraphType.STRONG, graph_size=200, cluster_size=10, ttl=1
+    )
+    summary = evaluate_configuration(config, trials=2, seed=0)
+    assert summary.mean("epl") == pytest.approx(1.0)
+    assert summary.mean("reach_clusters") == pytest.approx(20.0)

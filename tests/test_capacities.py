@@ -1,0 +1,122 @@
+"""Peer-capacity heterogeneity (the introduction's motivation)."""
+
+import numpy as np
+import pytest
+
+from repro.querymodel.capacities import (
+    CapacityClass,
+    CapacityMix,
+    default_capacity_mix,
+    overload_fraction,
+)
+
+
+class TestCapacityClass:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CapacityClass("x", 0.0, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            CapacityClass("x", 1.0, 1.0, 0.0)
+
+
+class TestCapacityMix:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            CapacityMix(classes=(
+                CapacityClass("a", 1.0, 1.0, 0.6),
+                CapacityClass("b", 1.0, 1.0, 0.6),
+            ))
+
+    def test_default_mix_spans_three_orders_of_magnitude(self):
+        # "up to 3 orders of magnitude difference in bandwidth" (Saroiu).
+        mix = default_capacity_mix()
+        ups = [c.upstream_bps for c in mix.classes]
+        assert max(ups) / min(ups) >= 1000
+
+    def test_sampling_fractions(self):
+        mix = default_capacity_mix()
+        down, up = mix.sample(0, 100_000)
+        dialup = mix.classes[0]
+        observed = float((down == dialup.downstream_bps).mean())
+        assert observed == pytest.approx(dialup.fraction, abs=0.01)
+        assert np.all(up > 0)
+
+    def test_eligible_fraction(self):
+        mix = default_capacity_mix()
+        assert mix.eligible_fraction(0.0, 0.0) == pytest.approx(1.0)
+        # Only symmetric fast links can push 1 Mbps upstream.
+        fast = mix.eligible_fraction(1e6, 1e6)
+        assert 0.0 < fast < 0.5
+        assert mix.eligible_fraction(1e12, 1e12) == 0.0
+
+    def test_eligible_monotone_in_requirement(self):
+        mix = default_capacity_mix()
+        reqs = [1e3, 1e5, 5e5, 2e6, 1e8]
+        fractions = [mix.eligible_fraction(r, r) for r in reqs]
+        assert all(a >= b for a, b in zip(fractions, fractions[1:]))
+
+
+class TestOverloadFraction:
+    def test_zero_load_never_overloads(self):
+        loads = np.zeros(1000)
+        assert overload_fraction(loads, loads, rng=0) == 0.0
+
+    def test_huge_load_overloads_everyone(self):
+        loads = np.full(1000, 1e12)
+        assert overload_fraction(loads, loads, rng=0) == 1.0
+
+    def test_upstream_asymmetry_bites_first(self):
+        # 200 Kbps both ways: fits most downlinks but only the fastest
+        # uplinks — upstream is the binding side, as the paper notes.
+        down_only = overload_fraction(np.full(5000, 2e5), np.zeros(5000), rng=0)
+        up_only = overload_fraction(np.zeros(5000), np.full(5000, 2e5), rng=0)
+        assert up_only > down_only
+
+    def test_utilization_limit_tightens(self):
+        loads = np.full(5000, 3e4)
+        loose = overload_fraction(loads, loads, rng=0, utilization_limit=1.0)
+        tight = overload_fraction(loads, loads, rng=0, utilization_limit=0.1)
+        assert tight >= loose
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            overload_fraction(np.zeros(2), np.zeros(3), rng=0)
+        with pytest.raises(ValueError):
+            overload_fraction(np.zeros(2), np.zeros(2), rng=0, utilization_limit=0.0)
+
+
+class TestEndToEnd:
+    def test_pure_network_strands_weak_peers(self):
+        """Today's topology overloads a visible share of peers; the
+        redesign's clients are safe and its super-peer demand is
+        staffable — the super-peer story in one test."""
+        from repro.config import Configuration
+        from repro.core.load import evaluate_instance
+        from repro.topology.builder import build_instance
+
+        today = evaluate_instance(build_instance(
+            Configuration(graph_size=2000, cluster_size=1, avg_outdegree=3.1, ttl=7),
+            seed=0,
+        ), max_sources=None)
+        new = evaluate_instance(build_instance(
+            Configuration(graph_size=2000, cluster_size=10, avg_outdegree=12.0, ttl=2),
+            seed=0,
+        ), max_sources=None)
+
+        today_over = overload_fraction(
+            today.all_node_loads("incoming"), today.all_node_loads("outgoing"),
+            rng=1,
+        )
+        client_over = overload_fraction(
+            new.client_incoming_bps, new.client_outgoing_bps, rng=1
+        )
+        assert today_over > 0.02       # the meltdown ingredient
+        assert client_over == 0.0      # clients are shielded
+
+        # And the population can staff the super-peers: the share of
+        # peers able to carry the mean super-peer load exceeds the share
+        # needed (1 in cluster_size).
+        mix = default_capacity_mix()
+        sp = new.mean_superpeer_load()
+        eligible = mix.eligible_fraction(sp.incoming_bps, sp.outgoing_bps)
+        assert eligible >= 1.0 / 10.0

@@ -1,0 +1,92 @@
+"""Capacity planner: the abstract's "how many clients per super-peer?"."""
+
+import pytest
+
+from repro.config import Configuration, GraphType
+from repro.core.capacity import (
+    LoadBudget,
+    headroom,
+    max_supported_cluster_size,
+    saturating_resource,
+)
+from repro.core.load import LoadVector
+
+
+class TestLoadBudget:
+    def test_utilization(self):
+        budget = LoadBudget(100.0, 200.0, 1000.0)
+        load = LoadVector(incoming_bps=50.0, outgoing_bps=100.0, processing_hz=250.0)
+        usage = budget.utilization(load)
+        assert usage == {"incoming": 0.5, "outgoing": 0.5, "processing": 0.25}
+        assert budget.fits(load)
+
+    def test_fits_rejects_overload(self):
+        budget = LoadBudget(100.0, 100.0, 100.0)
+        assert not budget.fits(LoadVector(150.0, 10.0, 10.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadBudget(0.0, 1.0, 1.0)
+
+
+@pytest.fixture(scope="module")
+def base():
+    return Configuration(
+        graph_type=GraphType.STRONG, graph_size=1000, cluster_size=10, ttl=1
+    )
+
+
+class TestPlanner:
+    def test_headroom_keys(self, base):
+        budget = LoadBudget(1e9, 1e9, 1e12)
+        usage = headroom(base, budget, trials=1, max_sources=None)
+        assert set(usage) == {"incoming", "outgoing", "processing"}
+        assert all(0 <= v < 1 for v in usage.values())
+
+    def test_saturating_resource(self, base):
+        # With an absurdly tight processing limit, processing binds first.
+        budget = LoadBudget(1e12, 1e12, 1.0)
+        resource, usage = saturating_resource(base, budget, trials=1, max_sources=None)
+        assert resource == "processing"
+        assert usage > 1.0
+
+    def test_max_cluster_monotone_in_budget(self, base):
+        tight = LoadBudget(3e5, 3e5, 3e7)
+        loose = LoadBudget(3e6, 3e6, 3e8)
+        small = max_supported_cluster_size(base, tight, trials=1, max_sources=None)
+        large = max_supported_cluster_size(base, loose, trials=1, max_sources=None)
+        assert 0 < small <= large
+
+    def test_result_actually_fits_and_is_maximal(self, base):
+        from repro.core.analysis import evaluate_configuration
+
+        budget = LoadBudget(1e6, 1e6, 5e7)
+        best = max_supported_cluster_size(base, budget, trials=1, max_sources=None)
+        assert best >= 1
+        fit = evaluate_configuration(
+            base.with_changes(cluster_size=best), trials=1, max_sources=None
+        )
+        assert budget.fits(fit.superpeer_load())
+        if best < base.graph_size:
+            over = evaluate_configuration(
+                base.with_changes(cluster_size=best + 1), trials=1, max_sources=None
+            )
+            assert not budget.fits(over.superpeer_load())
+
+    def test_zero_when_even_plain_peer_overloads(self, base):
+        impossible = LoadBudget(1.0, 1.0, 1.0)
+        assert max_supported_cluster_size(base, impossible, trials=1, max_sources=None) == 0
+
+    def test_whole_network_under_huge_budget(self):
+        base = Configuration(
+            graph_type=GraphType.STRONG, graph_size=200, cluster_size=10, ttl=1
+        )
+        infinite = LoadBudget(1e15, 1e15, 1e18)
+        assert max_supported_cluster_size(base, infinite, trials=1, max_sources=None) == 200
+
+    def test_connection_budget_caps_size(self, base):
+        budget = LoadBudget(1e15, 1e15, 1e18)
+        capped = max_supported_cluster_size(
+            base, budget, trials=1, max_sources=None, max_connections=50
+        )
+        assert capped <= 50

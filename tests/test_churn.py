@@ -1,0 +1,61 @@
+"""Cluster churn/availability simulation vs the analytic model."""
+
+import pytest
+
+from repro.core.redundancy import (
+    expected_cluster_outages_per_second,
+    virtual_superpeer_availability,
+)
+from repro.sim.churn import client_disconnection_rate, simulate_cluster_churn
+
+
+class TestSimulatedAvailability:
+    def test_k1_matches_renewal_formula(self):
+        result = simulate_cluster_churn(1, 1000.0, 100.0, 3_000_000.0, rng=0)
+        analytic = virtual_superpeer_availability(1, 1000.0, 100.0)
+        assert result.availability == pytest.approx(analytic, abs=0.01)
+
+    def test_k2_matches_independence_approximation(self):
+        result = simulate_cluster_churn(2, 1000.0, 100.0, 5_000_000.0, rng=1)
+        analytic = virtual_superpeer_availability(2, 1000.0, 100.0)
+        assert result.availability == pytest.approx(analytic, abs=0.005)
+
+    def test_redundancy_improves_availability(self):
+        r1 = simulate_cluster_churn(1, 1000.0, 60.0, 2_000_000.0, rng=2)
+        r2 = simulate_cluster_churn(2, 1000.0, 60.0, 2_000_000.0, rng=2)
+        assert r2.availability > r1.availability
+        assert r2.outage_rate < r1.outage_rate
+
+    def test_outage_rate_near_analytic(self):
+        result = simulate_cluster_churn(2, 1000.0, 100.0, 5_000_000.0, rng=3)
+        analytic = expected_cluster_outages_per_second(2, 1000.0, 100.0)
+        assert result.outage_rate == pytest.approx(analytic, rel=0.2)
+
+    def test_fast_replacement_approaches_full_availability(self):
+        result = simulate_cluster_churn(2, 1000.0, 1.0, 1_000_000.0, rng=4)
+        assert result.availability > 0.9999
+
+    def test_failure_count_matches_lifespan(self):
+        duration = 1_000_000.0
+        result = simulate_cluster_churn(1, 1000.0, 10.0, duration, rng=5)
+        # ~ duration / (lifespan + replacement) failures.
+        expected = duration / 1010.0
+        assert result.partner_failures == pytest.approx(expected, rel=0.1)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            simulate_cluster_churn(0, 100.0, 10.0, 1000.0)
+        with pytest.raises(ValueError):
+            simulate_cluster_churn(1, -1.0, 10.0, 1000.0)
+
+
+class TestClientDisconnection:
+    def test_larger_clusters_strand_more_clients(self):
+        small = client_disconnection_rate(10, 1, 1000.0, 100.0, 1_000_000.0, rng=0)
+        large = client_disconnection_rate(1000, 1, 1000.0, 100.0, 1_000_000.0, rng=0)
+        assert large > small
+
+    def test_redundancy_cuts_disconnection(self):
+        plain = client_disconnection_rate(100, 1, 1000.0, 100.0, 2_000_000.0, rng=1)
+        redundant = client_disconnection_rate(100, 2, 1000.0, 100.0, 2_000_000.0, rng=1)
+        assert redundant < plain

@@ -1,0 +1,124 @@
+"""Command-line interface tests (fast, small networks)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv: str) -> tuple[int, str]:
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+SMALL = ["--trials", "1", "--max-sources", "50"]
+
+
+class TestAnalyze:
+    def test_basic_output(self, capsys):
+        code, out = run_cli(
+            capsys, *SMALL, "analyze", "--graph-size", "300", "--cluster-size", "10"
+        )
+        assert code == 0
+        assert "super-peer (individual)" in out
+        assert "aggregate (all nodes)" in out
+        assert "results per query" in out
+
+    def test_strong_flag(self, capsys):
+        code, out = run_cli(
+            capsys, *SMALL, "analyze", "--graph-size", "200",
+            "--cluster-size", "10", "--strong", "--ttl", "1",
+        )
+        assert code == 0
+        assert "strong graph" in out
+
+    def test_redundancy_flag(self, capsys):
+        code, out = run_cli(
+            capsys, *SMALL, "analyze", "--graph-size", "200",
+            "--cluster-size", "10", "--redundancy",
+        )
+        assert code == 0
+        assert "redundant" in out
+
+
+class TestSweep:
+    def test_cluster_size_sweep(self, capsys):
+        code, out = run_cli(
+            capsys, *SMALL, "sweep", "--graph-size", "300",
+            "--param", "cluster_size", "--values", "1,10,30",
+        )
+        assert code == 0
+        assert "cluster_size" in out
+        assert out.count("\n") >= 5  # header + rule + 3 rows
+
+    def test_ttl_sweep(self, capsys):
+        code, out = run_cli(
+            capsys, *SMALL, "sweep", "--graph-size", "300",
+            "--param", "ttl", "--values", "1,3",
+        )
+        assert code == 0
+
+    def test_unknown_param_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, *SMALL, "sweep", "--graph-size", "200",
+                    "--param", "bogus", "--values", "1")
+
+
+class TestDesign:
+    def test_feasible_design_exit_zero(self, capsys):
+        code, out = run_cli(
+            capsys, *SMALL, "design", "--users", "600", "--reach", "200",
+        )
+        assert code == 0
+        assert "FEASIBLE" in out
+
+    def test_infeasible_design_exit_one(self, capsys):
+        code, out = run_cli(
+            capsys, *SMALL, "design", "--users", "400", "--reach", "300",
+            "--max-in", "1", "--max-out", "1", "--max-proc", "1",
+        )
+        assert code == 1
+        assert "INFEASIBLE" in out
+
+
+class TestCapacity:
+    def test_reports_cluster_size(self, capsys):
+        code, out = run_cli(
+            capsys, *SMALL, "capacity", "--graph-size", "300", "--strong",
+            "--ttl", "1", "--max-in", "1e6", "--max-out", "1e6",
+            "--max-proc", "5e7",
+        )
+        assert code == 0
+        assert "largest supportable cluster size" in out
+        assert "binding resource" in out
+
+    def test_impossible_budget(self, capsys):
+        code, out = run_cli(
+            capsys, *SMALL, "capacity", "--graph-size", "200", "--strong",
+            "--ttl", "1", "--max-in", "1", "--max-out", "1", "--max-proc", "1",
+        )
+        assert code == 1
+
+
+class TestSimulate:
+    def test_runs_and_reports(self, capsys):
+        code, out = run_cli(
+            capsys, "--seed", "1", "simulate", "--graph-size", "200",
+            "--cluster-size", "10", "--duration", "400",
+        )
+        assert code == 0
+        assert "simulated 400s" in out
+        assert "queries" in out
+
+
+class TestCrawl:
+    def test_summary_table(self, capsys):
+        code, out = run_cli(capsys, "crawl", "--graph-size", "1000")
+        assert code == 0
+        assert "avg_outdegree" in out
+        assert "power-law exponent" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,46 @@
+"""Table 3 and wire-framing constants against the paper's stated values."""
+
+import pytest
+
+from repro import constants
+
+
+def test_table3_general_statistics():
+    assert constants.QUERY_STRING_LENGTH == 12
+    assert constants.RESULT_RECORD_SIZE == 76
+    assert constants.FILE_METADATA_SIZE == 72
+    assert constants.DEFAULT_QUERY_RATE == pytest.approx(9.26e-3)
+
+
+def test_query_message_is_82_plus_length():
+    # 22 B Gnutella header + 2 B flags + transport headers = 82 fixed bytes.
+    assert constants.QUERY_MESSAGE_BASE == 82
+    assert (
+        constants.GNUTELLA_HEADER_SIZE
+        + constants.QUERY_FLAGS_SIZE
+        + constants.TRANSPORT_HEADER_SIZE
+        == constants.QUERY_MESSAGE_BASE
+    )
+
+
+def test_average_query_message_is_94_bytes():
+    # Section 4.1: "query messages are very small (average 94 bytes)".
+    assert constants.AVERAGE_QUERY_MESSAGE_SIZE == 94
+
+
+def test_update_message_size():
+    assert constants.UPDATE_MESSAGE_SIZE == 152
+
+
+def test_calibration_targets_are_consistent():
+    # ~0.09 results per reached peer with 168 files/peer mean.
+    implied_selection = (
+        constants.EXPECTED_RESULTS_PER_PEER / constants.MEAN_FILES_PER_PEER
+    )
+    assert 1e-4 < implied_selection < 1e-3
+
+
+def test_session_mean_gives_queries_to_joins_of_ten():
+    # Appendix C: the Gnutella ratio of queries to joins is roughly 10.
+    ratio = constants.MEAN_SESSION_SECONDS * constants.DEFAULT_QUERY_RATE
+    assert ratio == pytest.approx(10.0)

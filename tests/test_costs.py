@@ -1,0 +1,130 @@
+"""Table 2 atomic costs, including the paper's worked join example."""
+
+import pytest
+
+from repro.core import costs
+from repro.core.costs import CostVector
+
+
+class TestCostVector:
+    def test_addition(self):
+        a = CostVector(1.0, 2.0, 3.0)
+        b = CostVector(10.0, 20.0, 30.0)
+        total = a + b
+        assert total == CostVector(11.0, 22.0, 33.0)
+
+    def test_scalar_multiplication_commutes(self):
+        a = CostVector(1.0, 2.0, 3.0)
+        assert 2 * a == a * 2 == CostVector(2.0, 4.0, 6.0)
+
+    def test_subtraction_and_negation(self):
+        a = CostVector(5.0, 5.0, 5.0)
+        b = CostVector(1.0, 2.0, 3.0)
+        assert a - b == CostVector(4.0, 3.0, 2.0)
+        assert (-b).incoming_bytes == -1.0
+
+    def test_total_bytes(self):
+        assert CostVector(3.0, 4.0, 0.0).total_bytes == 7.0
+
+    def test_nonnegative_check(self):
+        assert CostVector(0.0, 0.0, 0.0).is_nonnegative()
+        assert not CostVector(-1.0, 0.0, 0.0).is_nonnegative()
+
+
+class TestWorkedExample:
+    """Section 4.1: client with x files and m open connections joining."""
+
+    def test_client_join_outgoing_bandwidth(self):
+        # "Outgoing bandwidth for the client is therefore 80 + 72x".
+        x, m = 25, 1
+        cost = costs.send_join(connections=m, num_files=x)
+        assert cost.outgoing_bytes == 80 + 72 * x
+        assert cost.incoming_bytes == 0
+
+    def test_client_join_processing(self):
+        # "processing cost is .44 + .2x + .01m".
+        x, m = 25, 3
+        cost = costs.send_join(connections=m, num_files=x)
+        assert cost.processing_units == pytest.approx(0.44 + 0.2 * x + 0.01 * m)
+
+    def test_superpeer_join_side(self):
+        # Receiving: .56 + .3x + .01m, plus index insertion.
+        x, m = 10, 50
+        recv = costs.recv_join(connections=m, num_files=x)
+        assert recv.incoming_bytes == 80 + 72 * x
+        assert recv.processing_units == pytest.approx(0.56 + 0.3 * x + 0.01 * m)
+        insert = costs.process_join(num_files=x)
+        assert insert.processing_units == pytest.approx(
+            costs.PROCESS_JOIN_BASE + costs.PROCESS_JOIN_PER_FILE * x
+        )
+
+
+class TestQueryCosts:
+    def test_send_query_bandwidth_and_processing(self):
+        cost = costs.send_query(connections=10)
+        assert cost.outgoing_bytes == 94
+        assert cost.processing_units == pytest.approx(0.44 + 0.003 * 12 + 0.01 * 10)
+
+    def test_recv_query(self):
+        cost = costs.recv_query(connections=0, num_messages=2)
+        assert cost.incoming_bytes == 188
+        assert cost.processing_units == pytest.approx(2 * (0.57 + 0.004 * 12))
+
+    def test_process_query_scales_with_results(self):
+        base = costs.process_query(expected_results=0)
+        loaded = costs.process_query(expected_results=10)
+        assert loaded.processing_units > base.processing_units
+        assert base.processing_units == pytest.approx(costs.PROCESS_QUERY_BASE)
+
+
+class TestResponseCosts:
+    def test_bandwidth_matches_message_formula(self):
+        cost = costs.send_response(
+            connections=0, num_messages=1, num_addresses=2, num_results=5
+        )
+        assert cost.outgoing_bytes == pytest.approx(80 + 56 + 380)
+
+    def test_fractional_expected_messages(self):
+        # Mean-value analysis weights the fixed header by P(respond).
+        cost = costs.send_response(
+            connections=0, num_messages=0.5, num_addresses=1.0, num_results=2.0
+        )
+        assert cost.outgoing_bytes == pytest.approx(0.5 * 80 + 28 + 152)
+
+    def test_recv_mirror(self):
+        send = costs.send_response(0, 1, 2, 5)
+        recv = costs.recv_response(0, 1, 2, 5)
+        assert recv.incoming_bytes == send.outgoing_bytes
+
+    def test_multiplex_charged_per_message(self):
+        with_conn = costs.send_response(100, 2, 0, 0)
+        without = costs.send_response(0, 2, 0, 0)
+        delta = with_conn.processing_units - without.processing_units
+        assert delta == pytest.approx(2 * 0.01 * 100)
+
+
+class TestUpdateCosts:
+    def test_update_sizes(self):
+        assert costs.send_update(0).outgoing_bytes == 152
+        assert costs.recv_update(0).incoming_bytes == 152
+
+    def test_update_processing(self):
+        assert costs.process_update(3).processing_units == pytest.approx(
+            3 * costs.PROCESS_UPDATE_UNITS
+        )
+
+
+def test_atomic_costs_export_is_readonly():
+    with pytest.raises(TypeError):
+        costs.ATOMIC_COSTS["send_query"] = (0, 0)  # type: ignore[index]
+
+
+def test_atomic_costs_covers_all_table2_rows():
+    expected_rows = {
+        "send_query", "recv_query", "process_query",
+        "send_response", "recv_response",
+        "send_join", "recv_join", "process_join",
+        "send_update", "recv_update", "process_update",
+        "packet_multiplex",
+    }
+    assert set(costs.ATOMIC_COSTS) == expected_rows

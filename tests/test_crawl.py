@@ -1,0 +1,52 @@
+"""Synthetic Gnutella-crawl snapshots (the measured-data substitution)."""
+
+import pytest
+
+from repro.topology.crawl import MEASURED_AVG_OUTDEGREE, synthesize_crawl
+
+
+@pytest.fixture(scope="module")
+def crawl():
+    return synthesize_crawl(num_peers=3000, seed=0)
+
+
+def test_summary_matches_measurement_targets(crawl):
+    summary = crawl.summary()
+    assert summary["num_peers"] == 3000
+    # June 2001 crawls: average outdegree 3.1.
+    assert summary["avg_outdegree"] == pytest.approx(MEASURED_AVG_OUTDEGREE, rel=0.1)
+    # Adar & Huberman free riding: ~25% of peers share nothing.
+    assert summary["free_rider_fraction"] == pytest.approx(0.25, abs=0.05)
+    assert summary["mean_files"] > 50
+
+
+def test_degree_frequency_counts_sum(crawl):
+    freq = crawl.degree_frequency()
+    assert sum(freq.values()) == 3000
+
+
+def test_powerlaw_fit_returns_positive_exponent(crawl):
+    tau, r_squared = crawl.powerlaw_fit()
+    assert tau > 0.8
+    assert 0.0 < r_squared <= 1.0
+
+
+def test_deterministic(crawl):
+    again = synthesize_crawl(num_peers=3000, seed=0)
+    assert again.summary() == crawl.summary()
+
+
+def test_custom_outdegree():
+    crawl = synthesize_crawl(num_peers=1000, avg_outdegree=10.0, seed=1)
+    assert crawl.summary()["avg_outdegree"] == pytest.approx(10.0, rel=0.12)
+
+
+def test_powerlaw_fit_needs_two_degrees():
+    from repro.topology.crawl import CrawlSnapshot
+    from repro.topology.graph import OverlayGraph
+    import numpy as np
+
+    g = OverlayGraph.from_edges(2, [(0, 1)])
+    snap = CrawlSnapshot(graph=g, files=np.array([1, 2]), lifespans=np.array([1.0, 2.0]))
+    with pytest.raises(ValueError):
+        snap.powerlaw_fit()

@@ -1,0 +1,135 @@
+"""The global design procedure (Figure 10)."""
+
+import pytest
+
+from repro.core.design import (
+    DesignConstraints,
+    design_topology,
+    required_outdegree,
+)
+
+
+class TestRequiredOutdegree:
+    def test_ttl1_needs_reach_minus_one(self):
+        # With TTL 1 the flood covers 1 + d nodes.
+        assert required_outdegree(151, ttl=1) == 150
+
+    def test_ttl2_square_rule(self):
+        # Section 5.2: reach bounded by d^2 + d (+1 for the source); 18
+        # neighbours cover 343 >= 301.
+        d = required_outdegree(301, ttl=2)
+        assert 1 + d * d <= 1 + d + d * (d - 1) + d  # internal sanity
+        assert d <= 18
+        assert 1 + d + d * (d - 1) >= 301
+
+    def test_reach_one_is_free(self):
+        assert required_outdegree(1, ttl=3) == 1
+
+    def test_monotone_in_ttl(self):
+        assert required_outdegree(1000, 2) >= required_outdegree(1000, 3)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            required_outdegree(0, 1)
+        with pytest.raises(ValueError):
+            required_outdegree(10, 0)
+
+
+class TestConstraints:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DesignConstraints(
+                num_users=1, desired_reach_peers=1, max_incoming_bps=1,
+                max_outgoing_bps=1, max_processing_hz=1, max_connections=10,
+            )
+        with pytest.raises(ValueError):
+            DesignConstraints(
+                num_users=100, desired_reach_peers=200, max_incoming_bps=1,
+                max_outgoing_bps=1, max_processing_hz=1, max_connections=10,
+            )
+        with pytest.raises(ValueError):
+            DesignConstraints(
+                num_users=100, desired_reach_peers=50, max_incoming_bps=-1,
+                max_outgoing_bps=1, max_processing_hz=1, max_connections=10,
+            )
+
+
+@pytest.fixture(scope="module")
+def small_outcome():
+    constraints = DesignConstraints(
+        num_users=1000,
+        desired_reach_peers=400,
+        max_incoming_bps=100_000.0,
+        max_outgoing_bps=100_000.0,
+        max_processing_hz=10_000_000.0,
+        max_connections=60,
+    )
+    return design_topology(constraints, trials=1, seed=0, max_sources=80)
+
+
+class TestDesignTopology:
+    def test_feasible_design_meets_limits(self, small_outcome):
+        assert small_outcome.feasible
+        load = small_outcome.summary.superpeer_load()
+        c = small_outcome.constraints
+        assert load.incoming_bps <= c.max_incoming_bps
+        assert load.outgoing_bps <= c.max_outgoing_bps
+        assert load.processing_hz <= c.max_processing_hz
+
+    def test_reach_attained(self, small_outcome):
+        assert small_outcome.summary.mean("reach_peers") >= 0.9 * 400
+
+    def test_connection_budget_respected(self, small_outcome):
+        config = small_outcome.config
+        connections = config.avg_outdegree + (config.cluster_size - 1)
+        assert connections <= small_outcome.constraints.max_connections
+
+    def test_trail_records_steps(self, small_outcome):
+        steps = {s.step for s in small_outcome.trail}
+        assert "1" in steps
+        assert "2" in steps or "4" in steps
+        text = small_outcome.describe()
+        assert "FEASIBLE" in text
+
+    def test_infeasible_limits_reported(self):
+        constraints = DesignConstraints(
+            num_users=500,
+            desired_reach_peers=400,
+            max_incoming_bps=1.0,   # impossible
+            max_outgoing_bps=1.0,
+            max_processing_hz=1.0,
+            max_connections=50,
+        )
+        outcome = design_topology(constraints, trials=1, seed=0, max_sources=40, max_ttl=3)
+        assert not outcome.feasible
+        assert any(s.step == "fail" for s in outcome.trail)
+
+    def test_tight_connection_budget_forces_higher_ttl(self):
+        # With few connections allowed, TTL 1 cannot reach the target, so
+        # the procedure must settle on TTL >= 2.
+        constraints = DesignConstraints(
+            num_users=800,
+            desired_reach_peers=600,
+            max_incoming_bps=1e9,
+            max_outgoing_bps=1e9,
+            max_processing_hz=1e12,
+            max_connections=40,
+        )
+        outcome = design_topology(constraints, trials=1, seed=0, max_sources=60)
+        assert outcome.feasible
+        assert outcome.config.ttl >= 2
+
+    def test_generous_limits_pick_large_clusters(self):
+        # Rule #1: the largest cluster size that meets individual limits
+        # minimizes aggregate load, so huge limits should allow big clusters.
+        constraints = DesignConstraints(
+            num_users=600,
+            desired_reach_peers=300,
+            max_incoming_bps=1e12,
+            max_outgoing_bps=1e12,
+            max_processing_hz=1e15,
+            max_connections=10_000,
+        )
+        outcome = design_topology(constraints, trials=1, seed=0, max_sources=60)
+        assert outcome.feasible
+        assert outcome.config.cluster_size >= 100

@@ -1,0 +1,98 @@
+"""Model-based stateful testing of the discrete-event engine.
+
+Hypothesis drives random schedule/cancel/step/run_until sequences against
+a naive reference model (a sorted list), checking that the engine fires
+exactly the same events in exactly the same order at the same times.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.sim.engine import Simulator
+
+
+class EngineModel(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulator()
+        self.fired: list[int] = []
+        # Reference: list of (time, seq, event_id, cancelled_flag_container)
+        self.reference: list[dict] = []
+        self.seq = 0
+        self.next_id = 0
+        self.handles = {}
+
+    def _make_callback(self, event_id: int):
+        def callback():
+            self.fired.append(event_id)
+        return callback
+
+    @rule(delay=st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+    def schedule(self, delay):
+        event_id = self.next_id
+        self.next_id += 1
+        handle = self.sim.schedule(delay, self._make_callback(event_id))
+        self.handles[event_id] = handle
+        self.reference.append({
+            "time": self.sim.now + delay,
+            "seq": self.seq,
+            "id": event_id,
+            "cancelled": False,
+        })
+        self.seq += 1
+
+    @precondition(lambda self: self.handles)
+    @rule(data=st.data())
+    def cancel_one(self, data):
+        event_id = data.draw(st.sampled_from(sorted(self.handles)))
+        self.handles[event_id].cancel()
+        for entry in self.reference:
+            if entry["id"] == event_id:
+                entry["cancelled"] = True
+
+    @rule()
+    def step(self):
+        pending = sorted(
+            (e for e in self.reference if not e["cancelled"]),
+            key=lambda e: (e["time"], e["seq"]),
+        )
+        progressed = self.sim.step()
+        if pending:
+            assert progressed
+            expected = pending[0]
+            assert self.fired[-1] == expected["id"]
+            assert self.sim.now == expected["time"]
+            self.reference.remove(expected)
+            self.handles.pop(expected["id"], None)
+        else:
+            assert not progressed
+
+    @rule(advance=st.floats(min_value=0.0, max_value=50.0, allow_nan=False))
+    def run_until(self, advance):
+        end = self.sim.now + advance
+        due = sorted(
+            (e for e in self.reference if not e["cancelled"] and e["time"] <= end),
+            key=lambda e: (e["time"], e["seq"]),
+        )
+        before = len(self.fired)
+        self.sim.run_until(end)
+        fired_now = self.fired[before:]
+        assert fired_now == [e["id"] for e in due]
+        assert self.sim.now == end
+        for entry in due:
+            self.reference.remove(entry)
+            self.handles.pop(entry["id"], None)
+
+    @invariant()
+    def pending_count_matches(self):
+        live = sum(1 for e in self.reference if not e["cancelled"])
+        assert self.sim.pending == live
+
+    @invariant()
+    def no_event_fires_twice(self):
+        assert len(self.fired) == len(set(self.fired))
+
+
+EngineModelTest = EngineModel.TestCase
+EngineModelTest.settings = settings(max_examples=60, stateful_step_count=30, deadline=None)

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs end to end.
+
+Each example is executed in-process at a reduced scale where the script
+supports one (``design_gnutella.py`` takes the network size as an
+argument; the others finish quickly at their built-in scales).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(monkeypatch, capsys, name: str, *argv: str) -> str:
+    monkeypatch.setattr(sys, "argv", [name, *argv])
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "quickstart.py")
+    assert "expected individual super-peer load" in out
+    assert "results per query" in out
+
+
+def test_redundancy_reliability(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "redundancy_reliability.py")
+    assert "2-redundant partner" in out
+    assert "availability" in out
+
+
+def test_adaptive_network(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "adaptive_network.py")
+    assert "round" in out
+    assert "TTL" in out
+
+
+def test_epl_planner(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "epl_planner.py")
+    assert "measured EPL" in out
+    assert "chosen TTL" in out
+
+
+@pytest.mark.slow
+def test_search_protocols(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "search_protocols.py")
+    assert "routing-indices" in out
+    assert "similar tradeoffs" in out
+
+
+@pytest.mark.slow
+def test_design_gnutella_scaled(monkeypatch, capsys):
+    # The walkthrough accepts a network size; 1500 keeps it quick.
+    out = run_example(monkeypatch, capsys, "design_gnutella.py", "1500")
+    assert "Figure 11" in out
+    assert "improvement" in out

@@ -1,0 +1,107 @@
+"""Alternative overlay generators (topology-robustness substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.topology.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    random_regular_graph,
+    watts_strogatz_graph,
+)
+
+
+class TestBarabasiAlbert:
+    def test_mean_degree_near_target(self):
+        g = barabasi_albert_graph(500, 6.0, rng=0)
+        assert g.average_outdegree() == pytest.approx(6.0, rel=0.2)
+
+    def test_valid_and_connected(self):
+        g = barabasi_albert_graph(300, 4.0, rng=1)
+        g.validate()
+        assert g.is_connected()
+
+    def test_has_hubs(self):
+        g = barabasi_albert_graph(1000, 4.0, rng=2)
+        assert g.degrees.max() > 5 * g.average_outdegree()
+
+    def test_deterministic(self):
+        a = barabasi_albert_graph(200, 4.0, rng=3)
+        b = barabasi_albert_graph(200, 4.0, rng=3)
+        assert sorted(a.edge_list()) == sorted(b.edge_list())
+
+
+class TestErdosRenyi:
+    def test_mean_degree_near_target(self):
+        g = erdos_renyi_graph(2000, 8.0, rng=0)
+        assert g.average_outdegree() == pytest.approx(8.0, rel=0.1)
+
+    def test_no_heavy_hubs(self):
+        # Poisson degrees: the maximum stays within a few stds of the mean.
+        g = erdos_renyi_graph(2000, 8.0, rng=1)
+        assert g.degrees.max() < 8.0 + 8 * np.sqrt(8.0)
+
+    def test_connected_by_default(self):
+        g = erdos_renyi_graph(300, 2.0, rng=2)
+        assert g.is_connected()
+
+
+class TestRandomRegular:
+    def test_exactly_regular(self):
+        g = random_regular_graph(100, 6, rng=0)
+        assert set(g.degrees.tolist()) == {6}
+        g.validate()
+
+    def test_odd_product_rejected(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(101, 3, rng=0)
+
+    def test_degree_bound(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(10, 10, rng=0)
+
+
+class TestWattsStrogatz:
+    def test_mean_degree_near_target(self):
+        g = watts_strogatz_graph(500, 6.0, rng=0)
+        assert g.average_outdegree() == pytest.approx(6.0, rel=0.1)
+
+    def test_rewire_probability_validated(self):
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(100, 4.0, rewire_probability=1.5)
+
+    def test_low_rewiring_long_paths(self):
+        # Small-world contrast: the near-lattice has much longer paths
+        # than the heavily rewired variant.
+        from repro.core.epl import measure_epl
+
+        lattice = watts_strogatz_graph(400, 4.0, rewire_probability=0.01, rng=1)
+        rewired = watts_strogatz_graph(400, 4.0, rewire_probability=0.5, rng=1)
+        assert measure_epl(lattice, 300, num_sources=16, rng=0) > \
+            measure_epl(rewired, 300, num_sources=16, rng=0)
+
+
+class TestLoadEngineCompatibility:
+    def test_replace_overlay_runs_analysis(self):
+        from repro.config import Configuration
+        from repro.core.load import evaluate_instance
+        from repro.topology.builder import build_instance, replace_overlay
+
+        config = Configuration(graph_size=300, cluster_size=10, ttl=4, avg_outdegree=4.0)
+        instance = build_instance(config, seed=0)
+        ba = barabasi_albert_graph(instance.num_clusters, 4.0, rng=0)
+        swapped = replace_overlay(instance, ba)
+        report = evaluate_instance(swapped)
+        agg = report.aggregate_load()
+        assert agg.incoming_bps == pytest.approx(agg.outgoing_bps, rel=1e-9)
+        assert report.mean_results_per_query() > 0
+
+    def test_replace_overlay_validates_size(self):
+        from repro.config import Configuration
+        from repro.topology.builder import build_instance, replace_overlay
+
+        config = Configuration(graph_size=300, cluster_size=10)
+        instance = build_instance(config, seed=0)
+        wrong = erdos_renyi_graph(10, 3.0, rng=0)
+        with pytest.raises(ValueError):
+            replace_overlay(instance, wrong)

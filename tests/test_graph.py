@@ -1,0 +1,96 @@
+"""OverlayGraph CSR structure tests."""
+
+import numpy as np
+import pytest
+
+from repro.topology.graph import OverlayGraph
+
+from conftest import path_graph, ring_graph, star_graph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = OverlayGraph.from_edges(3, [(0, 1), (1, 2)])
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+        assert sorted(g.neighbors(1).tolist()) == [0, 2]
+
+    def test_duplicate_edges_collapsed(self):
+        g = OverlayGraph.from_edges(2, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            OverlayGraph.from_edges(2, [(0, 0)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            OverlayGraph.from_edges(2, [(0, 2)])
+
+    def test_empty_graph(self):
+        g = OverlayGraph.from_edges(4, [])
+        assert g.num_edges == 0
+        assert g.degrees.tolist() == [0, 0, 0, 0]
+
+    def test_networkx_roundtrip(self):
+        nx = pytest.importorskip("networkx")
+        original = ring_graph(6)
+        back = OverlayGraph.from_networkx(original.to_networkx())
+        assert sorted(back.edge_list()) == sorted(original.edge_list())
+
+
+class TestQueries:
+    def test_degrees(self):
+        g = star_graph(5)
+        assert g.degree(0) == 4
+        assert g.degree(3) == 1
+        assert g.average_outdegree() == pytest.approx(8 / 5)
+
+    def test_has_edge(self):
+        g = path_graph(3)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(0, 2)
+
+    def test_edge_list_each_edge_once(self):
+        g = ring_graph(5)
+        edges = list(g.edge_list())
+        assert len(edges) == 5
+        assert all(u < v for u, v in edges)
+
+    def test_directed_edge_arrays_symmetry(self):
+        g = ring_graph(4)
+        tails, heads = g.directed_edge_arrays()
+        assert tails.size == 2 * g.num_edges
+        pairs = set(zip(tails.tolist(), heads.tolist()))
+        assert all((v, u) in pairs for u, v in pairs)
+
+    def test_validate_accepts_well_formed(self):
+        ring_graph(7).validate()
+        path_graph(4).validate()
+
+
+class TestComponents:
+    def test_connected_ring(self):
+        assert ring_graph(5).is_connected()
+
+    def test_two_components(self):
+        g = OverlayGraph.from_edges(4, [(0, 1), (2, 3)])
+        assert not g.is_connected()
+        comps = g.connected_components()
+        assert len(comps) == 2
+        assert sorted(len(c) for c in comps) == [2, 2]
+
+    def test_isolated_nodes_are_components(self):
+        g = OverlayGraph.from_edges(3, [(0, 1)])
+        comps = g.connected_components()
+        assert len(comps) == 2
+        assert {2} in [set(c.tolist()) for c in comps]
+
+    def test_largest_component_first(self):
+        g = OverlayGraph.from_edges(5, [(0, 1), (1, 2), (3, 4)])
+        comps = g.connected_components()
+        assert len(comps[0]) == 3
+
+    def test_trivial_graphs_connected(self):
+        assert OverlayGraph.from_edges(0, []).is_connected()
+        assert OverlayGraph.from_edges(1, []).is_connected()

@@ -1,0 +1,81 @@
+"""Instance and report serialization round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.config import Configuration, GraphType
+from repro.core.load import evaluate_instance
+from repro.io import load_instance, load_report, save_instance, save_report
+from repro.topology.builder import build_instance
+from repro.topology.strong import CompleteGraph
+
+
+@pytest.fixture
+def power_instance():
+    return build_instance(
+        Configuration(graph_size=200, cluster_size=10, ttl=3, avg_outdegree=4.0),
+        seed=4,
+    )
+
+
+class TestInstanceRoundTrip:
+    def test_power_law(self, tmp_path, power_instance):
+        path = save_instance(power_instance, tmp_path / "inst.npz")
+        loaded = load_instance(path)
+        assert loaded.config == power_instance.config
+        np.testing.assert_array_equal(loaded.clients, power_instance.clients)
+        np.testing.assert_array_equal(loaded.client_files, power_instance.client_files)
+        np.testing.assert_array_equal(
+            loaded.graph.indices, power_instance.graph.indices
+        )
+
+    def test_complete_graph(self, tmp_path):
+        instance = build_instance(
+            Configuration(graph_type=GraphType.STRONG, graph_size=10_000,
+                          cluster_size=100, ttl=1),
+            seed=0,
+        )
+        path = save_instance(instance, tmp_path / "strong.npz")
+        loaded = load_instance(path)
+        assert isinstance(loaded.graph, CompleteGraph)
+        assert loaded.graph.num_nodes == 100
+
+    def test_loaded_instance_analyzes_identically(self, tmp_path, power_instance):
+        path = save_instance(power_instance, tmp_path / "inst.npz")
+        loaded = load_instance(path)
+        a = evaluate_instance(power_instance)
+        b = evaluate_instance(loaded)
+        np.testing.assert_allclose(
+            a.superpeer_incoming_bps, b.superpeer_incoming_bps
+        )
+
+    def test_redundant_instance(self, tmp_path):
+        instance = build_instance(
+            Configuration(graph_size=200, cluster_size=10, redundancy=True), seed=1
+        )
+        loaded = load_instance(save_instance(instance, tmp_path / "red.npz"))
+        assert loaded.partners == 2
+        np.testing.assert_array_equal(loaded.partner_files, instance.partner_files)
+
+
+class TestReportRoundTrip:
+    def test_round_trip(self, tmp_path, power_instance):
+        report = evaluate_instance(power_instance)
+        path = save_report(report, tmp_path / "report.npz")
+        loaded = load_report(path, power_instance)
+        np.testing.assert_array_equal(
+            loaded.superpeer_outgoing_bps, report.superpeer_outgoing_bps
+        )
+        assert loaded.mean_results_per_query() == report.mean_results_per_query()
+        assert loaded.aggregate_load().incoming_bps == pytest.approx(
+            report.aggregate_load().incoming_bps
+        )
+
+    def test_mismatched_instance_rejected(self, tmp_path, power_instance):
+        report = evaluate_instance(power_instance)
+        path = save_report(report, tmp_path / "report.npz")
+        other = build_instance(
+            Configuration(graph_size=300, cluster_size=10), seed=0
+        )
+        with pytest.raises(ValueError):
+            load_report(path, other)

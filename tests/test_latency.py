@@ -1,0 +1,84 @@
+"""Response-time simulation (the EPL-to-seconds extension)."""
+
+import pytest
+
+from repro.config import Configuration, GraphType
+from repro.sim.latency import LatencyModel, measure_response_times
+from repro.topology.builder import build_instance
+
+
+class TestLatencyModel:
+    def test_median_calibration(self):
+        import numpy as np
+
+        model = LatencyModel(median_seconds=0.1, sigma=0.5)
+        samples = model.sample(np.random.default_rng(0), 50_000)
+        assert float(np.median(samples)) == pytest.approx(0.1, rel=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyModel(median_seconds=0.0)
+        with pytest.raises(ValueError):
+            LatencyModel(sigma=-1.0)
+
+
+@pytest.fixture(scope="module")
+def sparse_instance():
+    return build_instance(
+        Configuration(graph_size=800, cluster_size=1, avg_outdegree=3.1, ttl=7),
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def dense_instance():
+    return build_instance(
+        Configuration(graph_size=800, cluster_size=10, avg_outdegree=12.0, ttl=2),
+        seed=0,
+    )
+
+
+class TestResponseTimes:
+    def test_ordering_of_percentiles(self, sparse_instance):
+        summary = measure_response_times(sparse_instance, num_queries=8, rng=0)
+        assert summary.first_result_mean <= summary.median_result_mean
+        assert summary.median_result_mean <= summary.p90_result_mean
+        assert summary.p90_result_mean <= summary.last_result_mean
+
+    def test_shorter_epl_means_faster_responses(self, sparse_instance, dense_instance):
+        # The Section 5.2 claim: the short-EPL redesign answers faster.
+        slow = measure_response_times(sparse_instance, num_queries=12, rng=0)
+        fast = measure_response_times(dense_instance, num_queries=12, rng=0)
+        assert fast.mean_epl < slow.mean_epl
+        assert fast.median_result_mean < slow.median_result_mean
+
+    def test_epl_consistent_with_analysis(self, sparse_instance):
+        from repro.core.load import evaluate_instance
+
+        summary = measure_response_times(sparse_instance, num_queries=12, rng=0)
+        report = evaluate_instance(sparse_instance, max_sources=100, rng=0)
+        assert summary.mean_epl == pytest.approx(report.mean_epl(), rel=0.25)
+
+    def test_deterministic(self, dense_instance):
+        a = measure_response_times(dense_instance, num_queries=4, rng=5)
+        b = measure_response_times(dense_instance, num_queries=4, rng=5)
+        assert a == b
+
+    def test_strong_network_one_hop_each_way(self):
+        instance = build_instance(
+            Configuration(graph_type=GraphType.STRONG, graph_size=300,
+                          cluster_size=10, ttl=1),
+            seed=0,
+        )
+        summary = measure_response_times(instance, num_queries=6, rng=0)
+        assert summary.mean_epl == pytest.approx(1.0)
+
+    def test_validation(self, dense_instance):
+        with pytest.raises(ValueError):
+            measure_response_times(dense_instance, num_queries=0)
+
+    def test_rows_accessor(self, dense_instance):
+        summary = measure_response_times(dense_instance, num_queries=4, rng=0)
+        rows = summary.as_rows()
+        assert len(rows) == 5
+        assert all(value >= 0 for _, value in rows)

@@ -1,0 +1,173 @@
+"""Gold test: the load engine against a fully hand-computed network.
+
+Two clusters joined by one overlay edge, TTL 1, fixed file counts, and a
+single-class query model — small enough that every byte and processing
+unit of the query workload can be derived by hand from Table 2 and
+Appendix B, and compared exactly (to floating-point accuracy) with the
+engine's output.
+"""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.config import Configuration
+from repro.core import costs
+from repro.core.load import evaluate_instance
+from repro.querymodel.distributions import QueryModel
+from repro.topology.builder import NetworkInstance
+from repro.topology.graph import OverlayGraph
+
+#: One query class matching every file with probability P.
+P = 0.001
+MODEL = QueryModel(g=np.array([1.0]), f=np.array([P]))
+
+QUERY_RATE = 0.01  # per user per second
+
+#: Files: cluster A = super-peer 100 + clients (50, 150);
+#:        cluster B = super-peer 200 + clients (25, 75).
+A_SP, A_C1, A_C2 = 100, 50, 150
+B_SP, B_C1, B_C2 = 200, 25, 75
+
+
+@pytest.fixture(scope="module")
+def instance() -> NetworkInstance:
+    config = Configuration(
+        graph_size=6, cluster_size=3, avg_outdegree=1.0, ttl=1,
+        query_rate=QUERY_RATE, update_rate=0.0,
+    )
+    return NetworkInstance(
+        config=config,
+        graph=OverlayGraph.from_edges(2, [(0, 1)]),
+        clients=np.array([2, 2]),
+        client_ptr=np.array([0, 2, 4]),
+        client_files=np.array([A_C1, A_C2, B_C1, B_C2]),
+        client_lifespans=np.array([1e9, 1e9, 1e9, 1e9]),  # joins negligible
+        partner_files=np.array([[A_SP], [B_SP]]),
+        partner_lifespans=np.array([[1e9], [1e9]]),
+    )
+
+
+@pytest.fixture(scope="module")
+def report(instance):
+    return evaluate_instance(instance, model=MODEL, components=("query",))
+
+
+def _miss(x: int) -> float:
+    return (1.0 - P) ** x
+
+
+def _expectations():
+    """Hand-derived Appendix B quantities for both clusters."""
+    x_a = A_SP + A_C1 + A_C2  # 300
+    x_b = B_SP + B_C1 + B_C2  # 300
+    n_a, n_b = x_a * P, x_b * P
+    p_a, p_b = 1 - _miss(x_a), 1 - _miss(x_b)
+    k_a = (1 - _miss(A_SP)) + (1 - _miss(A_C1)) + (1 - _miss(A_C2))
+    k_b = (1 - _miss(B_SP)) + (1 - _miss(B_C1)) + (1 - _miss(B_C2))
+    return (n_a, p_a, k_a), (n_b, p_b, k_b)
+
+
+def test_expectations_match_hand_values(report):
+    (n_a, p_a, k_a), (n_b, p_b, k_b) = _expectations()
+    exp = report.expectations
+    assert exp.expected_results[0] == pytest.approx(n_a)
+    assert exp.expected_results[1] == pytest.approx(n_b)
+    assert exp.prob_respond[0] == pytest.approx(p_a)
+    assert exp.prob_respond[1] == pytest.approx(p_b)
+    assert exp.expected_collections[0] == pytest.approx(k_a)
+    assert exp.expected_collections[1] == pytest.approx(k_b)
+
+
+def _response_bytes(msgs: float, addr: float, res: float) -> float:
+    return 80.0 * msgs + 28.0 * addr + 76.0 * res
+
+
+def test_superpeer_incoming_bytes_by_hand(report):
+    """A's incoming bytes/s, fully expanded.
+
+    Per second, cluster A originates 3 * QUERY_RATE queries (two clients
+    and the super-peer itself) and cluster B likewise.  With TTL 1:
+
+    * A <- its querying clients: 94 B per client-sourced query
+      (2/3 of A's queries);
+    * A <- B's query flood: 94 B per B query;
+    * A <- B's response to A's queries: (80 p_B + 28 k_B + 76 n_B) each.
+    """
+    (n_a, p_a, k_a), (n_b, p_b, k_b) = _expectations()
+    rate = 3 * QUERY_RATE
+    expected_bytes = (
+        rate * (2.0 / 3.0) * 94.0
+        + rate * 94.0
+        + rate * _response_bytes(p_b, k_b, n_b)
+    )
+    assert report.superpeer_incoming_bps[0] == pytest.approx(8 * expected_bytes)
+
+
+def test_superpeer_outgoing_bytes_by_hand(report):
+    """A's outgoing bytes/s.
+
+    * A -> B: its own query flood (one neighbour), 94 B per A query;
+    * A -> B: its response to B's queries;
+    * A -> querying client: every Response the super-peer collects — B's
+      response plus its own-index response — for the 2/3 of A's queries
+      that come from clients.
+    """
+    (n_a, p_a, k_a), (n_b, p_b, k_b) = _expectations()
+    rate = 3 * QUERY_RATE
+    to_client = _response_bytes(p_b + p_a, k_b + k_a, n_b + n_a)
+    expected_bytes = (
+        rate * 94.0
+        + rate * _response_bytes(p_a, k_a, n_a)
+        + rate * (2.0 / 3.0) * to_client
+    )
+    assert report.superpeer_outgoing_bps[0] == pytest.approx(8 * expected_bytes)
+
+
+def test_client_loads_by_hand(report):
+    """Each client submits QUERY_RATE queries and receives everything."""
+    (n_a, p_a, k_a), (n_b, p_b, k_b) = _expectations()
+    client0_in = QUERY_RATE * _response_bytes(p_b + p_a, k_b + k_a, n_b + n_a)
+    assert report.client_incoming_bps[0] == pytest.approx(8 * client0_in)
+    assert report.client_outgoing_bps[0] == pytest.approx(8 * QUERY_RATE * 94.0)
+
+
+def test_superpeer_processing_by_hand(report):
+    """A's processing units/s, every Table 2 row expanded.
+
+    Open connections: m_A = 2 clients + 1 neighbour = 3.
+    """
+    (n_a, p_a, k_a), (n_b, p_b, k_b) = _expectations()
+    m = 3.0
+    mux = 0.01 * m
+    rate = 3 * QUERY_RATE
+    send_q = 0.44 + 0.003 * 12 + mux
+    recv_q = 0.57 + 0.004 * 12 + mux
+
+    units = 0.0
+    # Own queries: send to B, process over own index, receive B's response.
+    units += rate * send_q
+    units += rate * (0.14 + 1.1 * n_a)
+    units += rate * (
+        (0.26 + mux) * p_b + 0.41 * k_b + 0.3 * n_b
+    )
+    # Client-sourced queries additionally: receive from client, send the
+    # collected responses (own + B's) to the client.
+    units += rate * (2.0 / 3.0) * recv_q
+    units += rate * (2.0 / 3.0) * (
+        (0.21 + mux) * (p_a + p_b) + 0.31 * (k_a + k_b) + 0.2 * (n_a + n_b)
+    )
+    # B's queries: receive the flood, process, send own response back.
+    units += rate * recv_q
+    units += rate * (0.14 + 1.1 * n_a)
+    units += rate * ((0.21 + mux) * p_a + 0.31 * k_a + 0.2 * n_a)
+
+    assert report.superpeer_processing_hz[0] == pytest.approx(7200.0 * units)
+
+
+def test_results_and_epl_by_hand(report):
+    (n_a, _, _), (n_b, _, _) = _expectations()
+    assert report.results_per_query[0] == pytest.approx(n_a + n_b)
+    assert report.epl_per_query[0] == pytest.approx(1.0)
+    assert report.reach_clusters[0] == 2
+    assert report.reach_peers[0] == 6

@@ -1,0 +1,140 @@
+"""Gold test for k-redundancy accounting: hand-computed 2-cluster network.
+
+Two clusters joined by one overlay edge, each with a 2-redundant virtual
+super-peer (two partners) and two clients, TTL 1, fixed file counts, and
+a single-class query model.  Verifies the redundancy-specific mechanics
+against hand-derived values:
+
+* query traffic splits across partners (each partner carries half the
+  cluster's query-path load);
+* every partner receives every client's full join and update stream
+  (no splitting);
+* clients send joins/updates to *each* partner (k-fold client cost);
+* connection counts follow clients + (k-1) + k * degree.
+"""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.config import Configuration
+from repro.core import costs
+from repro.core.load import evaluate_instance
+from repro.querymodel.distributions import QueryModel
+from repro.topology.builder import NetworkInstance
+from repro.topology.graph import OverlayGraph
+
+P = 0.001
+MODEL = QueryModel(g=np.array([1.0]), f=np.array([P]))
+QUERY_RATE = 0.01
+UPDATE_RATE = 0.002
+CLIENT_LIFESPAN = 500.0  # joins matter; partner churn switched off below
+
+# Files: cluster A partners (100, 60), clients (50, 150);
+#        cluster B partners (200, 40), clients (25, 75).
+A_P, A_C = (100, 60), (50, 150)
+B_P, B_C = (200, 40), (25, 75)
+
+
+@pytest.fixture(scope="module")
+def instance() -> NetworkInstance:
+    config = Configuration(
+        graph_size=8, cluster_size=4, avg_outdegree=1.0, ttl=1,
+        redundancy=True, query_rate=QUERY_RATE, update_rate=UPDATE_RATE,
+    )
+    return NetworkInstance(
+        config=config,
+        graph=OverlayGraph.from_edges(2, [(0, 1)]),
+        clients=np.array([2, 2]),
+        client_ptr=np.array([0, 2, 4]),
+        client_files=np.array([*A_C, *B_C]),
+        client_lifespans=np.full(4, CLIENT_LIFESPAN),
+        partner_files=np.array([A_P, B_P]),
+        partner_lifespans=np.full((2, 2), 1e15),  # no partner churn
+    )
+
+
+def _expectations():
+    x_a = sum(A_P) + sum(A_C)  # 360
+    x_b = sum(B_P) + sum(B_C)  # 340
+    miss = lambda x: (1 - P) ** x
+    n_a, n_b = x_a * P, x_b * P
+    p_a, p_b = 1 - miss(x_a), 1 - miss(x_b)
+    k_a = sum(1 - miss(x) for x in (*A_P, *A_C))
+    k_b = sum(1 - miss(x) for x in (*B_P, *B_C))
+    return (n_a, p_a, k_a), (n_b, p_b, k_b)
+
+
+def test_connection_counts(instance):
+    # clients(2) + fellow partner(1) + k * degree(2 * 1) = 5 per partner.
+    assert instance.superpeer_connections.tolist() == [5, 5]
+    assert instance.client_connections == 2
+
+
+def test_query_load_splits_across_partners(instance):
+    """Per-partner query incoming bytes = half the cluster total."""
+    report = evaluate_instance(instance, model=MODEL, components=("query",))
+    (n_a, p_a, k_a), (n_b, p_b, k_b) = _expectations()
+    rate = 4 * QUERY_RATE  # 4 users per cluster
+    cf = 0.5               # 2 clients of 4 users
+    cluster_total_in = (
+        rate * cf * 94.0                                   # client -> SP query
+        + rate * 94.0                                      # B's flood
+        + rate * (80 * p_b + 28 * k_b + 76 * n_b)          # B's responses
+    )
+    assert report.superpeer_incoming_bps[0] == pytest.approx(
+        8 * cluster_total_in / 2.0
+    )
+
+
+def test_join_load_not_split(instance):
+    """Every partner receives every client join in full (k copies total).
+
+    With partner churn disabled, cluster A's per-partner join incoming is
+    exactly sum_i rate_i * (80 + 72 x_i) over its two clients.
+    """
+    report = evaluate_instance(instance, model=MODEL, components=("join",))
+    rate = 1.0 / CLIENT_LIFESPAN
+    expected = sum(rate * (80 + 72 * x) for x in A_C)
+    assert report.superpeer_incoming_bps[0] == pytest.approx(8 * expected, rel=1e-9)
+
+
+def test_client_join_cost_is_k_fold(instance):
+    """A client ships its metadata to each of the 2 partners."""
+    report = evaluate_instance(instance, model=MODEL, components=("join",))
+    rate = 1.0 / CLIENT_LIFESPAN
+    x = A_C[0]
+    expected_out = rate * 2 * (80 + 72 * x)
+    assert report.client_outgoing_bps[0] == pytest.approx(8 * expected_out)
+    expected_proc = rate * 2 * (
+        costs.SEND_JOIN_BASE + costs.SEND_JOIN_PER_FILE * x + 0.01 * 2
+    )
+    assert report.client_processing_hz[0] == pytest.approx(7200 * expected_proc)
+
+
+def test_update_load_by_hand(instance):
+    """Updates: client sends k copies; each partner receives its own copy
+    from every client plus one exchange with its fellow partner."""
+    report = evaluate_instance(instance, model=MODEL, components=("update",))
+    # Client side: 2 * 152 bytes per update.
+    assert report.client_outgoing_bps[0] == pytest.approx(
+        8 * UPDATE_RATE * 2 * 152
+    )
+    # Partner side (per partner): one copy per client update (2 clients)
+    # plus (k-1) = 1 copy exchanged with the fellow partner per own update.
+    expected_in = UPDATE_RATE * 2 * 152 + UPDATE_RATE * 1 * 152
+    assert report.superpeer_incoming_bps[0] == pytest.approx(8 * expected_in)
+
+
+def test_aggregate_counts_both_partners(instance):
+    report = evaluate_instance(instance, model=MODEL)
+    agg = report.aggregate_load()
+    manual_in = (
+        2 * report.superpeer_incoming_bps.sum() + report.client_incoming_bps.sum()
+    )
+    assert agg.incoming_bps == pytest.approx(manual_in)
+    assert agg.incoming_bps == pytest.approx(agg.outgoing_bps, rel=1e-9)
+
+
+def test_index_sizes_include_partner_collections(instance):
+    assert instance.index_sizes.tolist() == [360, 340]

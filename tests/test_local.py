@@ -1,0 +1,81 @@
+"""Section 5.3 local decision rules in the adaptive simulator."""
+
+import numpy as np
+import pytest
+
+from repro.sim.local import AdaptiveLimits, AdaptiveNetwork
+
+
+@pytest.fixture
+def limits():
+    return AdaptiveLimits(
+        max_incoming_bps=100_000.0,
+        max_outgoing_bps=100_000.0,
+        max_processing_hz=10_000_000.0,
+    )
+
+
+class TestAdaptiveLimits:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveLimits(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            AdaptiveLimits(1.0, 1.0, 1.0, spare_fraction=1.5)
+
+
+class TestAdaptiveNetwork:
+    def test_initial_pure_network(self, limits):
+        net = AdaptiveNetwork(200, limits, seed=0, initial_cluster_size=1, ttl=7)
+        inst = net.snapshot()
+        assert inst.num_clusters == 200
+        assert inst.total_clients == 0
+
+    def test_snapshot_valid_instance(self, limits):
+        net = AdaptiveNetwork(150, limits, seed=1, initial_cluster_size=5, ttl=5)
+        inst = net.snapshot()
+        inst.graph.validate()
+        assert inst.num_peers == 150
+        assert inst.client_ptr[-1] == inst.total_clients
+
+    def test_peers_conserved_across_rounds(self, limits):
+        net = AdaptiveNetwork(150, limits, seed=2, initial_cluster_size=1, ttl=6)
+        net.run(3, max_sources=40)
+        assert net.snapshot().num_peers == 150
+
+    def test_clusters_grow_from_pure_start(self, limits):
+        # Rule I/II: starting pure with spare capacity, super-peers merge
+        # into larger clusters and add neighbours.
+        net = AdaptiveNetwork(150, limits, seed=3, initial_cluster_size=1, ttl=6)
+        history = net.run(6, max_sources=40)
+        first, last = history.rounds[0], history.rounds[-1]
+        assert last.mean_cluster_size > first.mean_cluster_size
+
+    def test_ttl_never_increases_and_reaches_floor(self, limits):
+        net = AdaptiveNetwork(120, limits, seed=4, initial_cluster_size=4, ttl=7)
+        history = net.run(5, max_sources=40)
+        ttls = history.series("ttl")
+        assert all(a >= b for a, b in zip(ttls, ttls[1:]))
+
+    def test_overload_triggers_splits(self):
+        # Absurdly low limits force every super-peer over budget.
+        tight = AdaptiveLimits(10.0, 10.0, 100.0)
+        net = AdaptiveNetwork(100, tight, seed=5, initial_cluster_size=20, ttl=4)
+        before = len(net.clusters)
+        round_summary = net.step(max_sources=30)
+        assert round_summary.splits > 0
+        assert len(net.clusters) > before
+
+    def test_history_accessors(self, limits):
+        net = AdaptiveNetwork(100, limits, seed=6, initial_cluster_size=2, ttl=5)
+        history = net.run(2, max_sources=30)
+        assert history.last().round_index == 2
+        assert len(history.series("num_clusters")) == 2
+
+    def test_run_validates_rounds(self, limits):
+        net = AdaptiveNetwork(100, limits, seed=7)
+        with pytest.raises(ValueError):
+            net.run(0)
+
+    def test_too_few_peers_rejected(self, limits):
+        with pytest.raises(ValueError):
+            AdaptiveNetwork(2, limits)

@@ -1,0 +1,64 @@
+"""Deeper structural invariants of the adaptive network over many rounds."""
+
+import numpy as np
+import pytest
+
+from repro.sim.local import AdaptiveLimits, AdaptiveNetwork
+
+
+@pytest.fixture
+def network():
+    limits = AdaptiveLimits(
+        max_incoming_bps=80_000.0,
+        max_outgoing_bps=80_000.0,
+        max_processing_hz=8_000_000.0,
+    )
+    return AdaptiveNetwork(160, limits, seed=11, initial_cluster_size=2, ttl=6)
+
+
+def _collect_peers(net: AdaptiveNetwork) -> list[int]:
+    peers = []
+    for cluster in net.clusters:
+        peers.append(cluster.superpeer)
+        peers.extend(cluster.clients)
+    return peers
+
+
+class TestStructuralInvariants:
+    def test_every_peer_appears_exactly_once(self, network):
+        for _ in range(5):
+            network.step(max_sources=30)
+            peers = _collect_peers(network)
+            assert len(peers) == 160
+            assert len(set(peers)) == 160
+
+    def test_neighbor_relation_symmetric(self, network):
+        for _ in range(4):
+            network.step(max_sources=30)
+        for cluster in network.clusters:
+            for neighbor in cluster.neighbors:
+                assert cluster in neighbor.neighbors
+                assert neighbor in network.clusters
+
+    def test_no_self_neighbors(self, network):
+        for _ in range(4):
+            network.step(max_sources=30)
+        for cluster in network.clusters:
+            assert cluster not in cluster.neighbors
+
+    def test_snapshot_stays_valid_after_reorganization(self, network):
+        for _ in range(5):
+            network.step(max_sources=30)
+        instance = network.snapshot()
+        instance.graph.validate()
+        assert instance.client_ptr[-1] == instance.total_clients
+        assert instance.index_sizes.sum() == network.files.sum()
+
+    def test_overload_pressure_eventually_relieved(self):
+        # With moderate limits, repeated rounds should not leave the
+        # majority of super-peers overloaded.
+        limits = AdaptiveLimits(60_000.0, 60_000.0, 6_000_000.0)
+        net = AdaptiveNetwork(200, limits, seed=3, initial_cluster_size=25, ttl=4)
+        history = net.run(8, max_sources=40)
+        final = history.last()
+        assert final.overloaded_superpeers <= 0.3 * final.num_clusters

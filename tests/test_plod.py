@@ -1,0 +1,79 @@
+"""PLOD power-law generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.topology.plod import calibrate_beta, plod_graph, DEFAULT_ALPHA
+from repro.topology.strong import CompleteGraph
+
+
+class TestCalibrateBeta:
+    def test_uniform_alpha_zero(self):
+        # alpha = 0 makes every credit equal beta.
+        assert calibrate_beta(100, 5.0, alpha=0.0) == pytest.approx(5.0)
+
+    def test_scales_linearly_with_target(self):
+        b1 = calibrate_beta(500, 3.1)
+        b2 = calibrate_beta(500, 6.2)
+        assert b2 == pytest.approx(2 * b1)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            calibrate_beta(0, 3.0)
+        with pytest.raises(ValueError):
+            calibrate_beta(10, 0.0)
+
+
+class TestPlodGraph:
+    def test_mean_outdegree_near_target(self):
+        for target in (3.1, 10.0):
+            g = plod_graph(600, target, rng=0)
+            assert g.average_outdegree() == pytest.approx(target, rel=0.15)
+
+    def test_simple_graph_invariants(self):
+        g = plod_graph(300, 4.0, rng=1)
+        g.validate()  # symmetry, no self-loops, no duplicates
+
+    def test_deterministic_given_seed(self):
+        a = plod_graph(200, 3.1, rng=7)
+        b = plod_graph(200, 3.1, rng=7)
+        assert sorted(a.edge_list()) == sorted(b.edge_list())
+
+    def test_different_seeds_differ(self):
+        a = plod_graph(200, 3.1, rng=1)
+        b = plod_graph(200, 3.1, rng=2)
+        assert sorted(a.edge_list()) != sorted(b.edge_list())
+
+    def test_connected_by_default(self):
+        for seed in range(3):
+            assert plod_graph(400, 3.1, rng=seed).is_connected()
+
+    def test_heavy_tail_present(self):
+        # A power law must produce hubs far above the mean.
+        g = plod_graph(1000, 3.1, rng=3)
+        assert g.degrees.max() >= 4 * 3.1
+
+    def test_degree_spread_wider_than_regular(self):
+        g = plod_graph(1000, 10.0, rng=4)
+        assert g.degrees.std() > 2.0
+
+    def test_saturated_returns_complete(self):
+        g = plod_graph(10, 9.5, rng=0)
+        assert isinstance(g, CompleteGraph)
+
+    def test_trivial_sizes(self):
+        assert plod_graph(0, 3.0).num_nodes == 0
+        assert plod_graph(1, 3.0).num_edges == 0
+
+    def test_min_degree_is_one(self):
+        g = plod_graph(500, 3.1, rng=5)
+        assert g.degrees.min() >= 1
+
+    def test_powerlaw_exponent_reasonable(self):
+        # Fit log(freq) ~ -tau log(d); PLOD with the default alpha should
+        # give a tau broadly in the measured Gnutella family (1.4 - 3.5).
+        g = plod_graph(3000, 3.1, rng=6)
+        degrees, counts = np.unique(g.degrees, return_counts=True)
+        mask = counts >= 3  # ignore noisy singleton bins
+        slope, _ = np.polyfit(np.log(degrees[mask]), np.log(counts[mask]), 1)
+        assert 1.2 < -slope < 4.0

@@ -1,0 +1,74 @@
+"""Message sizes and the Appendix A connection-overhead model."""
+
+import pytest
+
+from repro.protocol.connections import (
+    MULTIPLEX_COST_PER_CONNECTION,
+    multiplex_cost,
+    select_scan_cost_per_descriptor,
+)
+from repro.protocol.messages import (
+    join_message_bytes,
+    query_message_bytes,
+    response_message_bytes,
+    update_message_bytes,
+)
+
+
+class TestMessages:
+    def test_query_default_is_94_bytes(self):
+        # Table 2: 82 + query length; Table 3: expected length 12 B.
+        assert query_message_bytes() == 94
+
+    def test_query_custom_length(self):
+        assert query_message_bytes(20) == 102
+
+    def test_response_formula(self):
+        # 80 + 28 * #addr + 76 * #results.
+        assert response_message_bytes(0, 0) == 80
+        assert response_message_bytes(2, 5) == 80 + 56 + 380
+
+    def test_response_accepts_expected_fractional_counts(self):
+        assert response_message_bytes(0.5, 1.5) == pytest.approx(80 + 14 + 114)
+
+    def test_join_formula(self):
+        # 80 + 72 * #files.
+        assert join_message_bytes(0) == 80
+        assert join_message_bytes(10) == 800
+
+    def test_update_is_fixed(self):
+        assert update_message_bytes() == 152.0
+
+    @pytest.mark.parametrize(
+        "func,args",
+        [
+            (query_message_bytes, (-1,)),
+            (response_message_bytes, (-1, 0)),
+            (response_message_bytes, (0, -1)),
+            (join_message_bytes, (-2,)),
+        ],
+    )
+    def test_negative_counts_rejected(self, func, args):
+        with pytest.raises(ValueError):
+            func(*args)
+
+
+class TestConnections:
+    def test_multiplex_is_point_zero_one_per_connection(self):
+        # Appendix A: .04 units per descriptor scan amortized over 4
+        # messages per select call -> .01 units/connection/message.
+        assert MULTIPLEX_COST_PER_CONNECTION == pytest.approx(0.01)
+        assert select_scan_cost_per_descriptor() == pytest.approx(0.04)
+
+    def test_multiplex_linear_in_connections(self):
+        assert multiplex_cost(100) == pytest.approx(1.0)
+        assert multiplex_cost(100, num_messages=3) == pytest.approx(3.0)
+
+    def test_zero_connections_free(self):
+        assert multiplex_cost(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            multiplex_cost(-1)
+        with pytest.raises(ValueError):
+            multiplex_cost(1, -1)

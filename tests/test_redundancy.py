@@ -1,0 +1,101 @@
+"""k-redundancy: load comparison and reliability analytics (rule #2)."""
+
+import pytest
+
+from repro.config import Configuration, GraphType
+from repro.core.redundancy import (
+    compare_redundancy,
+    expected_cluster_outages_per_second,
+    index_copies_per_cluster,
+    interconnections_per_edge,
+    single_superpeer_unavailability,
+    virtual_superpeer_availability,
+)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    config = Configuration(
+        graph_type=GraphType.STRONG, graph_size=2000, cluster_size=40, ttl=1
+    )
+    return compare_redundancy(config, trials=2, seed=0, max_sources=None)
+
+
+class TestLoadComparison:
+    def test_individual_load_halves_roughly(self, comparison):
+        # Rule #2: each partner carries roughly half the lone super-peer's
+        # bandwidth (paper: -48% at cluster size 100 strong).
+        delta = comparison.individual_delta("incoming_bps")
+        assert -0.55 < delta < -0.35
+
+    def test_aggregate_bandwidth_barely_moves(self, comparison):
+        # Paper: ~+2.5%; allow a loose band.
+        delta = comparison.aggregate_delta("incoming_bps")
+        assert -0.05 < delta < 0.12
+
+    def test_aggregate_processing_increases(self, comparison):
+        # The tradeoff: aggregate processing goes up with redundancy.
+        assert comparison.aggregate_delta("processing_hz") > 0.0
+
+    def test_redundancy_beats_half_clusters(self, comparison):
+        # The "surprising effect": per-super-peer bandwidth under
+        # redundancy is no worse than simply halving the cluster size.
+        assert comparison.redundant_vs_half_clusters("incoming_bps") < 0.10
+
+    def test_rejects_redundant_base(self):
+        with pytest.raises(ValueError):
+            compare_redundancy(Configuration(cluster_size=10, redundancy=True))
+
+    def test_rejects_tiny_clusters(self):
+        with pytest.raises(ValueError):
+            compare_redundancy(Configuration(cluster_size=2))
+
+
+class TestReliabilityModel:
+    def test_single_unavailability(self):
+        assert single_superpeer_unavailability(900, 100) == pytest.approx(0.1)
+
+    def test_availability_improves_with_k(self):
+        a1 = virtual_superpeer_availability(1, 1000, 100)
+        a2 = virtual_superpeer_availability(2, 1000, 100)
+        a3 = virtual_superpeer_availability(3, 1000, 100)
+        assert a1 < a2 < a3
+
+    def test_k2_squares_the_unavailability(self):
+        u = single_superpeer_unavailability(1000, 100)
+        a2 = virtual_superpeer_availability(2, 1000, 100)
+        assert 1.0 - a2 == pytest.approx(u**2)
+
+    def test_outage_rate_declines_with_k(self):
+        r1 = expected_cluster_outages_per_second(1, 1000, 60)
+        r2 = expected_cluster_outages_per_second(2, 1000, 60)
+        assert r2 < r1
+
+    def test_k1_outage_rate_is_failure_rate_weighted_by_uptime(self):
+        # With one partner, outages begin at each failure while up.
+        rate = expected_cluster_outages_per_second(1, 1000, 60)
+        up = 1000 / 1060
+        assert rate == pytest.approx(up / 1000)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            virtual_superpeer_availability(0, 100, 10)
+        with pytest.raises(ValueError):
+            single_superpeer_unavailability(-1, 10)
+
+
+class TestStructuralCosts:
+    def test_k_squared_interconnections(self):
+        # Section 3.2: connections among super-peers grow as k^2.
+        assert interconnections_per_edge(1) == 1
+        assert interconnections_per_edge(2) == 4
+        assert interconnections_per_edge(3) == 9
+
+    def test_index_copies(self):
+        assert index_copies_per_cluster(2) == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            interconnections_per_edge(0)
+        with pytest.raises(ValueError):
+            index_copies_per_cluster(-1)

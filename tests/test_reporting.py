@@ -1,0 +1,59 @@
+"""ASCII rendering helpers used by the benchmark harness."""
+
+import pytest
+
+from repro.reporting import render_load_row, render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(
+            ["name", "value"],
+            [["alpha", 1], ["b", 123456]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1].startswith("name")
+        assert set(lines[2]) <= {"-", " "}
+        assert "alpha" in lines[3]
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[1.23456e8], [0.0001234], [3.5]])
+        assert "1.235e+08" in text
+        assert "1.234e-04" in text
+        assert "3.5" in text
+
+    def test_bools_and_strings_passthrough(self):
+        text = render_table(["x"], [[True], ["word"]])
+        assert "True" in text
+        assert "word" in text
+
+
+class TestRenderSeries:
+    def test_basic_series(self):
+        text = render_series("curve", [1, 2], [10.0, 20.0], x_label="cs", y_label="bps")
+        assert "curve" in text
+        assert "cs -> bps" in text
+        assert text.count("\n") == 2
+
+    def test_with_errors(self):
+        text = render_series("c", [1], [10.0], errors=[0.5])
+        assert "+/-" in text
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            render_series("c", [1, 2], [1.0])
+        with pytest.raises(ValueError):
+            render_series("c", [1], [1.0], errors=[0.1, 0.2])
+
+
+def test_render_load_row_formats_units():
+    row = render_load_row("today", 9.08e8, 9.09e8, 6.88e10)
+    assert "today" in row
+    assert "Mbps" in row
+    assert "GHz" in row

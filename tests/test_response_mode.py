@@ -1,0 +1,83 @@
+"""The Section 3.1 response-transfer ablation: reverse-path vs direct."""
+
+import numpy as np
+import pytest
+
+from repro.config import Configuration, GraphType
+from repro.core.load import evaluate_instance
+from repro.topology.builder import build_instance
+
+
+@pytest.fixture(scope="module")
+def power_instance():
+    config = Configuration(graph_size=400, cluster_size=10, avg_outdegree=4.0, ttl=4)
+    return build_instance(config, seed=2)
+
+
+class TestDirectMode:
+    def test_uses_less_aggregate_bandwidth(self, power_instance):
+        # "the first method [reverse path] uses more aggregate bandwidth
+        # than the second" (Section 3.1).
+        reverse = evaluate_instance(power_instance)
+        direct = evaluate_instance(power_instance, response_mode="direct")
+        assert (
+            direct.aggregate_load().total_bandwidth_bps
+            < reverse.aggregate_load().total_bandwidth_bps
+        )
+
+    def test_results_identical(self, power_instance):
+        reverse = evaluate_instance(power_instance)
+        direct = evaluate_instance(power_instance, response_mode="direct")
+        np.testing.assert_allclose(
+            np.nan_to_num(direct.results_per_query),
+            np.nan_to_num(reverse.results_per_query),
+        )
+
+    def test_epl_is_one_hop(self, power_instance):
+        direct = evaluate_instance(power_instance, response_mode="direct")
+        assert direct.mean_epl() == pytest.approx(1.0)
+
+    def test_conservation_holds(self, power_instance):
+        direct = evaluate_instance(power_instance, response_mode="direct")
+        agg = direct.aggregate_load()
+        assert agg.incoming_bps == pytest.approx(agg.outgoing_bps, rel=1e-9)
+
+    def test_intermediates_carry_no_response_traffic(self):
+        # On a path graph with the source at one end, direct mode must not
+        # charge the middle nodes any response bytes beyond query flood.
+        from dataclasses import replace
+
+        from repro.topology.graph import OverlayGraph
+
+        config = Configuration(graph_size=40, cluster_size=10, ttl=3, avg_outdegree=1.0)
+        instance = build_instance(config, seed=0)
+        chain = OverlayGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        instance = replace(instance, graph=chain)
+        reverse = evaluate_instance(instance, components=("query",))
+        direct = evaluate_instance(
+            instance, components=("query",), response_mode="direct"
+        )
+        # Middle nodes forward responses only in reverse-path mode, so
+        # their outgoing load must strictly drop under direct mode.
+        assert direct.superpeer_outgoing_bps[1] < reverse.superpeer_outgoing_bps[1]
+        assert direct.superpeer_outgoing_bps[2] < reverse.superpeer_outgoing_bps[2]
+
+    def test_strong_overlay_direct_adds_handshakes_only(self):
+        config = Configuration(
+            graph_type=GraphType.STRONG, graph_size=300, cluster_size=10, ttl=1
+        )
+        instance = build_instance(config, seed=1)
+        reverse = evaluate_instance(instance)
+        direct = evaluate_instance(instance, response_mode="direct")
+        # On K_n the reverse path is already one hop; direct only adds the
+        # temporary-connection handshakes, so it costs slightly *more*.
+        assert (
+            direct.aggregate_load().total_bandwidth_bps
+            > reverse.aggregate_load().total_bandwidth_bps
+        )
+        agg = direct.aggregate_load()
+        assert agg.incoming_bps == pytest.approx(agg.outgoing_bps, rel=1e-9)
+
+    def test_unknown_mode_rejected(self, power_instance):
+        with pytest.raises(ValueError):
+            evaluate_instance(power_instance, response_mode="carrier-pigeon")

@@ -1,0 +1,137 @@
+"""Discrete-event engine and Poisson workload tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.workload import PoissonProcess, exponential_interarrivals
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, fired.append, "c")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(1.0, fired.append, 2)
+        sim.schedule(1.0, fired.append, 3)
+        sim.run()
+        assert fired == [1, 2, 3]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.5]
+        assert sim.now == 2.5
+
+    def test_run_until_stops_and_sets_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(10.0, fired.append, "late")
+        sim.run_until(5.0)
+        assert fired == ["early"]
+        assert sim.now == 5.0
+        assert sim.pending == 1
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(1.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 4.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_into_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_run_until_backwards_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.run_until(1.0)
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run(max_events=4)
+        assert sim.events_processed == 4
+        assert sim.pending == 6
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+
+class TestPoisson:
+    def test_interarrival_mean(self):
+        rng = np.random.default_rng(0)
+        gen = exponential_interarrivals(rng, rate=2.0)
+        gaps = [next(gen) for _ in range(20_000)]
+        assert np.mean(gaps) == pytest.approx(0.5, rel=0.03)
+
+    def test_rate_rejected_if_nonpositive(self):
+        with pytest.raises(ValueError):
+            exponential_interarrivals(np.random.default_rng(0), 0.0).__next__()
+
+    def test_process_arrival_count(self):
+        sim = Simulator()
+        hits = []
+        process = PoissonProcess(sim, rate=1.0, action=hits.append, rng=1)
+        process.start()
+        sim.run_until(5000.0)
+        # ~5000 arrivals at rate 1/s.
+        assert len(hits) == pytest.approx(5000, rel=0.06)
+        assert process.arrivals == len(hits)
+
+    def test_process_stop(self):
+        sim = Simulator()
+        hits = []
+        process = PoissonProcess(sim, rate=10.0, action=hits.append, rng=2)
+        process.start()
+        sim.run_until(10.0)
+        process.stop()
+        count = len(hits)
+        sim.run_until(100.0)
+        assert len(hits) == count
+
+    def test_double_start_rejected(self):
+        process = PoissonProcess(Simulator(), 1.0, lambda t: None, rng=0)
+        process.start()
+        with pytest.raises(RuntimeError):
+            process.start()

@@ -1,0 +1,97 @@
+"""Workload composition: the Appendix C queries-to-joins economics."""
+
+import pytest
+
+from repro.config import Configuration, GraphType
+from repro.core.load import evaluate_instance
+from repro.topology.builder import build_instance
+
+
+@pytest.fixture(scope="module")
+def instance():
+    config = Configuration(
+        graph_type=GraphType.STRONG, graph_size=2000, cluster_size=50, ttl=1
+    )
+    return build_instance(config, seed=0)
+
+
+def _component(instance, name):
+    return evaluate_instance(instance, components=(name,)).aggregate_load()
+
+
+class TestDefaultRates:
+    def test_queries_dominate_bandwidth(self, instance):
+        # With queries:joins ~ 10 (the calibrated default), query traffic
+        # is the dominant aggregate bandwidth consumer.
+        q = _component(instance, "query")
+        j = _component(instance, "join")
+        assert q.total_bandwidth_bps > 2 * j.total_bandwidth_bps
+
+    def test_updates_are_negligible(self, instance):
+        # "the overall performance of the system is not sensitive to the
+        # value of the update rate" — update load is a small fraction.
+        q = _component(instance, "query")
+        u = _component(instance, "update")
+        assert u.total_bandwidth_bps < 0.05 * q.total_bandwidth_bps
+
+    def test_event_rate_ratio_matches_appendix_c(self, instance):
+        # Expected queries per session ~ 10: mean lifespan * query rate.
+        config = instance.config
+        mean_lifespan = float(instance.client_lifespans.mean())
+        ratio = mean_lifespan * config.query_rate
+        assert 5 < ratio < 20
+
+
+class TestLowQueryRate:
+    def test_joins_take_over(self):
+        config = Configuration(
+            graph_type=GraphType.STRONG, graph_size=2000, cluster_size=50,
+            ttl=1, query_rate=9.26e-4,
+        )
+        instance = build_instance(config, seed=0)
+        q = _component(instance, "query")
+        j = _component(instance, "join")
+        # At queries:joins ~ 1, join traffic rivals or beats query traffic.
+        assert j.total_bandwidth_bps > 0.5 * q.total_bandwidth_bps
+
+
+class TestScalingLaws:
+    def test_query_load_scales_linearly_with_rate(self, instance):
+        base = _component(instance, "query")
+        doubled_cfg = instance.config.with_changes(
+            query_rate=2 * instance.config.query_rate
+        )
+        from dataclasses import replace
+
+        doubled = evaluate_instance(
+            replace(instance, config=doubled_cfg), components=("query",)
+        ).aggregate_load()
+        assert doubled.total_bandwidth_bps == pytest.approx(
+            2 * base.total_bandwidth_bps, rel=1e-9
+        )
+
+    def test_update_load_scales_linearly_with_rate(self, instance):
+        from dataclasses import replace
+
+        base = _component(instance, "update")
+        doubled_cfg = instance.config.with_changes(
+            update_rate=2 * instance.config.update_rate
+        )
+        doubled = evaluate_instance(
+            replace(instance, config=doubled_cfg), components=("update",)
+        ).aggregate_load()
+        assert doubled.total_bandwidth_bps == pytest.approx(
+            2 * base.total_bandwidth_bps, rel=1e-9
+        )
+
+    def test_join_load_independent_of_query_rate(self, instance):
+        from dataclasses import replace
+
+        base = _component(instance, "join")
+        changed_cfg = instance.config.with_changes(query_rate=1.0)
+        changed = evaluate_instance(
+            replace(instance, config=changed_cfg), components=("join",)
+        ).aggregate_load()
+        assert changed.total_bandwidth_bps == pytest.approx(
+            base.total_bandwidth_bps, rel=1e-12
+        )
