@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Fault tolerance: what k-redundancy buys when super-peers crash.
+
+Section 3.2 motivates the k-redundant virtual super-peer with an
+availability argument.  This walkthrough injects the *same* fault plan —
+partner crashes at the calibrated Gnutella session lengths, 2% per-hop
+message loss, a bounded retry at the originating super-peer — into the
+message-level simulator for k = 1 and k = 2 and compares what a user
+actually experiences: how many queries succeed, how many results go
+missing, how long clients sit orphaned, and what the surviving partners
+pay for it in load.
+
+Run:  python examples/fault_tolerance.py [graph_size]
+"""
+
+import sys
+
+from repro import Configuration, FaultPlan, run_resilience
+from repro.sim.faults import CrashSpec, RetryPolicy
+from repro.topology.builder import build_instance
+
+
+def main() -> None:
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 600
+    duration = 1_500.0
+    plan = FaultPlan(
+        message_loss=0.02,
+        crash=CrashSpec(mean_recovery=120.0),
+        retry=RetryPolicy(timeout=5.0, max_retries=2),
+    )
+    print(f"fault plan: {plan.describe()}")
+    print(f"simulating {duration:.0f}s on {size}-peer networks\n")
+
+    reports = {}
+    for k, redundancy in ((1, False), (2, True)):
+        config = Configuration(
+            graph_size=size, cluster_size=10, redundancy=redundancy
+        )
+        instance = build_instance(config, seed=7)
+        reports[k] = run_resilience(instance, plan, duration=duration, rng=7)
+
+    print(f"{'metric':<34} {'k=1':>12} {'k=2':>12}")
+    for label, fmt, attr in [
+        ("query success rate", "{:.4f}", "query_success_rate"),
+        ("results lost vs fault-free", "{:.1%}", "results_lost_fraction"),
+        ("cluster availability", "{:.4f}", "cluster_availability"),
+        ("orphaned client-seconds", "{:.0f}", "orphaned_client_seconds"),
+        ("failovers absorbed", "{:d}", "failover_count"),
+        ("mean time-to-recover (s)", "{:.1f}", "mean_time_to_recover"),
+        ("longest outage (s)", "{:.1f}", "longest_outage"),
+    ]:
+        cells = [fmt.format(getattr(reports[k], attr)) for k in (1, 2)]
+        print(f"{label:<34} {cells[0]:>12} {cells[1]:>12}")
+
+    print("\nthe price of surviving — load inflation on serving partners:")
+    for k in (1, 2):
+        infl = reports[k].load_inflation()
+        print(f"  k={k}: in {infl['incoming']:+.1%}  out {infl['outgoing']:+.1%}"
+              f"  proc {infl['processing']:+.1%}")
+    print("\n(k=1 shows *negative* inflation: a dark cluster meters nothing,")
+    print(" so lost traffic masquerades as saved load.  k=2 pays a real")
+    print(" surcharge on the survivor — the failover the paper asks for.)")
+
+
+if __name__ == "__main__":
+    main()

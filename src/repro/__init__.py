@@ -47,6 +47,13 @@ from .querymodel import (
 from .sim import (
     AdaptiveLimits,
     AdaptiveNetwork,
+    CrashSpec,
+    FaultPlan,
+    PartitionWindow,
+    ResilienceReport,
+    RetryPolicy,
+    SlowSpec,
+    run_resilience,
     simulate_cluster_churn,
     simulate_instance,
 )
@@ -98,6 +105,13 @@ __all__ = [
     "default_lifespan_distribution",
     "AdaptiveLimits",
     "AdaptiveNetwork",
+    "CrashSpec",
+    "FaultPlan",
+    "PartitionWindow",
+    "ResilienceReport",
+    "RetryPolicy",
+    "SlowSpec",
+    "run_resilience",
     "simulate_cluster_churn",
     "simulate_instance",
     "NetworkInstance",

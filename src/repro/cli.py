@@ -7,6 +7,7 @@ Commands
 ``design``    run the Figure 10 global design procedure
 ``capacity``  largest cluster size fitting a per-super-peer budget
 ``simulate``  run the event-driven simulator on a configuration
+``resilience``  simulate under a fault plan and measure degradation
 ``crawl``     synthesize a Gnutella-style crawl and summarize it
 
 Every command accepts ``--seed`` for reproducibility and prints the same
@@ -19,7 +20,7 @@ import argparse
 import sys
 
 from .config import Configuration, GraphType
-from .reporting import render_load_row, render_table
+from .reporting import render_load_row, render_resilience_report, render_table
 from .units import format_bps, format_hz
 
 
@@ -182,6 +183,36 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_resilience(args: argparse.Namespace) -> int:
+    from .sim.faults import CrashSpec, FaultPlan, RetryPolicy, SlowSpec
+    from .sim.resilience import run_resilience
+    from .topology.builder import build_instance
+
+    config = _config_from_args(args)
+    instance = build_instance(config, seed=args.seed)
+    plan = FaultPlan(
+        message_loss=args.loss,
+        crash=CrashSpec(mean_recovery=args.recovery) if args.recovery > 0 else None,
+        slow=(
+            SlowSpec(fraction=args.slow_fraction, factor=args.slow_factor)
+            if args.slow_fraction > 0 else None
+        ),
+        retry=(
+            RetryPolicy(timeout=args.timeout, max_retries=args.max_retries)
+            if args.max_retries > 0 else None
+        ),
+    )
+    print(instance.describe())
+    print(f"fault plan: {plan.describe()}")
+    report = run_resilience(
+        instance, plan, duration=args.duration, rng=args.seed
+    )
+    print(render_resilience_report(
+        report, title=f"resilience over {args.duration:.0f}s"
+    ))
+    return 0
+
+
 def cmd_crawl(args: argparse.Namespace) -> int:
     from .topology.crawl import synthesize_crawl
 
@@ -246,6 +277,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=3600.0,
                    help="virtual seconds to simulate")
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser(
+        "resilience",
+        help="simulate under a fault plan and measure degraded operation",
+    )
+    _add_config_arguments(p)
+    p.add_argument("--duration", type=float, default=1800.0,
+                   help="virtual seconds to simulate")
+    p.add_argument("--loss", type=float, default=0.0,
+                   help="per-hop message-loss probability")
+    p.add_argument("--recovery", type=float, default=120.0,
+                   help="mean partner-recovery time in seconds "
+                        "(0 disables the crash model)")
+    p.add_argument("--slow-fraction", type=float, default=0.0,
+                   help="fraction of clusters with inflated latency")
+    p.add_argument("--slow-factor", type=float, default=4.0,
+                   help="latency inflation factor for slow clusters")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="query timeout before the source retries")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="retry budget per query (0 disables retries)")
+    p.set_defaults(func=cmd_resilience)
 
     p = sub.add_parser("crawl", help="synthesize a Gnutella-style crawl")
     p.add_argument("--graph-size", type=int, default=20_000)

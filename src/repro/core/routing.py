@@ -119,12 +119,21 @@ def _neighbors_of_frontier(
     return senders, targets
 
 
-def propagate_query(graph, source: int, ttl: int) -> QueryPropagation:
+def propagate_query(
+    graph, source: int, ttl: int, blocked: np.ndarray | None = None
+) -> QueryPropagation:
     """Breadth-first flood of a query from ``source`` with the given TTL.
 
     Works on :class:`OverlayGraph` and on small :class:`CompleteGraph`
     instances (which it materializes); the load engine uses closed forms
     for large complete graphs instead of calling this.
+
+    ``blocked`` (optional boolean mask, one entry per node) marks dead
+    relays: a blocked node never receives, processes, or forwards the
+    query, so floods are truncated around it.  Messages *to* a blocked
+    node are still transmitted (the sender cannot know the target is
+    down) but are never received.  A blocked source yields an empty
+    propagation (nothing is reached, nothing is sent).
     """
     if isinstance(graph, CompleteGraph):
         graph = graph.materialize()
@@ -133,14 +142,26 @@ def propagate_query(graph, source: int, ttl: int) -> QueryPropagation:
         raise IndexError(f"source {source} out of range [0, {n})")
     if ttl < 1:
         raise ValueError("ttl must be >= 1")
+    if blocked is not None:
+        blocked = np.asarray(blocked, dtype=bool)
+        if blocked.shape != (n,):
+            raise ValueError("blocked must have one entry per node")
 
     depth = np.full(n, -1, dtype=np.int64)
     pred = np.full(n, -1, dtype=np.int64)
+    if blocked is not None and blocked[source]:
+        empty = np.zeros(n, dtype=np.float64)
+        return QueryPropagation(
+            source=source, ttl=ttl, depth=depth, pred=pred,
+            transmissions=empty, receipts=empty.copy(),
+        )
     depth[source] = 0
     frontier = np.array([source], dtype=np.int64)
     for d in range(ttl):
         senders, targets = _neighbors_of_frontier(graph, frontier)
         fresh = depth[targets] == -1
+        if blocked is not None and targets.size:
+            fresh &= ~blocked[targets]
         targets = targets[fresh]
         senders = senders[fresh]
         if targets.size == 0:
@@ -166,6 +187,8 @@ def propagate_query(graph, source: int, ttl: int) -> QueryPropagation:
     # copy to u, except the edge back to v's own predecessor.
     tails, heads = graph.directed_edge_arrays()
     live = forwarder[tails] & (pred[tails] != heads)
+    if blocked is not None:
+        live &= ~blocked[heads]
     receipts = np.bincount(heads[live], minlength=n).astype(np.float64)
 
     return QueryPropagation(

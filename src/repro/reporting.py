@@ -8,9 +8,12 @@ shapes can be compared side by side with the original.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from .units import format_bps, format_hz
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .sim.resilience import ResilienceReport
 
 
 def render_table(
@@ -63,6 +66,33 @@ def render_load_row(label: str, incoming_bps: float, outgoing_bps: float,
         f"{label:<28} in={format_bps(incoming_bps):>12} "
         f"out={format_bps(outgoing_bps):>12} proc={format_hz(processing_hz):>12}"
     )
+
+
+def render_resilience_report(report: "ResilienceReport",
+                             title: str | None = None) -> str:
+    """Render a degraded-mode comparison (``sim.resilience``) as tables.
+
+    One metric table (success rate, losses, failovers, recovery times)
+    followed by Figure 11-style load rows contrasting what the serving
+    partners carry under faults against the fault-free baseline.
+    """
+    lines = [render_table(
+        ["metric", "value"],
+        report.summary_rows(),
+        title=title or "degraded-mode resilience report",
+    )]
+    base = report.baseline.mean_superpeer_load()
+    degraded = report.degraded.mean_superpeer_load()
+    lines.append("")
+    lines.append(render_load_row("super-peer (fault-free)", *base))
+    lines.append(render_load_row("super-peer (degraded)", *degraded))
+    inflation = report.load_inflation()
+    lines.append(
+        "load inflation on serving partners: "
+        f"in {inflation['incoming']:+.1%}  out {inflation['outgoing']:+.1%}  "
+        f"proc {inflation['processing']:+.1%}"
+    )
+    return "\n".join(lines)
 
 
 def _cell(value: object) -> str:

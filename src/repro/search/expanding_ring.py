@@ -32,6 +32,7 @@ class ExpandingRingSearch(SearchProtocol):
         model=None,
         policy: tuple[int, ...] = (1, 2, 4, 7),
         result_target: float = 50.0,
+        dead_clusters=None,
     ):
         super().__init__(instance, model)
         if not policy or any(t < 1 for t in policy):
@@ -42,6 +43,10 @@ class ExpandingRingSearch(SearchProtocol):
             raise ValueError("result_target must be positive")
         self.policy = tuple(policy)
         self.result_target = result_target
+        # Dead relays truncate every ring (see FloodingSearch); a ring
+        # that comes back short of the target escalates to the next TTL,
+        # so faults surface as extra query traffic, not just lost reach.
+        self.dead_clusters = dead_clusters
 
     def _propagate(self, source: int, ttl: int):
         graph = self.instance.graph
@@ -53,7 +58,8 @@ class ExpandingRingSearch(SearchProtocol):
         floods = []
         final = None
         for ttl in self.policy:
-            ring = FloodingSearch(self.instance, self.model, ttl=ttl)
+            ring = FloodingSearch(self.instance, self.model, ttl=ttl,
+                                  dead_clusters=self.dead_clusters)
             cost = ring.query_cost(source)
             floods.append(cost)
             final = cost
@@ -79,7 +85,8 @@ class ExpandingRingSearch(SearchProtocol):
     def rings_needed(self, source: int) -> int:
         """How many rings the policy issues at this source."""
         for i, ttl in enumerate(self.policy):
-            ring = FloodingSearch(self.instance, self.model, ttl=ttl)
+            ring = FloodingSearch(self.instance, self.model, ttl=ttl,
+                                  dead_clusters=self.dead_clusters)
             if ring.query_cost(source).expected_results >= self.result_target:
                 return i + 1
         return len(self.policy)

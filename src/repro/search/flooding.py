@@ -4,6 +4,11 @@ Thin adapter over :mod:`repro.core.routing` so the protocol comparison
 measures the same flood the load engine charges; response accounting is
 reverse-path with per-hop forwarding (every hop re-transmits the
 Response message).
+
+``dead_clusters`` exposes the protocol to degraded operation (the
+``sim.faults`` fault model): clusters marked dead neither relay nor
+respond, so the flood truncates around them and the measured reach and
+result count drop accordingly.
 """
 
 from __future__ import annotations
@@ -20,17 +25,24 @@ class FloodingSearch(SearchProtocol):
 
     name = "flooding"
 
-    def __init__(self, instance, model=None, ttl: int | None = None):
+    def __init__(self, instance, model=None, ttl: int | None = None,
+                 dead_clusters: np.ndarray | None = None):
         super().__init__(instance, model)
         self.ttl = ttl if ttl is not None else instance.config.ttl
         if self.ttl < 1:
             raise ValueError("ttl must be >= 1")
+        if dead_clusters is not None:
+            dead_clusters = np.asarray(dead_clusters, dtype=bool)
+            if dead_clusters.shape != (instance.num_clusters,):
+                raise ValueError("dead_clusters must have one entry per cluster")
+        self.dead_clusters = dead_clusters
 
     def _propagate(self, source: int):
         graph = self.instance.graph
-        if isinstance(graph, CompleteGraph):
+        if self.dead_clusters is None and isinstance(graph, CompleteGraph):
             return complete_graph_propagation(graph.num_nodes, source, self.ttl)
-        return propagate_query(graph, source, self.ttl)
+        return propagate_query(graph, source, self.ttl,
+                               blocked=self.dead_clusters)
 
     def query_cost(self, source: int) -> QueryCost:
         prop = self._propagate(source)
@@ -40,6 +52,8 @@ class FloodingSearch(SearchProtocol):
 
         msgs, addr, res = self._response_triple(responders)
         own_results = float(self.expectations.expected_results[source])
+        if self.dead_clusters is not None and self.dead_clusters[source]:
+            own_results = 0.0  # a dead source serves nobody
 
         # Response forwarding: each responder's message is re-sent at
         # every hop of its reverse path, so the transmission count is the

@@ -17,6 +17,15 @@ from .workload import PoissonProcess, exponential_interarrivals
 from .network import SimulationReport, simulate_instance
 from .churn import ChurnResult, simulate_cluster_churn
 from .local import AdaptiveNetwork, AdaptiveLimits, AdaptiveHistory
+from .faults import (
+    CrashSpec,
+    FaultOutcome,
+    FaultPlan,
+    PartitionWindow,
+    RetryPolicy,
+    SlowSpec,
+)
+from .resilience import ResilienceReport, run_resilience
 
 __all__ = [
     "Simulator",
@@ -30,4 +39,12 @@ __all__ = [
     "AdaptiveNetwork",
     "AdaptiveLimits",
     "AdaptiveHistory",
+    "CrashSpec",
+    "FaultOutcome",
+    "FaultPlan",
+    "PartitionWindow",
+    "RetryPolicy",
+    "SlowSpec",
+    "ResilienceReport",
+    "run_resilience",
 ]

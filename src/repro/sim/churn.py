@@ -33,6 +33,7 @@ class ChurnResult:
     downtime: float
     outages: int
     partner_failures: int
+    longest_outage: float = 0.0
 
     @property
     def availability(self) -> float:
@@ -47,6 +48,11 @@ class ChurnResult:
     def outage_rate(self) -> float:
         """Cluster-disconnection events per second."""
         return self.outages / self.duration
+
+    @property
+    def mean_outage(self) -> float:
+        """Mean length of a cluster-disconnection window, seconds."""
+        return self.downtime / self.outages if self.outages else 0.0
 
 
 class _ClusterChurn:
@@ -70,6 +76,7 @@ class _ClusterChurn:
         self.downtime = 0.0
         self.outages = 0
         self.partner_failures = 0
+        self.longest_outage = 0.0
         self._outage_started: float | None = None
         for slot in range(k):
             self._schedule_failure(slot)
@@ -93,21 +100,27 @@ class _ClusterChurn:
             self._outage_started = self.sim.now
         self._schedule_replacement(slot)
 
+    def _close_outage(self, end_time: float) -> None:
+        if self._outage_started is None:
+            return
+        length = end_time - self._outage_started
+        self.downtime += length
+        self.longest_outage = max(self.longest_outage, length)
+        self._outage_started = None
+
     def _replace(self, slot: int) -> None:
         if self.up[slot]:
             return
-        if self.live == 0 and self._outage_started is not None:
-            self.downtime += self.sim.now - self._outage_started
-            self._outage_started = None
+        if self.live == 0:
+            self._close_outage(self.sim.now)
         self.up[slot] = True
         self.live += 1
         self._schedule_failure(slot)
 
     def finish(self, end_time: float) -> None:
         """Close an outage still open at the end of the simulation."""
-        if self.live == 0 and self._outage_started is not None:
-            self.downtime += end_time - self._outage_started
-            self._outage_started = None
+        if self.live == 0:
+            self._close_outage(end_time)
 
 
 def simulate_cluster_churn(
@@ -133,6 +146,7 @@ def simulate_cluster_churn(
         downtime=cluster.downtime,
         outages=cluster.outages,
         partner_failures=cluster.partner_failures,
+        longest_outage=cluster.longest_outage,
     )
 
 

@@ -2,8 +2,15 @@
 
 Priority-queue scheduler with cancellable events and deterministic
 tie-breaking (events at equal times fire in scheduling order).  This is
-the substrate under ``sim.network`` (message-level P2P simulation) and
-``sim.churn`` (failure/replacement processes).
+the substrate under ``sim.network`` (message-level P2P simulation),
+``sim.churn`` (failure/replacement processes) and ``sim.faults``
+(crash/recovery schedules).
+
+Cancelled entries are removed lazily: they stay in the heap until popped
+or until more than half of the heap is dead weight, at which point the
+heap is compacted in one pass.  Fault-heavy runs cancel many timers
+(retry timeouts, recovery watchdogs), so without compaction the heap
+would grow unboundedly over long simulations.
 """
 
 from __future__ import annotations
@@ -21,15 +28,17 @@ class _Entry:
     callback: Callable[..., Any] = field(compare=False)
     args: tuple = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    done: bool = field(compare=False, default=False)
 
 
 class EventHandle:
     """Opaque handle returned by :meth:`Simulator.schedule`; cancellable."""
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_entry", "_sim")
 
-    def __init__(self, entry: _Entry) -> None:
+    def __init__(self, entry: _Entry, sim: "Simulator") -> None:
         self._entry = entry
+        self._sim = sim
 
     @property
     def time(self) -> float:
@@ -41,17 +50,26 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Cancel the event (no-op if already fired or cancelled)."""
-        self._entry.cancelled = True
+        entry = self._entry
+        if entry.cancelled or entry.done:
+            return
+        entry.cancelled = True
+        self._sim._note_cancel()
 
 
 class Simulator:
     """A single-threaded event loop over virtual time."""
 
+    #: Heaps smaller than this are never compacted (not worth the pass).
+    COMPACT_MIN = 64
+
     def __init__(self) -> None:
         self._heap: list[_Entry] = []
         self._seq = itertools.count()
+        self._cancelled = 0
         self.now = 0.0
         self.events_processed = 0
+        self.compactions = 0
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args) -> EventHandle:
         """Schedule ``callback(*args)`` to fire ``delay`` from now."""
@@ -65,14 +83,39 @@ class Simulator:
             raise ValueError(f"cannot schedule into the past ({time} < {self.now})")
         entry = _Entry(time=time, seq=next(self._seq), callback=callback, args=args)
         heapq.heappush(self._heap, entry)
-        return EventHandle(entry)
+        return EventHandle(entry, self)
+
+    def _note_cancel(self) -> None:
+        """Bookkeeping for one cancellation; compact when >50% dead."""
+        self._cancelled += 1
+        if (
+            len(self._heap) >= self.COMPACT_MIN
+            and self._cancelled * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop all cancelled entries and re-heapify the survivors."""
+        self._heap = [entry for entry in self._heap if not entry.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self.compactions += 1
+
+    def _pop_cancelled(self) -> _Entry:
+        """Pop one known-cancelled entry off the heap head."""
+        entry = heapq.heappop(self._heap)
+        entry.done = True
+        self._cancelled -= 1
+        return entry
 
     def step(self) -> bool:
         """Fire the next pending event; False if the queue is empty."""
         while self._heap:
-            entry = heapq.heappop(self._heap)
-            if entry.cancelled:
+            if self._heap[0].cancelled:
+                self._pop_cancelled()
                 continue
+            entry = heapq.heappop(self._heap)
+            entry.done = True
             self.now = entry.time
             entry.callback(*entry.args)
             self.events_processed += 1
@@ -90,7 +133,7 @@ class Simulator:
         while self._heap:
             entry = self._heap[0]
             if entry.cancelled:
-                heapq.heappop(self._heap)
+                self._pop_cancelled()
                 continue
             if entry.time > end_time:
                 break
@@ -108,4 +151,9 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Number of scheduled, not-yet-cancelled events."""
-        return sum(1 for entry in self._heap if not entry.cancelled)
+        return len(self._heap) - self._cancelled
+
+    @property
+    def heap_size(self) -> int:
+        """Physical heap length, cancelled entries included (for tests)."""
+        return len(self._heap)

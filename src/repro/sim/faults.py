@@ -1,0 +1,520 @@
+"""Composable fault plans for the message-level simulator.
+
+The paper's reliability argument (Section 3.2) is that a k-redundant
+virtual super-peer keeps serving its cluster while individual partners
+die.  The fault-free simulator in :mod:`repro.sim.network` cannot test
+that claim — messages always arrive, partners are replaced instantly —
+so this module defines the failure modes a real deployment sees and the
+runtime that injects them into a simulation:
+
+* **message loss** — every overlay hop drops each message independently
+  with a fixed probability;
+* **super-peer crash/recovery** — partner slots alternate up-times drawn
+  from the instance's calibrated lifespan model with down-windows of a
+  configurable mean, instead of the fault-free model's instantaneous
+  replacement.  While *all* partners of a cluster are down, the cluster
+  is dark: it neither relays nor answers, and its clients are orphaned;
+* **network partitions** — time windows during which an "island" of
+  clusters is cut off from the rest of the overlay;
+* **slow nodes** — a fraction of clusters whose forwarding latency is
+  inflated by a factor, modelled as the fraction of their forwards that
+  miss the query deadline.
+
+A :class:`FaultPlan` bundles any combination (compose plans with ``|``).
+All fault randomness is drawn from a dedicated RNG stream, never from
+the workload stream, so a zero-fault plan reproduces the fault-free
+simulation bit for bit and fault plans are deterministic under a fixed
+seed (the ``derive_rng`` stream-splitting discipline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+
+import numpy as np
+
+from ..core.routing import QueryPropagation, _neighbors_of_frontier
+from ..topology.strong import CompleteGraph
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """Partner crash/recovery schedule.
+
+    Up-times are exponential with each slot's instance-assigned mean
+    lifespan (scaled by ``lifespan_scale``); down-windows are exponential
+    with mean ``mean_recovery`` seconds — the time to detect the failure
+    and promote/boot a replacement.  When a plan carries a CrashSpec, the
+    crash machinery *replaces* the fault-free simulator's instantaneous
+    partner churn, and the replacement's index rebuild is charged at
+    recovery time.
+    """
+
+    mean_recovery: float = 120.0
+    lifespan_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mean_recovery <= 0:
+            raise ValueError("mean_recovery must be positive")
+        if self.lifespan_scale <= 0:
+            raise ValueError("lifespan_scale must be positive")
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """During ``[start, end)`` the ``island`` clusters are cut off.
+
+    Overlay messages crossing the island boundary (either direction) are
+    dropped; traffic within the island and within the mainland flows
+    normally.
+    """
+
+    start: float
+    end: float
+    island: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start or self.start < 0:
+            raise ValueError("need 0 <= start < end")
+        if not self.island:
+            raise ValueError("island must name at least one cluster")
+        object.__setattr__(self, "island", tuple(int(c) for c in self.island))
+
+
+@dataclass(frozen=True)
+class SlowSpec:
+    """A random ``fraction`` of clusters forward ``factor``x slower.
+
+    A message forwarded by a slow node misses the query deadline with
+    probability ``1 - 1/factor`` (a 2x-slow relay loses half its
+    forwards to the timeout), which is how latency inflation surfaces in
+    a simulator that accounts message exchanges synchronously.
+    """
+
+    fraction: float
+    factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1")
+
+    @property
+    def drop_prob(self) -> float:
+        return 1.0 - 1.0 / self.factor
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout/retry behaviour of the originating super-peer.
+
+    When a flood loses messages, the source waits ``timeout`` seconds
+    and re-floods, up to ``max_retries`` times with exponential backoff
+    (``timeout * backoff**i`` before retry ``i``).  Each retry pays full
+    flood cost; the client keeps the best (deduplicated) result set.
+    """
+
+    timeout: float = 5.0
+    max_retries: int = 2
+    backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A composable bundle of failure modes to inject into a simulation."""
+
+    message_loss: float = 0.0
+    crash: CrashSpec | None = None
+    partitions: tuple[PartitionWindow, ...] = ()
+    slow: SlowSpec | None = None
+    retry: RetryPolicy | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.message_loss < 1.0:
+            raise ValueError("message_loss must be in [0, 1)")
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan injects no faults at all.
+
+        The simulator normalizes a null plan to "no fault layer", which
+        is what makes the layer pay-for-what-you-use: a zero-fault run
+        is bit-identical to a fault-free run.
+        """
+        return (
+            self.message_loss == 0.0
+            and self.crash is None
+            and not self.partitions
+            and (self.slow is None or self.slow.fraction == 0.0)
+        )
+
+    def with_changes(self, **changes) -> "FaultPlan":
+        return replace(self, **changes)
+
+    def __or__(self, other: "FaultPlan") -> "FaultPlan":
+        """Compose two plans: ``other``'s non-default fields win."""
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        merged = {}
+        for f in fields(FaultPlan):
+            ours, theirs = getattr(self, f.name), getattr(other, f.name)
+            merged[f.name] = theirs if theirs != f.default else ours
+        return FaultPlan(**merged)
+
+    def describe(self) -> str:
+        parts = []
+        if self.message_loss:
+            parts.append(f"loss={self.message_loss:.3g}/hop")
+        if self.crash is not None:
+            parts.append(f"crash(recovery~{self.crash.mean_recovery:.0f}s)")
+        if self.partitions:
+            parts.append(f"{len(self.partitions)} partition window(s)")
+        if self.slow is not None and self.slow.fraction > 0:
+            parts.append(
+                f"slow({self.slow.fraction:.0%} of clusters, {self.slow.factor:g}x)"
+            )
+        if self.retry is not None:
+            parts.append(
+                f"retry(<= {self.retry.max_retries}, timeout {self.retry.timeout:g}s)"
+            )
+        return " + ".join(parts) if parts else "no faults"
+
+
+@dataclass
+class FaultOutcome:
+    """Degraded-mode counters a faulty simulation fills in as it runs."""
+
+    queries_attempted: int = 0
+    queries_failed: int = 0       # client got no results back
+    orphaned_queries: int = 0     # source cluster fully dark at query time
+    truncated_floods: int = 0     # queries whose flood lost >= 1 message
+    retries: int = 0
+    retry_wait_seconds: float = 0.0
+    flood_messages_lost: int = 0
+    response_messages_lost: float = 0.0
+    partner_crashes: int = 0
+    partner_recoveries: int = 0
+    failovers: int = 0            # crashes absorbed by a surviving partner
+    outages: int = 0              # cluster-wide blackouts
+    orphaned_client_seconds: float = 0.0
+    deferred_joins: int = 0       # client churn during a blackout
+    lost_updates: int = 0
+    recovery_times: list[float] = field(default_factory=list)
+    longest_outage: float = 0.0
+    cluster_downtime: np.ndarray | None = None
+
+    @property
+    def query_success_rate(self) -> float:
+        """Fraction of attempted queries whose user got >= 1 result."""
+        if self.queries_attempted == 0:
+            return 1.0
+        return 1.0 - self.queries_failed / self.queries_attempted
+
+    @property
+    def mean_time_to_recover(self) -> float:
+        """Mean cluster-blackout length among recovered outages, seconds."""
+        if not self.recovery_times:
+            return 0.0
+        return float(np.mean(self.recovery_times))
+
+
+@dataclass(frozen=True)
+class FloodStats:
+    """Delivery accounting of one sampled flood."""
+
+    attempted: int
+    delivered: int
+
+    @property
+    def lost(self) -> int:
+        return self.attempted - self.delivered
+
+
+class FaultRuntime:
+    """Live fault state bound to one simulation run.
+
+    Tracks which partner slots are up, answers per-hop delivery checks,
+    schedules crash/recovery events on the simulator, and accumulates
+    the :class:`FaultOutcome` counters.
+    """
+
+    def __init__(self, plan, instance, rng, metrics=None) -> None:
+        self.plan = plan
+        self.instance = instance
+        self.rng = rng
+        self.metrics = metrics if metrics is not None else FaultOutcome()
+        n = instance.num_clusters
+        k = instance.partners
+        self.n = n
+        self.k = k
+        self.up = np.ones((n, k), dtype=bool)
+        self.live = np.full(n, k, dtype=np.int64)
+        self.slow_drop = np.zeros(n)
+        if plan.slow is not None and plan.slow.fraction > 0:
+            count = int(round(plan.slow.fraction * n))
+            if count > 0:
+                slow_ids = rng.choice(n, size=min(count, n), replace=False)
+                self.slow_drop[slow_ids] = plan.slow.drop_prob
+        self._has_slow = bool(self.slow_drop.any())
+        self._islands = []
+        for window in plan.partitions:
+            mask = np.zeros(n, dtype=bool)
+            ids = np.asarray(window.island, dtype=np.int64)
+            if ids.min(initial=0) < 0 or ids.max(initial=0) >= n:
+                raise ValueError("partition island names an unknown cluster")
+            mask[ids] = True
+            self._islands.append((window.start, window.end, mask))
+        self._outage_started = np.full(n, -1.0)
+        self._downtime = np.zeros(n)
+        self.sim = None
+        self._on_recovery = None
+
+    # --- crash/recovery schedule ---------------------------------------------
+
+    def install(self, sim, on_recovery) -> None:
+        """Bind to a simulator and start the crash processes (if any).
+
+        ``on_recovery(cluster, partner)`` is called when a replacement
+        partner comes up, so the network layer can charge the index
+        rebuild (handshakes + metadata exchange).
+        """
+        self.sim = sim
+        self._on_recovery = on_recovery
+        if self.plan.crash is None:
+            return
+        for c in range(self.n):
+            for p in range(self.k):
+                self._schedule_crash(c, p)
+
+    def _schedule_crash(self, cluster: int, partner: int) -> None:
+        mean = (
+            float(self.instance.partner_lifespans[cluster, partner])
+            * self.plan.crash.lifespan_scale
+        )
+        self.sim.schedule(float(self.rng.exponential(mean)), self._crash,
+                          cluster, partner)
+
+    def _crash(self, cluster: int, partner: int) -> None:
+        self.up[cluster, partner] = False
+        self.live[cluster] -= 1
+        self.metrics.partner_crashes += 1
+        if self.live[cluster] == 0:
+            self.metrics.outages += 1
+            self._outage_started[cluster] = self.sim.now
+        else:
+            # Surviving partners absorb the crashed slot's clients: the
+            # connections are already open under k-redundancy, so the
+            # failover itself is free — round-robin simply skips the
+            # dead slot from now on.
+            self.metrics.failovers += 1
+        gap = float(self.rng.exponential(self.plan.crash.mean_recovery))
+        self.sim.schedule(gap, self._recover, cluster, partner)
+
+    def _recover(self, cluster: int, partner: int) -> None:
+        if self.live[cluster] == 0:
+            self._close_outage(cluster, self.sim.now)
+        self.up[cluster, partner] = True
+        self.live[cluster] += 1
+        self.metrics.partner_recoveries += 1
+        if self._on_recovery is not None:
+            self._on_recovery(cluster, partner)
+        self._schedule_crash(cluster, partner)
+
+    def _close_outage(self, cluster: int, end_time: float) -> None:
+        started = self._outage_started[cluster]
+        if started < 0:
+            return
+        length = end_time - started
+        self._downtime[cluster] += length
+        self.metrics.recovery_times.append(length)
+        self.metrics.longest_outage = max(self.metrics.longest_outage, length)
+        clients = int(self.instance.clients[cluster])
+        self.metrics.orphaned_client_seconds += clients * length
+        self._outage_started[cluster] = -1.0
+
+    def finish(self, end_time: float) -> FaultOutcome:
+        """Close open outages at the end of the run and seal the metrics."""
+        for c in np.nonzero(self._outage_started >= 0)[0]:
+            # Still dark at the end: counts toward downtime/orphaning but
+            # not toward time-to-recover (the cluster never recovered).
+            started = self._outage_started[c]
+            length = end_time - started
+            self._downtime[c] += length
+            self.metrics.longest_outage = max(self.metrics.longest_outage, length)
+            self.metrics.orphaned_client_seconds += (
+                int(self.instance.clients[c]) * length
+            )
+            self._outage_started[c] = -1.0
+        self.metrics.cluster_downtime = self._downtime.copy()
+        return self.metrics
+
+    # --- per-hop delivery checks ---------------------------------------------
+
+    def edge_cut(self, senders: np.ndarray, targets: np.ndarray,
+                 now: float) -> np.ndarray | None:
+        """Mask of (sender, target) hops severed by an active partition."""
+        cut = None
+        for start, end, island in self._islands:
+            if start <= now < end:
+                crossing = island[senders] != island[targets]
+                cut = crossing if cut is None else (cut | crossing)
+        return cut
+
+    def alive_mask(self) -> np.ndarray:
+        """Clusters with at least one live partner."""
+        return self.live > 0
+
+    def pick_live_partner(self, round_robin: np.ndarray, cluster: int) -> int:
+        """Round-robin over live partners only (failover skips dead slots)."""
+        k = self.k
+        p = int(round_robin[cluster])
+        for _ in range(k):
+            candidate = p % k
+            p += 1
+            if self.up[cluster, candidate]:
+                round_robin[cluster] = p % k
+                return candidate
+        raise RuntimeError("pick_live_partner called on a dark cluster")
+
+
+def sampled_propagation(
+    graph, source: int, ttl: int, runtime: FaultRuntime, now: float
+) -> tuple[QueryPropagation, FloodStats]:
+    """BFS flood with per-hop delivery sampling under a fault runtime.
+
+    Differs from :func:`repro.core.routing.propagate_query` in that each
+    overlay message is individually subjected to the fault plan: dark
+    clusters receive nothing (and never forward — floods truncate around
+    them), partitioned hops are severed, and random loss / slow-node
+    deadline misses drop messages with their configured probabilities.
+    Senders pay for every attempted transmission; receipts count only
+    deliveries.  All randomness comes from the runtime's fault stream.
+    """
+    if isinstance(graph, CompleteGraph):
+        graph = graph.materialize()
+    n = graph.num_nodes
+    if ttl < 1:
+        raise ValueError("ttl must be >= 1")
+    alive = runtime.alive_mask()
+    rng = runtime.rng
+    loss = runtime.plan.message_loss
+    slow = runtime.slow_drop
+
+    depth = np.full(n, -1, dtype=np.int64)
+    pred = np.full(n, -1, dtype=np.int64)
+    transmissions = np.zeros(n, dtype=np.float64)
+    receipts = np.zeros(n, dtype=np.float64)
+    attempted = delivered = 0
+
+    if alive[source]:
+        depth[source] = 0
+        frontier = np.array([source], dtype=np.int64)
+        for d in range(ttl):
+            senders, targets = _neighbors_of_frontier(graph, frontier)
+            if targets.size == 0:
+                break
+            # Forwarders skip the hop back to their predecessor.
+            keep = pred[senders] != targets
+            senders, targets = senders[keep], targets[keep]
+            m = senders.size
+            if m == 0:
+                break
+            np.add.at(transmissions, senders, 1.0)
+            attempted += m
+            ok = alive[targets]
+            cut = runtime.edge_cut(senders, targets, now)
+            if cut is not None:
+                ok &= ~cut
+            p_deliver = (1.0 - loss) * (1.0 - slow[senders])
+            if loss > 0.0 or runtime._has_slow:
+                ok &= rng.random(m) < p_deliver
+            delivered += int(np.count_nonzero(ok))
+            hit_targets = targets[ok]
+            hit_senders = senders[ok]
+            np.add.at(receipts, hit_targets, 1.0)
+            fresh = depth[hit_targets] == -1
+            hit_targets = hit_targets[fresh]
+            hit_senders = hit_senders[fresh]
+            if hit_targets.size == 0:
+                break
+            unique_targets, first_index = np.unique(hit_targets, return_index=True)
+            depth[unique_targets] = d + 1
+            pred[unique_targets] = hit_senders[first_index]
+            frontier = unique_targets
+
+    prop = QueryPropagation(
+        source=source, ttl=ttl, depth=depth, pred=pred,
+        transmissions=transmissions, receipts=receipts,
+    )
+    return prop, FloodStats(attempted=attempted, delivered=delivered)
+
+
+def sample_response_edges(prop: QueryPropagation, runtime: FaultRuntime,
+                          now: float) -> np.ndarray:
+    """Sample, per reached node, whether its upward response hop delivers.
+
+    The response burst from node ``v``'s subtree crosses the tree edge
+    ``v -> pred[v]`` together (within the same delivery window), so the
+    edge is sampled once and shared by everything ``v`` forwards.
+    Returns a boolean ``edge_pass`` array; False severs the subtree's
+    responses at that hop (they are still *sent* by ``v`` — the sender
+    pays — but nothing above ``v`` receives them).
+    """
+    n = prop.depth.size
+    edge_pass = np.zeros(n, dtype=bool)
+    nodes = np.nonzero(prop.reached)[0]
+    nodes = nodes[nodes != prop.source]
+    if nodes.size == 0:
+        return edge_pass
+    preds = prop.pred[nodes]
+    ok = np.ones(nodes.size, dtype=bool)
+    loss = runtime.plan.message_loss
+    if loss > 0.0 or runtime._has_slow:
+        p_deliver = (1.0 - loss) * (1.0 - runtime.slow_drop[nodes])
+        ok &= runtime.rng.random(nodes.size) < p_deliver
+    cut = runtime.edge_cut(nodes, preds, now)
+    if cut is not None:
+        ok &= ~cut
+    edge_pass[nodes] = ok
+    return edge_pass
+
+
+def lossy_accumulate(
+    prop: QueryPropagation,
+    edge_pass: np.ndarray,
+    channels: list[np.ndarray],
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Fold response weights toward the source across surviving hops.
+
+    For each channel (messages / addresses / result records) returns
+    ``(sent, received)`` arrays where ``sent[v]`` is what ``v`` transmits
+    toward its predecessor (charged to ``v`` whether or not the hop
+    delivers) and ``received[v]`` is what actually arrives at ``v`` from
+    its subtree children.  ``received[source]`` is the query's delivered
+    response volume.
+    """
+    n = prop.depth.size
+    sent = [np.asarray(w, dtype=float).copy() for w in channels]
+    received = [np.zeros(n) for _ in channels]
+    for d in range(prop.max_depth, 0, -1):
+        level = np.nonzero(prop.depth == d)[0]
+        if level.size == 0:
+            continue
+        passing = level[edge_pass[level]]
+        if passing.size == 0:
+            continue
+        preds = prop.pred[passing]
+        for s_arr, r_arr in zip(sent, received):
+            np.add.at(r_arr, preds, s_arr[passing])
+            np.add.at(s_arr, preds, s_arr[passing])
+    return sent, received

@@ -15,6 +15,17 @@ the number of actions without changing any measured load).
 The headline use is validation: on the same instance, the long-run
 average loads measured here must converge to the MVA's expectations —
 ``tests/test_sim_vs_mva.py`` holds that contract.
+
+Fault injection (``repro.sim.faults``) threads through the same query
+path: under a :class:`~repro.sim.faults.FaultPlan`, every overlay hop is
+individually checked for delivery, dark clusters truncate floods, the
+originating super-peer retries lossy queries with bounded backoff, and
+partner crash/recovery replaces the instantaneous-churn model.  The
+fault layer is pay-for-what-you-use: with no plan (or a null plan) the
+fault-free code path runs untouched, drawing the exact same RNG stream,
+so results are bit-identical to a run without the layer.  Degraded-mode
+metrics land in a :class:`~repro.sim.faults.FaultOutcome`; the
+measurement harness around this is :mod:`repro.sim.resilience`.
 """
 
 from __future__ import annotations
@@ -34,6 +45,14 @@ from ..topology.builder import NetworkInstance
 from ..topology.strong import CompleteGraph
 from ..units import bytes_per_second_to_bps, units_per_second_to_hz
 from .engine import Simulator
+from .faults import (
+    FaultOutcome,
+    FaultPlan,
+    FaultRuntime,
+    lossy_accumulate,
+    sample_response_edges,
+    sampled_propagation,
+)
 
 _QUERY_BYTES = constants.QUERY_MESSAGE_BASE + constants.QUERY_STRING_LENGTH
 _SEND_Q = costs.SEND_QUERY_BASE + costs.SEND_QUERY_PER_BYTE * constants.QUERY_STRING_LENGTH
@@ -256,10 +275,193 @@ def _run_query(state: _State, source_cluster: int, client_index: int | None) -> 
         )
 
 
-def _run_client_churn(state: _State, client_index: int) -> None:
-    """One client leaves and its replacement joins (metadata to each partner)."""
+def _run_query_faulty(state: _State, rt: FaultRuntime, source_cluster: int,
+                      client_index: int | None) -> None:
+    """One query under a fault plan: sampled delivery, retries, failover.
+
+    Mirrors :func:`_run_query` with three degradations: the flood and
+    the reverse-path responses are per-hop sampled (``sim.faults``),
+    dark clusters orphan their queries outright, and a flood whose
+    timeout expires with *no* results is retried by the originating
+    super-peer under the plan's retry policy (each retry pays full
+    flood cost; the user keeps the best attempt's results).  The source
+    cannot see lost responses, only silence — so loss that still leaves
+    some results goes unretried.  Per-partner meters divide by the
+    *live* partner count — survivors of a crash bear the full cluster
+    load.
+    """
+    st = state
+    met = rt.metrics
+    s = source_cluster
+    rng = st.rng
+    # Draw the query class and per-collection matches exactly as the
+    # fault-free path does — same stream, same order, once per query —
+    # so a degraded run and its baseline see the *same* workload
+    # (common random numbers) and differ only in delivery.  Retries
+    # reuse the draws: the indexes don't change between attempts.
+    j = int(rng.choice(st.model.num_classes, p=st.model.g))
+    f_j = float(st.model.f[j])
+    client_matches = (
+        rng.binomial(st.client_files, f_j) if f_j > 0 else np.zeros_like(st.client_files)
+    )
+    partner_matches = (
+        rng.binomial(st.partner_files, f_j) if f_j > 0 else np.zeros_like(st.partner_files)
+    )
+    if rt.live[s] == 0:
+        # The cluster is dark.  A client query dies on a dead socket; a
+        # super-peer-sourced query has no live originator at all.
+        if client_index is not None:
+            met.queries_attempted += 1
+            met.queries_failed += 1
+            met.orphaned_queries += 1
+        return
+    st.num_queries += 1
+    met.queries_attempted += 1
+    ptr = st.instance.client_ptr
+    client_sum = np.add.reduceat(np.append(client_matches, 0), ptr[:-1])
+    client_sum[st.instance.clients == 0] = 0
+    client_hit_count = np.add.reduceat(np.append(client_matches > 0, False), ptr[:-1])
+    client_hit_count[st.instance.clients == 0] = 0
+    n_results = client_sum + partner_matches.sum(axis=1)
+    k_addr = client_hit_count + (partner_matches > 0).sum(axis=1)
+    kv = np.maximum(rt.live, 1).astype(float)
+
+    if client_index is not None:
+        # Failover: round-robin over live partners only.
+        rt.pick_live_partner(st.round_robin, s)
+        st.cl_out[client_index] += _QUERY_BYTES
+        st.cl_proc[client_index] += _SEND_Q + _MUX * st.m_cl
+        st.sp_in[s] += _QUERY_BYTES / kv[s]
+        st.sp_proc[s] += (_RECV_Q + _MUX * st.m_sp[s]) / kv[s]
+
+    retry = rt.plan.retry
+    max_attempts = 1 + (retry.max_retries if retry is not None else 0)
+    best_results = 0.0
+    best_reach = 0.0
+    saw_loss = False
+    for attempt in range(max_attempts):
+        results, reach, lost = _flood_attempt_faulty(
+            st, rt, s, client_index, n_results, k_addr, kv
+        )
+        if results > best_results or attempt == 0:
+            best_results = results
+            best_reach = reach
+        if lost > 0:
+            saw_loss = True
+        if best_results > 0:
+            break
+        if attempt + 1 < max_attempts:
+            met.retries += 1
+            met.retry_wait_seconds += retry.timeout * retry.backoff ** attempt
+    if saw_loss:
+        met.truncated_floods += 1
+    st.total_results += best_results
+    st.total_reach += best_reach
+    # A zero-result query is only a *fault* when loss was observed:
+    # rare-file queries legitimately return nothing even fault-free, and
+    # counting them would bury the degradation signal under the query
+    # model's intrinsic miss rate.
+    if best_results <= 0 and saw_loss:
+        met.queries_failed += 1
+
+
+def _flood_attempt_faulty(state: _State, rt: FaultRuntime, s: int,
+                          client_index: int | None, n_results: np.ndarray,
+                          k_addr: np.ndarray,
+                          kv: np.ndarray) -> tuple[float, float, int]:
+    """One sampled flood + response pass; returns (results, reach, lost)."""
+    st = state
+    met = rt.metrics
+    now = rt.sim.now if rt.sim is not None else 0.0
+    prop, stats = sampled_propagation(
+        st.instance.graph, s, st.instance.config.ttl, rt, now
+    )
+    met.flood_messages_lost += stats.lost
+    reached = prop.reached
+
+    # Flood costs: senders pay for every attempted transmission, dead or
+    # partitioned targets receive (and process) nothing.
+    st.sp_out += prop.transmissions * _QUERY_BYTES / kv
+    st.sp_proc += prop.transmissions * (_SEND_Q + _MUX * st.m_sp) / kv
+    st.sp_in += prop.receipts * _QUERY_BYTES / kv
+    st.sp_proc += prop.receipts * (_RECV_Q + _MUX * st.m_sp) / kv
+
+    st.sp_proc[reached] += (
+        costs.PROCESS_QUERY_BASE + costs.PROCESS_QUERY_PER_RESULT * n_results[reached]
+    ) / kv[reached]
+
+    # Responses travel the reverse path, each hop subject to the plan.
+    msgs_w = np.where(reached & (n_results > 0), 1.0, 0.0)
+    msgs_w[s] = 0.0
+    addr_w = np.where(msgs_w > 0, k_addr, 0).astype(float)
+    res_w = np.where(msgs_w > 0, n_results, 0).astype(float)
+    edge_pass = sample_response_edges(prop, rt, now)
+    sent, received = lossy_accumulate(prop, edge_pass, [msgs_w, addr_w, res_w])
+    sent_m, sent_a, sent_r = sent
+    recv_m, recv_a, recv_r = received
+
+    senders = reached.copy()
+    senders[s] = False
+    st.sp_out[senders] += (
+        constants.RESPONSE_MESSAGE_BASE * sent_m[senders]
+        + constants.RESPONSE_ADDRESS_SIZE * sent_a[senders]
+        + constants.RESULT_RECORD_SIZE * sent_r[senders]
+    ) / kv[senders]
+    st.sp_proc[senders] += (
+        (costs.SEND_RESPONSE_BASE + _MUX * st.m_sp[senders]) * sent_m[senders]
+        + costs.SEND_RESPONSE_PER_ADDRESS * sent_a[senders]
+        + costs.SEND_RESPONSE_PER_RESULT * sent_r[senders]
+    ) / kv[senders]
+    st.sp_in[reached] += (
+        constants.RESPONSE_MESSAGE_BASE * recv_m[reached]
+        + constants.RESPONSE_ADDRESS_SIZE * recv_a[reached]
+        + constants.RESULT_RECORD_SIZE * recv_r[reached]
+    ) / kv[reached]
+    st.sp_proc[reached] += (
+        (costs.RECV_RESPONSE_BASE + _MUX * st.m_sp[reached]) * recv_m[reached]
+        + costs.RECV_RESPONSE_PER_ADDRESS * recv_a[reached]
+        + costs.RECV_RESPONSE_PER_RESULT * recv_r[reached]
+    ) / kv[reached]
+    met.response_messages_lost += float(sent_m[senders].sum() - recv_m.sum())
+
+    # Deliver what survived (plus own-index results) to the client.
+    own_msg = 1.0 if n_results[s] > 0 else 0.0
+    to_m = recv_m[s] + own_msg
+    to_a = recv_a[s] + (k_addr[s] if own_msg else 0)
+    to_r = recv_r[s] + (n_results[s] if own_msg else 0)
+    delivered = float(recv_r[s] + n_results[s])
+    if client_index is not None and to_m > 0:
+        bytes_to_client = (
+            constants.RESPONSE_MESSAGE_BASE * to_m
+            + constants.RESPONSE_ADDRESS_SIZE * to_a
+            + constants.RESULT_RECORD_SIZE * to_r
+        )
+        st.sp_out[s] += bytes_to_client / kv[s]
+        st.sp_proc[s] += (
+            (costs.SEND_RESPONSE_BASE + _MUX * st.m_sp[s]) * to_m
+            + costs.SEND_RESPONSE_PER_ADDRESS * to_a
+            + costs.SEND_RESPONSE_PER_RESULT * to_r
+        ) / kv[s]
+        st.cl_in[client_index] += bytes_to_client
+        st.cl_proc[client_index] += (
+            (costs.RECV_RESPONSE_BASE + _MUX * st.m_cl) * to_m
+            + costs.RECV_RESPONSE_PER_ADDRESS * to_a
+            + costs.RECV_RESPONSE_PER_RESULT * to_r
+        )
+    return delivered, float(prop.reach), stats.lost
+
+
+def _run_client_churn(state: _State, client_index: int,
+                      live: int | None = None) -> None:
+    """One client leaves and its replacement joins (metadata to each partner).
+
+    ``live`` (fault runs only) is the number of partners currently up:
+    the replacement uploads its metadata to those partners alone; a
+    recovering partner rebuilds its index separately at recovery time.
+    """
     st = state
     st.num_joins += 1
+    partners = st.k if live is None else live
     cluster = int(st.cluster_of_client[client_index])
     old_files = int(st.client_files[client_index])
     # Removal of the departing client's metadata at every partner.
@@ -270,8 +472,8 @@ def _run_client_churn(state: _State, client_index: int) -> None:
     new_files = int(default_file_distribution().sample(st.rng, 1)[0])
     st.client_files[client_index] = new_files
     join_bytes = constants.JOIN_MESSAGE_BASE + constants.FILE_METADATA_SIZE * new_files
-    st.cl_out[client_index] += st.k * join_bytes
-    st.cl_proc[client_index] += st.k * (
+    st.cl_out[client_index] += partners * join_bytes
+    st.cl_proc[client_index] += partners * (
         costs.SEND_JOIN_BASE + costs.SEND_JOIN_PER_FILE * new_files + _MUX * st.m_cl
     )
     # Every partner receives and indexes the metadata.
@@ -282,8 +484,14 @@ def _run_client_churn(state: _State, client_index: int) -> None:
     )
 
 
-def _run_partner_churn(state: _State, cluster: int, partner: int) -> None:
-    """One super-peer partner is replaced: handshakes + (k>1) index exchange."""
+def _run_partner_churn(state: _State, cluster: int, partner: int,
+                       rng: np.random.Generator | None = None) -> None:
+    """One super-peer partner is replaced: handshakes + (k>1) index exchange.
+
+    ``rng`` (fault runs only) supplies the replacement's collection from
+    the fault stream so a crash-driven recovery never perturbs the
+    workload stream the baseline shares.
+    """
     st = state
     st.num_joins += 1
     m = st.m_sp[cluster]
@@ -295,7 +503,8 @@ def _run_partner_churn(state: _State, cluster: int, partner: int) -> None:
     st.sp_proc[cluster] += m * (
         _HANDSHAKE_SEND_UNITS + _HANDSHAKE_RECV_UNITS + 2 * _MUX * m
     ) / st.k
-    new_files = int(default_file_distribution().sample(st.rng, 1)[0])
+    new_files = int(default_file_distribution().sample(
+        st.rng if rng is None else rng, 1)[0])
     old_files = int(st.partner_files[cluster, partner])
     st.partner_files[cluster, partner] = new_files
     if st.k > 1:
@@ -313,27 +522,33 @@ def _run_partner_churn(state: _State, cluster: int, partner: int) -> None:
         ) / st.k
 
 
-def _run_update(state: _State, cluster: int, client_index: int | None) -> None:
-    """One update: a client's (or partner's) single-file metadata delta."""
+def _run_update(state: _State, cluster: int, client_index: int | None,
+                live: int | None = None) -> None:
+    """One update: a client's (or partner's) single-file metadata delta.
+
+    ``live`` (fault runs only) restricts the exchange to the partners
+    currently up.
+    """
     st = state
     st.num_updates += 1
+    partners = st.k if live is None else live
     upd = float(constants.UPDATE_MESSAGE_SIZE)
     if client_index is not None:
-        st.cl_out[client_index] += st.k * upd
-        st.cl_proc[client_index] += st.k * (costs.SEND_UPDATE_UNITS + _MUX * st.m_cl)
+        st.cl_out[client_index] += partners * upd
+        st.cl_proc[client_index] += partners * (costs.SEND_UPDATE_UNITS + _MUX * st.m_cl)
         st.sp_in[cluster] += upd
         st.sp_proc[cluster] += (
             costs.RECV_UPDATE_UNITS + _MUX * st.m_sp[cluster] + costs.PROCESS_UPDATE_UNITS
         )
     else:
-        st.sp_proc[cluster] += costs.PROCESS_UPDATE_UNITS / st.k
-        if st.k > 1:
-            st.sp_out[cluster] += (st.k - 1) * upd / st.k
-            st.sp_in[cluster] += (st.k - 1) * upd / st.k
-            st.sp_proc[cluster] += (st.k - 1) * (
+        st.sp_proc[cluster] += costs.PROCESS_UPDATE_UNITS / partners
+        if partners > 1:
+            st.sp_out[cluster] += (partners - 1) * upd / partners
+            st.sp_in[cluster] += (partners - 1) * upd / partners
+            st.sp_proc[cluster] += (partners - 1) * (
                 costs.SEND_UPDATE_UNITS + costs.RECV_UPDATE_UNITS
                 + 2 * _MUX * st.m_sp[cluster] + costs.PROCESS_UPDATE_UNITS
-            ) / st.k
+            ) / partners
 
 
 def simulate_instance(
@@ -343,19 +558,46 @@ def simulate_instance(
     rng: np.random.Generator | int | None = None,
     enable_churn: bool = True,
     enable_updates: bool = True,
+    faults: FaultPlan | None = None,
+    fault_metrics: FaultOutcome | None = None,
 ) -> SimulationReport:
     """Simulate ``duration`` seconds of the network's life and measure loads.
 
     Arrivals are Poisson per cluster at the Table 1 per-user rates; churn
     replaces each departing peer with a fresh one (stable network size),
     mutating the live indexes the later queries probe.
+
+    ``faults`` injects a :class:`~repro.sim.faults.FaultPlan`; a null (or
+    absent) plan runs the untouched fault-free path on the untouched RNG
+    stream, so it is bit-identical to not passing one.  Fault randomness
+    lives on its own derived stream (``derive_rng(seed, "sim", "faults")``)
+    — interleaved fault events never perturb the workload draws.  Pass a
+    ``fault_metrics`` collector to receive the degraded-mode counters
+    (or use :func:`repro.sim.resilience.run_resilience`, which wraps
+    this with baseline comparison and reporting).
     """
     if duration <= 0:
         raise ValueError("duration must be positive")
     model = model or default_query_model()
+    if faults is not None and faults.is_null:
+        faults = None
+    if faults is not None:
+        if isinstance(rng, np.random.Generator):
+            fault_rng = rng.spawn(1)[0]
+        else:
+            fault_rng = derive_rng(rng, "sim", "faults")
     rng = derive_rng(rng, "sim")
     state = _State(instance, model, rng)
     sim = Simulator()
+    fault_rt: FaultRuntime | None = None
+    if faults is not None:
+        fault_rt = FaultRuntime(faults, instance, fault_rng, metrics=fault_metrics)
+        # A recovered partner is a fresh peer: charge the replacement's
+        # handshakes and (k > 1) index exchange exactly as instantaneous
+        # churn does, just at recovery time instead of departure time.
+        fault_rt.install(
+            sim, lambda c, p: _run_partner_churn(state, c, p, rng=fault_rng)
+        )
     config = instance.config
     n = state.n
     users = instance.clients + state.k
@@ -370,7 +612,10 @@ def simulate_instance(
                 client_index = int(instance.client_ptr[cluster]) + pick
             else:
                 client_index = None
-            _run_query(state, cluster, client_index)
+            if fault_rt is None:
+                _run_query(state, cluster, client_index)
+            else:
+                _run_query_faulty(state, fault_rt, cluster, client_index)
         return fire
 
     def schedule_poisson(rate: float, action) -> None:
@@ -389,10 +634,19 @@ def simulate_instance(
             def fire(_now: float) -> None:
                 clients_here = int(instance.clients[cluster])
                 pick = int(rng.integers(0, clients_here + state.k))
-                if pick < clients_here:
-                    _run_update(state, cluster, int(instance.client_ptr[cluster]) + pick)
+                client_index = (
+                    int(instance.client_ptr[cluster]) + pick
+                    if pick < clients_here else None
+                )
+                if fault_rt is None:
+                    _run_update(state, cluster, client_index)
+                elif fault_rt.live[cluster] == 0:
+                    # Nobody is listening: the delta is lost (the index
+                    # is rebuilt wholesale when a partner recovers).
+                    fault_rt.metrics.lost_updates += 1
                 else:
-                    _run_update(state, cluster, None)
+                    _run_update(state, cluster, client_index,
+                                live=int(fault_rt.live[cluster]))
             return fire
 
         for c in range(n):
@@ -407,14 +661,42 @@ def simulate_instance(
         def schedule_client_leave(client_index: int) -> None:
             gap = float(rng.exponential(instance.client_lifespans[client_index]))
             def leave() -> None:
-                _run_client_churn(state, client_index)
+                if fault_rt is None:
+                    _run_client_churn(state, client_index)
+                else:
+                    cluster = int(state.cluster_of_client[client_index])
+                    if fault_rt.live[cluster] == 0:
+                        # No partner to join through: the replacement
+                        # still arrives with its collection (the same
+                        # draw the fault-free run makes) but uploads
+                        # nothing until a partner returns.
+                        state.client_files[client_index] = int(
+                            default_file_distribution().sample(rng, 1)[0]
+                        )
+                        fault_rt.metrics.deferred_joins += 1
+                    else:
+                        _run_client_churn(state, client_index,
+                                          live=int(fault_rt.live[cluster]))
                 schedule_client_leave(client_index)
             sim.schedule(gap, leave)
+
+        crash_driven = fault_rt is not None and fault_rt.plan.crash is not None
 
         def schedule_partner_leave(cluster: int, partner: int) -> None:
             gap = float(rng.exponential(instance.partner_lifespans[cluster, partner]))
             def leave() -> None:
-                _run_partner_churn(state, cluster, partner)
+                if not crash_driven:
+                    # Instantaneous partner replacement (fault-free model).
+                    _run_partner_churn(state, cluster, partner)
+                else:
+                    # A CrashSpec supersedes instantaneous churn: the
+                    # crash machinery drives the partner lifecycle with
+                    # real down-windows.  This shadow event only keeps
+                    # the workload stream in lockstep with the baseline
+                    # (same draws, same order) and rolls the collection.
+                    state.partner_files[cluster, partner] = int(
+                        default_file_distribution().sample(rng, 1)[0]
+                    )
                 schedule_partner_leave(cluster, partner)
             sim.schedule(gap, leave)
 
@@ -425,6 +707,8 @@ def simulate_instance(
                 schedule_partner_leave(c, p)
 
     sim.run_until(duration)
+    if fault_rt is not None:
+        fault_rt.finish(duration)
 
     queries = max(1, state.num_queries)
     return SimulationReport(

@@ -1,0 +1,176 @@
+"""Degraded-mode measurement: run the simulator under a fault plan.
+
+Section 3.2's reliability claim — "if one partner fails, the others may
+continue to service clients ... the probability that all partners will
+fail before any failed partner can be replaced is much lower than the
+probability of a single super-peer failing" — is checked here at the
+message level rather than by the isolated renewal model in
+:mod:`repro.sim.churn`: the same workload is simulated fault-free and
+under a :class:`~repro.sim.faults.FaultPlan`, and the difference is
+summarized as user-visible degradation (query success rate, results
+lost, orphaned-client-seconds, failovers, time-to-recover) plus the load
+inflation the survivors absorb.
+
+The fault layer is pay-for-what-you-use: under a null plan the degraded
+run *is* the baseline run (bit-identical loads), which
+``tests/test_resilience.py`` pins down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..querymodel.distributions import QueryModel
+from ..topology.builder import NetworkInstance
+from .faults import FaultOutcome, FaultPlan
+from .network import SimulationReport, simulate_instance
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """Fault-free baseline vs degraded run of one instance, one plan."""
+
+    plan: FaultPlan
+    duration: float
+    partners: int
+    baseline: SimulationReport
+    degraded: SimulationReport
+    outcome: FaultOutcome
+
+    # --- headline degradation metrics ----------------------------------------
+
+    @property
+    def query_success_rate(self) -> float:
+        """Fraction of attempted queries whose user got >= 1 result."""
+        return self.outcome.query_success_rate
+
+    @property
+    def results_lost_fraction(self) -> float:
+        """Fraction of the fault-free run's results that never arrived.
+
+        The two runs share one workload stream (common random numbers),
+        so total delivered results are directly comparable — and totals,
+        unlike per-query means, charge an orphaned query for everything
+        it would have returned.
+        """
+        base = self.baseline.mean_results_per_query * self.baseline.num_queries
+        if base <= 0:
+            return 0.0
+        degraded = (
+            self.degraded.mean_results_per_query * self.degraded.num_queries
+        )
+        return 1.0 - degraded / base
+
+    @property
+    def orphaned_client_seconds(self) -> float:
+        return self.outcome.orphaned_client_seconds
+
+    @property
+    def failover_count(self) -> int:
+        return self.outcome.failovers
+
+    @property
+    def longest_outage(self) -> float:
+        return self.outcome.longest_outage
+
+    @property
+    def mean_time_to_recover(self) -> float:
+        return self.outcome.mean_time_to_recover
+
+    @property
+    def cluster_availability(self) -> float:
+        """Time-averaged fraction of clusters with a live partner."""
+        downtime = self.outcome.cluster_downtime
+        if downtime is None or downtime.size == 0:
+            return 1.0
+        return 1.0 - float(downtime.mean()) / self.duration
+
+    def load_inflation(self) -> dict[str, float]:
+        """Relative load change on serving partners vs the baseline.
+
+        Positive values mean the survivors work harder than the
+        fault-free per-partner mean (retries, rebuilds, failover);
+        negative values mean lost traffic outweighed the overhead.
+        """
+        base_in, base_out, base_proc = self.baseline.mean_superpeer_load()
+        deg_in, deg_out, deg_proc = self.degraded.mean_superpeer_load()
+        return {
+            "incoming": deg_in / base_in - 1.0 if base_in else 0.0,
+            "outgoing": deg_out / base_out - 1.0 if base_out else 0.0,
+            "processing": deg_proc / base_proc - 1.0 if base_proc else 0.0,
+        }
+
+    def summary_rows(self) -> list[list[object]]:
+        """(metric, value) rows for the reporting renderer."""
+        out = self.outcome
+        rows: list[list[object]] = [
+            ["fault plan", self.plan.describe()],
+            ["partners per cluster (k)", self.partners],
+            ["queries attempted", out.queries_attempted],
+            ["query success rate", f"{self.query_success_rate:.4f}"],
+            ["orphaned queries", out.orphaned_queries],
+            ["truncated floods", out.truncated_floods],
+            ["retries issued", out.retries],
+            ["results/query (baseline)", f"{self.baseline.mean_results_per_query:.1f}"],
+            ["results/query (degraded)", f"{self.degraded.mean_results_per_query:.1f}"],
+            ["results lost", f"{self.results_lost_fraction:.1%}"],
+            ["flood messages lost", out.flood_messages_lost],
+            ["response messages lost", f"{out.response_messages_lost:.0f}"],
+            ["partner crashes", out.partner_crashes],
+            ["failovers absorbed", out.failovers],
+            ["cluster blackouts", out.outages],
+            ["cluster availability", f"{self.cluster_availability:.5f}"],
+            ["orphaned client-seconds", f"{self.orphaned_client_seconds:.0f}"],
+            ["mean time-to-recover (s)", f"{self.mean_time_to_recover:.1f}"],
+            ["longest outage (s)", f"{self.longest_outage:.1f}"],
+            ["deferred joins", out.deferred_joins],
+            ["lost updates", out.lost_updates],
+        ]
+        return rows
+
+
+def run_resilience(
+    instance: NetworkInstance,
+    plan: FaultPlan,
+    duration: float = 3600.0,
+    model: QueryModel | None = None,
+    rng: int | None = None,
+    baseline: SimulationReport | None = None,
+    enable_churn: bool = True,
+    enable_updates: bool = True,
+) -> ResilienceReport:
+    """Measure an instance's degraded-mode behaviour under ``plan``.
+
+    Runs :func:`simulate_instance` twice from the same seed — once
+    fault-free, once under the plan — and packages the comparison.
+    ``rng`` must be a seed (or None), not a Generator: both runs must be
+    able to start from the same stream.  Pass ``baseline`` to reuse a
+    fault-free report measured earlier (e.g. when sweeping plans over
+    one instance).
+    """
+    if isinstance(rng, np.random.Generator):
+        raise TypeError(
+            "run_resilience needs a seed (int or None), not a Generator: "
+            "the baseline and degraded runs must replay the same stream"
+        )
+    outcome = FaultOutcome()
+    degraded = simulate_instance(
+        instance, duration=duration, model=model, rng=rng,
+        enable_churn=enable_churn, enable_updates=enable_updates,
+        faults=plan, fault_metrics=outcome,
+    )
+    if baseline is None:
+        baseline = simulate_instance(
+            instance, duration=duration, model=model, rng=rng,
+            enable_churn=enable_churn, enable_updates=enable_updates,
+        )
+    return ResilienceReport(
+        plan=plan,
+        duration=duration,
+        partners=instance.partners,
+        baseline=baseline,
+        degraded=degraded,
+        outcome=outcome,
+    )

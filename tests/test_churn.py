@@ -49,6 +49,30 @@ class TestSimulatedAvailability:
             simulate_cluster_churn(1, -1.0, 10.0, 1000.0)
 
 
+class TestLongestOutage:
+    def test_longest_bounds_the_mean_and_total(self):
+        result = simulate_cluster_churn(1, 1000.0, 100.0, 500_000.0, rng=6)
+        assert result.outages > 0
+        assert result.longest_outage >= result.mean_outage > 0
+        total_downtime = (1 - result.availability) * 500_000.0
+        assert result.longest_outage <= total_downtime + 1e-6
+
+    def test_no_outages_means_zero(self):
+        # Replacement is instantaneous-ish and the run is short: with k=2
+        # a blackout is overwhelmingly unlikely.
+        result = simulate_cluster_churn(2, 1000.0, 0.01, 10_000.0, rng=7)
+        if result.outages == 0:
+            assert result.longest_outage == 0.0
+            assert result.mean_outage == 0.0
+
+    def test_redundancy_shortens_the_worst_blackout(self):
+        r1 = simulate_cluster_churn(1, 1000.0, 100.0, 2_000_000.0, rng=8)
+        r2 = simulate_cluster_churn(2, 1000.0, 100.0, 2_000_000.0, rng=8)
+        # k=2 blackouts end when *either* pending replacement lands, so
+        # the tail is shorter as well as rarer.
+        assert r2.longest_outage < r1.longest_outage
+
+
 class TestClientDisconnection:
     def test_larger_clusters_strand_more_clients(self):
         small = client_disconnection_rate(10, 1, 1000.0, 100.0, 1_000_000.0, rng=0)

@@ -111,6 +111,33 @@ class TestSimulate:
         assert "queries" in out
 
 
+class TestResilience:
+    def test_runs_and_reports(self, capsys):
+        code, out = run_cli(
+            capsys, "--seed", "1", "resilience", "--graph-size", "200",
+            "--cluster-size", "10", "--redundancy", "--duration", "300",
+            "--loss", "0.02",
+        )
+        assert code == 0
+        assert "fault plan: loss=0.02/hop" in out
+        assert "query success rate" in out
+        assert "super-peer (degraded)" in out
+        assert "load inflation" in out
+
+    def test_crash_model_can_be_disabled(self, capsys):
+        code, out = run_cli(
+            capsys, "--seed", "1", "resilience", "--graph-size", "200",
+            "--cluster-size", "10", "--duration", "200",
+            "--loss", "0.05", "--recovery", "0", "--max-retries", "0",
+        )
+        assert code == 0
+        plan_line = next(line for line in out.splitlines()
+                         if line.startswith("fault plan:"))
+        assert "crash" not in plan_line
+        assert "retry" not in plan_line
+        assert "query success rate" in out
+
+
 class TestCrawl:
     def test_summary_table(self, capsys):
         code, out = run_cli(capsys, "crawl", "--graph-size", "1000")

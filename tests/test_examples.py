@@ -45,6 +45,14 @@ def test_epl_planner(monkeypatch, capsys):
 
 
 @pytest.mark.slow
+def test_fault_tolerance_scaled(monkeypatch, capsys):
+    # The walkthrough accepts a network size; 300 keeps it quick.
+    out = run_example(monkeypatch, capsys, "fault_tolerance.py", "300")
+    assert "query success rate" in out
+    assert "load inflation" in out
+
+
+@pytest.mark.slow
 def test_search_protocols(monkeypatch, capsys):
     out = run_example(monkeypatch, capsys, "search_protocols.py")
     assert "routing-indices" in out

@@ -1,0 +1,276 @@
+"""Fault plans, the fault runtime, and sampled propagation."""
+
+import numpy as np
+import pytest
+
+from repro.config import Configuration
+from repro.core.routing import propagate_query
+from repro.sim.engine import Simulator
+from repro.sim.faults import (
+    CrashSpec,
+    FaultOutcome,
+    FaultPlan,
+    FaultRuntime,
+    PartitionWindow,
+    RetryPolicy,
+    SlowSpec,
+    lossy_accumulate,
+    sample_response_edges,
+    sampled_propagation,
+)
+from repro.topology.builder import build_instance
+
+
+@pytest.fixture(scope="module")
+def instance():
+    config = Configuration(graph_size=300, cluster_size=10, redundancy=True)
+    return build_instance(config, seed=1)
+
+
+def make_runtime(instance, plan=None, seed=0):
+    plan = plan or FaultPlan()
+    return FaultRuntime(plan, instance, np.random.default_rng(seed))
+
+
+class TestFaultPlan:
+    def test_defaults_are_null(self):
+        assert FaultPlan().is_null
+
+    def test_retry_alone_is_null(self):
+        # A retry policy without anything to retry against injects nothing.
+        assert FaultPlan(retry=RetryPolicy()).is_null
+
+    def test_zero_fraction_slow_is_null(self):
+        assert FaultPlan(slow=SlowSpec(fraction=0.0)).is_null
+
+    def test_each_fault_breaks_nullness(self):
+        assert not FaultPlan(message_loss=0.01).is_null
+        assert not FaultPlan(crash=CrashSpec()).is_null
+        assert not FaultPlan(
+            partitions=(PartitionWindow(0.0, 1.0, (0,)),)
+        ).is_null
+        assert not FaultPlan(slow=SlowSpec(fraction=0.1)).is_null
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(message_loss=1.0)
+        with pytest.raises(ValueError):
+            CrashSpec(mean_recovery=0.0)
+        with pytest.raises(ValueError):
+            PartitionWindow(5.0, 5.0, (0,))
+        with pytest.raises(ValueError):
+            PartitionWindow(0.0, 1.0, ())
+        with pytest.raises(ValueError):
+            SlowSpec(fraction=1.5)
+        with pytest.raises(ValueError):
+            SlowSpec(fraction=0.5, factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=0.5)
+
+    def test_slow_drop_probability(self):
+        assert SlowSpec(fraction=0.1, factor=2.0).drop_prob == pytest.approx(0.5)
+        assert SlowSpec(fraction=0.1, factor=1.0).drop_prob == 0.0
+
+    def test_compose_other_nondefault_wins(self):
+        loss = FaultPlan(message_loss=0.1)
+        crash = FaultPlan(crash=CrashSpec(mean_recovery=60.0))
+        merged = loss | crash
+        assert merged.message_loss == 0.1
+        assert merged.crash.mean_recovery == 60.0
+        override = merged | FaultPlan(message_loss=0.5)
+        assert override.message_loss == 0.5
+        assert override.crash is not None
+
+    def test_with_changes(self):
+        plan = FaultPlan(message_loss=0.1).with_changes(retry=RetryPolicy())
+        assert plan.message_loss == 0.1
+        assert plan.retry is not None
+
+    def test_describe(self):
+        assert FaultPlan().describe() == "no faults"
+        text = FaultPlan(
+            message_loss=0.05, crash=CrashSpec(), retry=RetryPolicy()
+        ).describe()
+        assert "loss=0.05/hop" in text
+        assert "crash" in text
+        assert "retry" in text
+
+
+class TestFaultRuntime:
+    def test_crash_counters_are_consistent(self, instance):
+        rt = make_runtime(
+            instance, FaultPlan(crash=CrashSpec(mean_recovery=120.0)), seed=3
+        )
+        sim = Simulator()
+        rebuilt = []
+        rt.install(sim, lambda c, p: rebuilt.append((c, p)))
+        sim.run_until(5000.0)
+        out = rt.finish(5000.0)
+        assert out.partner_crashes > 0
+        down_now = int((~rt.up).sum())
+        assert out.partner_recoveries == out.partner_crashes - down_now
+        # Every crash either blacks the cluster out or is absorbed.
+        assert out.failovers + out.outages == out.partner_crashes
+        # The network layer is told about every recovery (index rebuild).
+        assert len(rebuilt) == out.partner_recoveries
+        assert (rt.live == rt.up.sum(axis=1)).all()
+
+    def test_outage_accounting(self, instance):
+        rt = make_runtime(
+            instance,
+            FaultPlan(crash=CrashSpec(mean_recovery=400.0, lifespan_scale=0.5)),
+            seed=4,
+        )
+        sim = Simulator()
+        rt.install(sim, lambda c, p: None)
+        sim.run_until(4000.0)
+        out = rt.finish(4000.0)
+        assert out.outages > 0
+        assert out.longest_outage > 0
+        assert out.orphaned_client_seconds > 0
+        assert out.cluster_downtime is not None
+        assert (out.cluster_downtime <= 4000.0).all()
+        # Recovered blackouts all fit under the longest one.
+        assert all(t <= out.longest_outage for t in out.recovery_times)
+
+    def test_pick_live_partner_skips_dead_slots(self, instance):
+        rt = make_runtime(instance)
+        round_robin = np.zeros(instance.num_clusters, dtype=np.int64)
+        rt.up[0, 0] = False
+        rt.live[0] = 1
+        assert rt.pick_live_partner(round_robin, 0) == 1
+        assert rt.pick_live_partner(round_robin, 0) == 1
+
+    def test_pick_live_partner_raises_on_dark_cluster(self, instance):
+        rt = make_runtime(instance)
+        rt.up[0] = False
+        rt.live[0] = 0
+        with pytest.raises(RuntimeError):
+            rt.pick_live_partner(np.zeros(instance.num_clusters, dtype=np.int64), 0)
+
+    def test_edge_cut_only_during_window(self, instance):
+        plan = FaultPlan(partitions=(PartitionWindow(10.0, 20.0, (0, 1)),))
+        rt = make_runtime(instance, plan)
+        senders = np.array([0, 2, 0])
+        targets = np.array([2, 3, 1])
+        assert rt.edge_cut(senders, targets, 5.0) is None
+        cut = rt.edge_cut(senders, targets, 15.0)
+        # Island boundary crossings are severed, internal hops are not.
+        assert cut.tolist() == [True, False, False]
+
+    def test_partition_island_validated(self, instance):
+        plan = FaultPlan(
+            partitions=(PartitionWindow(0.0, 1.0, (instance.num_clusters,)),)
+        )
+        with pytest.raises(ValueError):
+            make_runtime(instance, plan)
+
+
+class TestSampledPropagation:
+    def test_no_faults_matches_deterministic_flood(self, instance):
+        rt = make_runtime(instance)
+        prop, stats = sampled_propagation(instance.graph, 0, 7, rt, 0.0)
+        exact = propagate_query(instance.graph, 0, 7)
+        assert np.array_equal(prop.depth, exact.depth)
+        assert np.array_equal(prop.transmissions, exact.transmissions)
+        assert np.array_equal(prop.receipts, exact.receipts)
+        assert stats.lost == 0
+
+    def test_dark_clusters_truncate_like_blocked_flood(self, instance):
+        rt = make_runtime(instance)
+        exact = propagate_query(instance.graph, 0, 7)
+        # Kill the source's busiest relay.
+        reached = np.nonzero(exact.reached)[0]
+        dead = int(reached[np.argmax(exact.transmissions[reached])])
+        if dead == 0:
+            dead = int(reached[1])
+        rt.up[dead] = False
+        rt.live[dead] = 0
+        prop, stats = sampled_propagation(instance.graph, 0, 7, rt, 0.0)
+        blocked = np.zeros(instance.num_clusters, dtype=bool)
+        blocked[dead] = True
+        expected = propagate_query(instance.graph, 0, 7, blocked=blocked)
+        assert np.array_equal(prop.depth, expected.depth)
+        assert np.array_equal(prop.receipts, expected.receipts)
+        assert prop.reach < exact.reach
+        assert stats.lost > 0  # sends at the dead relay were attempted
+
+    def test_dark_source_floods_nothing(self, instance):
+        rt = make_runtime(instance)
+        rt.up[0] = False
+        rt.live[0] = 0
+        prop, stats = sampled_propagation(instance.graph, 0, 7, rt, 0.0)
+        assert prop.reach == 0
+        assert stats.attempted == 0
+
+    def test_loss_shrinks_reach(self, instance):
+        rt = make_runtime(instance, FaultPlan(message_loss=0.6), seed=7)
+        prop, stats = sampled_propagation(instance.graph, 0, 7, rt, 0.0)
+        exact = propagate_query(instance.graph, 0, 7)
+        assert prop.reach < exact.reach
+        assert stats.lost > 0
+        assert stats.delivered == stats.attempted - stats.lost
+
+    def test_deterministic_under_fixed_stream(self, instance):
+        plan = FaultPlan(message_loss=0.3)
+        a, sa = sampled_propagation(
+            instance.graph, 0, 7, make_runtime(instance, plan, seed=9), 0.0
+        )
+        b, sb = sampled_propagation(
+            instance.graph, 0, 7, make_runtime(instance, plan, seed=9), 0.0
+        )
+        assert np.array_equal(a.depth, b.depth)
+        assert sa == sb
+
+
+class TestResponsePath:
+    def test_lossless_accumulate_matches_fault_free_fold(self, instance):
+        rt = make_runtime(instance)
+        prop, _ = sampled_propagation(instance.graph, 0, 7, rt, 0.0)
+        weights = np.where(prop.reached, 2.0, 0.0)
+        weights[0] = 0.0
+        edge_pass = sample_response_edges(prop, rt, 0.0)
+        assert edge_pass[np.nonzero(prop.reached)[0][1:]].all()
+        sent, received = lossy_accumulate(prop, edge_pass, [weights])
+        folded = prop.accumulate_to_source(weights)
+        assert received[0][0] == pytest.approx(folded[0])
+
+    def test_severed_edge_drops_subtree(self, instance):
+        rt = make_runtime(instance)
+        prop, _ = sampled_propagation(instance.graph, 0, 7, rt, 0.0)
+        weights = np.where(prop.reached, 1.0, 0.0)
+        weights[0] = 0.0
+        edge_pass = sample_response_edges(prop, rt, 0.0)
+        # Sever one depth-1 child of the source: its whole subtree's
+        # responses vanish, but the child itself still pays the send.
+        child = int(np.nonzero(prop.depth == 1)[0][0])
+        edge_pass[child] = False
+        sent, received = lossy_accumulate(prop, edge_pass, [weights])
+        folded = prop.accumulate_to_source(weights)
+        assert received[0][0] < folded[0]
+        assert sent[0][child] >= 1.0
+
+    def test_full_loss_delivers_nothing_remote(self, instance):
+        rt = make_runtime(instance, FaultPlan(message_loss=0.99), seed=11)
+        prop, _ = sampled_propagation(instance.graph, 0, 7, rt, 0.0)
+        edge_pass = np.zeros(instance.num_clusters, dtype=bool)
+        weights = np.where(prop.reached, 1.0, 0.0)
+        weights[0] = 0.0
+        _, received = lossy_accumulate(prop, edge_pass, [weights])
+        assert received[0][0] == 0.0
+
+
+class TestFaultOutcome:
+    def test_success_rate_defaults_to_one(self):
+        assert FaultOutcome().query_success_rate == 1.0
+
+    def test_success_rate(self):
+        out = FaultOutcome(queries_attempted=10, queries_failed=3)
+        assert out.query_success_rate == pytest.approx(0.7)
+
+    def test_mean_time_to_recover(self):
+        out = FaultOutcome(recovery_times=[10.0, 30.0])
+        assert out.mean_time_to_recover == pytest.approx(20.0)
+        assert FaultOutcome().mean_time_to_recover == 0.0

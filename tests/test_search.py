@@ -97,6 +97,48 @@ class TestExpandingRing:
             ExpandingRingSearch(instance, result_target=0.0)
 
 
+class TestDeadClusters:
+    def test_dead_relays_truncate_the_flood(self, instance):
+        import numpy as np
+
+        full = FloodingSearch(instance).query_cost(0)
+        dead = np.zeros(instance.num_clusters, dtype=bool)
+        dead[1:6] = True
+        truncated = FloodingSearch(instance, dead_clusters=dead).query_cost(0)
+        assert truncated.reach <= full.reach
+        assert truncated.expected_results <= full.expected_results
+
+    def test_dead_source_returns_nothing(self, instance):
+        import numpy as np
+
+        dead = np.zeros(instance.num_clusters, dtype=bool)
+        dead[0] = True
+        cost = FloodingSearch(instance, dead_clusters=dead).query_cost(0)
+        assert cost.reach == 0  # a dark source reaches nobody, itself included
+        assert cost.expected_results == 0.0
+        assert cost.query_messages == 0
+
+    def test_mask_shape_validated(self, instance):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            FloodingSearch(instance, dead_clusters=np.zeros(3, dtype=bool))
+
+    def test_expanding_ring_escalates_around_dead_relays(self, instance):
+        import numpy as np
+
+        dead = np.zeros(instance.num_clusters, dtype=bool)
+        dead[1:10] = True
+        target = 40.0
+        healthy = ExpandingRingSearch(
+            instance, result_target=target
+        ).rings_needed(0)
+        degraded = ExpandingRingSearch(
+            instance, result_target=target, dead_clusters=dead
+        ).rings_needed(0)
+        assert degraded >= healthy
+
+
 class TestRandomWalk:
     def test_costs_scale_with_walkers(self, instance):
         few = RandomWalkSearch(

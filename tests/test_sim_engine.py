@@ -98,6 +98,88 @@ class TestSimulator:
         assert Simulator().step() is False
 
 
+class TestHeapCompaction:
+    def test_mass_cancellation_compacts_the_heap(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(200)]
+        for handle in handles[:150]:
+            handle.cancel()
+        # More than half the heap was dead weight: a compaction pass
+        # dropped the cancellations seen so far (later ones stay lazy).
+        assert sim.compactions >= 1
+        assert sim.heap_size < 100
+        assert sim.pending == 50
+        sim.run()
+        assert sim.events_processed == 50
+
+    def test_small_heaps_are_not_compacted(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        for handle in handles:
+            handle.cancel()
+        assert sim.compactions == 0
+        assert sim.pending == 0
+        sim.run()
+        assert sim.events_processed == 0
+
+    def test_pending_tracks_lazy_cancellations(self):
+        sim = Simulator()
+        keep = sim.schedule(5.0, lambda: None)
+        dropped = sim.schedule(1.0, lambda: None)
+        dropped.cancel()
+        # The cancelled entry may still sit in the heap; pending must not
+        # count it.
+        assert sim.pending == 1
+        sim.run()
+        assert sim.events_processed == 1
+        assert not keep.cancelled
+
+    def test_cancel_after_fire_is_a_safe_noop(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert fired == ["x"]
+        handle.cancel()
+        assert not handle.cancelled
+        # The stale cancel must not corrupt the pending accounting.
+        assert sim.pending == 0
+        sim.schedule(3.0, lambda: None)
+        assert sim.pending == 1
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+        for handle in handles[:40]:
+            handle.cancel()
+            handle.cancel()
+        assert sim.pending == 60
+        sim.run()
+        assert sim.events_processed == 60
+
+    def test_interleaved_cancel_and_fire(self):
+        sim = Simulator()
+        fired = []
+        handles = {}
+
+        def fire_and_cancel(i):
+            fired.append(i)
+            nxt = i + 10
+            if nxt in handles:
+                handles[nxt].cancel()
+
+        for i in range(100):
+            handles[i] = sim.schedule(float(i + 1), fire_and_cancel, i)
+        sim.run()
+        # Events 0..9 fire and cancel 10..19; 20..29 then fire (their
+        # cancellers never ran), cancelling 30..39, and so on.
+        assert fired == [
+            i for i in range(100) if (i // 10) % 2 == 0
+        ]
+        assert sim.pending == 0
+
+
 class TestPoisson:
     def test_interarrival_mean(self):
         rng = np.random.default_rng(0)
