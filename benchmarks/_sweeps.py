@@ -11,8 +11,11 @@ pays the full cost and its timing reflects that).
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.config import Configuration, GraphType
 from repro.core.analysis import ConfigurationSummary, evaluate_configuration
+from repro.obs.manifest import RunManifest, manifest_for
 
 #: The paper's Figure 4/5 cluster-size grid (x axis runs 0..10,000).
 FULL_GRID = [2, 10, 50, 100, 200, 500, 1000, 2000, 5000, 10000]
@@ -47,29 +50,59 @@ def four_system_sweep(
     key = (graph_size, tuple(cluster_sizes), query_rate, trials, max_sources)
     if key in _cache:
         return _cache[key]
+    manifest = manifest_for(
+        f"four_system_sweep_g{graph_size}",
+        seed=0,
+        graph_size=graph_size,
+        cluster_sizes=list(cluster_sizes),
+        query_rate=query_rate,
+        trials=trials,
+        max_sources=max_sources,
+    )
     result: dict[str, list[tuple[int, ConfigurationSummary]]] = {}
     for label, graph_type, ttl, redundancy in _SYSTEMS:
         points = []
-        for size in cluster_sizes:
-            if size > graph_size:
-                continue
-            if redundancy and size < 2:
-                continue
-            kwargs = dict(
-                graph_type=graph_type,
-                graph_size=graph_size,
-                cluster_size=size,
-                redundancy=redundancy,
-                avg_outdegree=3.1,
-                ttl=ttl,
-            )
-            if query_rate is not None:
-                kwargs["query_rate"] = query_rate
-            config = Configuration(**kwargs)
-            summary = evaluate_configuration(
-                config, trials=trials, seed=0, max_sources=max_sources
-            )
-            points.append((size, summary))
+        with manifest.phase(label):
+            for size in cluster_sizes:
+                if size > graph_size:
+                    continue
+                if redundancy and size < 2:
+                    continue
+                kwargs = dict(
+                    graph_type=graph_type,
+                    graph_size=graph_size,
+                    cluster_size=size,
+                    redundancy=redundancy,
+                    avg_outdegree=3.1,
+                    ttl=ttl,
+                )
+                if query_rate is not None:
+                    kwargs["query_rate"] = query_rate
+                config = Configuration(**kwargs)
+                summary = evaluate_configuration(
+                    config, trials=trials, seed=0, max_sources=max_sources
+                )
+                points.append((size, summary))
         result[label] = points
+    write_manifest(manifest)
     _cache[key] = result
     return result
+
+
+#: Where benchmark manifests land (next to the rendered result blocks).
+MANIFEST_DIR = Path(__file__).parent / "results"
+
+
+def write_manifest(manifest: RunManifest, directory: Path | None = None) -> Path:
+    """Seal a benchmark manifest and persist it as JSON.
+
+    Every sweep/bench writes ``results/<name>.manifest.json`` — config
+    hash, git rev, seed, per-phase wall-clock, peak RSS, metrics — so the
+    repo accumulates a perf trajectory run over run.
+    """
+    directory = MANIFEST_DIR if directory is None else Path(directory)
+    directory.mkdir(exist_ok=True)
+    manifest.finish()
+    path = directory / f"{manifest.name}.manifest.json"
+    manifest.to_json(path)
+    return path

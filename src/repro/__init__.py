@@ -70,6 +70,19 @@ from .core.selection import assign_roles, selection_gain
 from .core.sensitivity import sensitivity_analysis, elasticity_table
 from .querymodel.capacities import CapacityMix, default_capacity_mix, overload_fraction
 from .io import load_instance, load_report, save_instance, save_report
+from .obs import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    RunManifest,
+    TraceEvent,
+    Tracer,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    manifest_for,
+    set_registry,
+    use_registry,
+)
 from .search import ExpandingRingSearch, FloodingSearch, RandomWalkSearch
 from .sim.latency import LatencyModel, measure_response_times
 from .topology.builder import replace_overlay
@@ -139,5 +152,16 @@ __all__ = [
     "LatencyModel",
     "measure_response_times",
     "replace_overlay",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "RunManifest",
+    "TraceEvent",
+    "Tracer",
+    "disable_metrics",
+    "enable_metrics",
+    "get_registry",
+    "manifest_for",
+    "set_registry",
+    "use_registry",
     "__version__",
 ]

@@ -20,7 +20,12 @@ import argparse
 import sys
 
 from .config import Configuration, GraphType
-from .reporting import render_load_row, render_resilience_report, render_table
+from .reporting import (
+    render_load_row,
+    render_metrics,
+    render_resilience_report,
+    render_table,
+)
 from .units import format_bps, format_hz
 
 
@@ -173,7 +178,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     instance = build_instance(config, seed=args.seed)
     print(instance.describe())
-    report = simulate_instance(instance, duration=args.duration, rng=args.seed)
+    report = simulate_instance(instance, duration=args.duration, rng=args.seed,
+                               tracer=args.tracer)
     sp_in, sp_out, sp_proc = report.mean_superpeer_load()
     print(f"simulated {args.duration:.0f}s: {report.num_queries} queries, "
           f"{report.num_joins} joins, {report.num_updates} updates")
@@ -205,7 +211,8 @@ def cmd_resilience(args: argparse.Namespace) -> int:
     print(instance.describe())
     print(f"fault plan: {plan.describe()}")
     report = run_resilience(
-        instance, plan, duration=args.duration, rng=args.seed
+        instance, plan, duration=args.duration, rng=args.seed,
+        tracer=args.tracer,
     )
     print(render_resilience_report(
         report, title=f"resilience over {args.duration:.0f}s"
@@ -238,6 +245,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="instances per configuration")
     parser.add_argument("--max-sources", type=int, default=300,
                         help="source-sampling bound for the load analysis")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect and print internal metrics "
+                             "(counters, phase timers, histograms)")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write the simulator's event trace as JSONL "
+                             "(simulate / resilience commands)")
+    parser.add_argument("--trace-capacity", type=int, default=65_536,
+                        help="ring-buffer size of the event trace")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("analyze", help="expected loads of one configuration")
@@ -311,7 +326,31 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+
+    registry = None
+    if args.metrics:
+        from .obs.metrics import MetricsRegistry, set_registry
+
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+    args.tracer = None
+    if args.trace_out is not None:
+        from .obs.trace import Tracer
+
+        args.tracer = Tracer(capacity=args.trace_capacity)
+    try:
+        code = args.func(args)
+    finally:
+        if registry is not None:
+            set_registry(previous)
+    if args.tracer is not None:
+        path = args.tracer.to_jsonl(args.trace_out)
+        print(f"trace: {len(args.tracer)} events "
+              f"({args.tracer.dropped} dropped) -> {path}")
+    if registry is not None:
+        print()
+        print(render_metrics(registry, title="metrics"))
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -39,6 +39,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import constants
+from ..obs.metrics import get_registry
 from ..querymodel.distributions import QueryModel, default_query_model
 from ..querymodel.expectation import ClusterExpectations, cluster_expectations
 from ..stats.rng import derive_rng
@@ -273,7 +274,9 @@ def evaluate_instance(
             f"unknown response_mode {response_mode!r}; one of {RESPONSE_MODES}"
         )
     model = model or default_query_model()
-    exp = cluster_expectations(instance, model)
+    metrics = get_registry()
+    with metrics.timer("load.expectations").time():
+        exp = cluster_expectations(instance, model)
     acc = _Accumulator(instance.num_clusters, instance.total_clients)
 
     n = instance.num_clusters
@@ -290,25 +293,31 @@ def evaluate_instance(
 
     per_source = _QuerySourceOutputs(n)
     if "query" in components:
-        if isinstance(instance.graph, CompleteGraph):
-            # On K_n every responder already neighbours the source, so the
-            # reverse path *is* the direct hop (minus the temporary
-            # connection handshake, which the ablation adds below).
-            _accumulate_queries_strong(instance, exp, acc, per_source)
-            if response_mode == "direct":
-                _add_direct_connection_overhead(instance, exp, acc)
-            # Closed form is exact over all sources regardless of sampling.
-            sources = np.arange(n, dtype=np.int64)
-            scale = 1.0
-        else:
-            _accumulate_queries_bfs(
-                instance, exp, acc, per_source, sources, scale, response_mode
-            )
-        _accumulate_client_query_costs(instance, acc, per_source, sources, scale)
+        with metrics.timer("load.queries").time():
+            if isinstance(instance.graph, CompleteGraph):
+                # On K_n every responder already neighbours the source, so the
+                # reverse path *is* the direct hop (minus the temporary
+                # connection handshake, which the ablation adds below).
+                _accumulate_queries_strong(instance, exp, acc, per_source)
+                if response_mode == "direct":
+                    _add_direct_connection_overhead(instance, exp, acc)
+                # Closed form is exact over all sources regardless of sampling.
+                sources = np.arange(n, dtype=np.int64)
+                scale = 1.0
+            else:
+                _accumulate_queries_bfs(
+                    instance, exp, acc, per_source, sources, scale, response_mode
+                )
+            _accumulate_client_query_costs(instance, acc, per_source, sources, scale)
+        metrics.counter("load.query_sources_evaluated").add(len(sources))
     if "join" in components:
-        _accumulate_joins(instance, acc)
+        with metrics.timer("load.joins").time():
+            _accumulate_joins(instance, acc)
     if "update" in components:
-        _accumulate_updates(instance, acc)
+        with metrics.timer("load.updates").time():
+            _accumulate_updates(instance, acc)
+    metrics.counter("load.instances_evaluated").add()
+    metrics.gauge("load.last_num_clusters").set(float(n))
 
     k = instance.partners
     sp_in = acc.q_in / k + acc.p_in

@@ -1,0 +1,57 @@
+"""Observability: metrics, tracing and run manifests (repo machinery).
+
+This subsystem is *not* part of the paper's cost model — it measures the
+reproduction itself (wall-clock per phase, message counters, memory) so
+performance work has a baseline.  It is zero-dependency, thread-safe and
+pay-for-what-you-use: the default registry/tracer are inert null objects
+and instrumented code must be bit-identical with metrics on or off
+(``tests/test_obs.py`` enforces neutrality).
+"""
+
+from .manifest import (
+    RunManifest,
+    config_fingerprint,
+    git_revision,
+    manifest_for,
+    peak_rss_bytes,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    Timer,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from .trace import NULL_TRACER, NullTracer, TraceEvent, Tracer, read_jsonl
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTracer",
+    "RunManifest",
+    "Timer",
+    "TraceEvent",
+    "Tracer",
+    "config_fingerprint",
+    "disable_metrics",
+    "enable_metrics",
+    "get_registry",
+    "git_revision",
+    "manifest_for",
+    "peak_rss_bytes",
+    "read_jsonl",
+    "set_registry",
+    "use_registry",
+]

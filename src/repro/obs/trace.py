@@ -1,0 +1,125 @@
+"""Ring-buffer event tracing for the message-level simulator.
+
+Where the metrics registry answers "how much", the tracer answers "what
+happened, in order": one :class:`TraceEvent` per notable simulation
+occurrence — query floods (message counts stand in for the individual
+send/recv pairs, which would swamp any buffer), per-hop message drops,
+retries, partner crash/recovery, cluster outages.  The buffer is a
+bounded ring: a run that emits more events than the capacity keeps the
+most recent ones and counts the rest as dropped, so tracing a week-long
+simulation costs bounded memory.
+
+Like the metrics layer, tracing is observation-only (no RNG, no
+feedback) and the :data:`NULL_TRACER` makes instrumented code free when
+tracing is off.  Events export to JSONL — one JSON object per line,
+``{"t": ..., "kind": ..., ...fields}`` — and round-trip back through
+:func:`read_jsonl`.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One simulator occurrence at virtual time ``t``."""
+
+    t: float
+    kind: str
+    fields: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        payload = {"t": self.t, "kind": self.kind}
+        payload.update(self.fields)
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        payload = json.loads(line)
+        t = float(payload.pop("t"))
+        kind = str(payload.pop("kind"))
+        return cls(t=t, kind=kind, fields=payload)
+
+
+class Tracer:
+    """A bounded, chronological buffer of :class:`TraceEvent`."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = 65_536) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.emitted = 0
+
+    def emit(self, kind: str, t: float = 0.0, **fields) -> None:
+        """Record one event (evicting the oldest when the ring is full)."""
+        self.emitted += 1
+        self._events.append(TraceEvent(t=float(t), kind=kind, fields=fields))
+
+    def events(self) -> list[TraceEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted because the ring was full."""
+        return self.emitted - len(self._events)
+
+    def counts_by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.emitted = 0
+
+    # --- JSONL export ---------------------------------------------------------
+
+    def to_jsonl(self, path: str | Path) -> Path:
+        """Write the retained events, one JSON object per line."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            for event in self._events:
+                handle.write(event.to_json())
+                handle.write("\n")
+        return path
+
+    def dumps(self) -> str:
+        return "".join(event.to_json() + "\n" for event in self._events)
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: ``emit`` is a no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1)
+
+    def emit(self, kind: str, t: float = 0.0, **fields) -> None:
+        pass
+
+
+#: Shared inert tracer instrumented code defaults to.
+NULL_TRACER = NullTracer()
+
+
+def read_jsonl(source: str | Path | Iterable[str]) -> list[TraceEvent]:
+    """Parse JSONL back into events (from a path or an iterable of lines)."""
+    if isinstance(source, (str, Path)):
+        with Path(source).open("r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    else:
+        lines = list(source)
+    return [TraceEvent.from_json(line) for line in lines if line.strip()]

@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 from .units import format_bps, format_hz
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .obs.metrics import MetricsRegistry
     from .sim.resilience import ResilienceReport
 
 
@@ -93,6 +94,58 @@ def render_resilience_report(report: "ResilienceReport",
         f"proc {inflation['processing']:+.1%}"
     )
     return "\n".join(lines)
+
+
+def render_metrics(registry: "MetricsRegistry | dict",
+                   title: str = "metrics") -> str:
+    """Render a metrics registry (or its ``snapshot()``) as tables.
+
+    One section per instrument family — counters, gauges, timers,
+    histograms — omitting empty families so ``--metrics`` output stays
+    proportional to what actually ran.
+    """
+    snapshot = registry if isinstance(registry, dict) else registry.snapshot()
+    sections: list[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        sections.append(render_table(
+            ["counter", "value"],
+            [[name, value] for name, value in counters.items()],
+            title=title,
+        ))
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        sections.append(render_table(
+            ["gauge", "value"],
+            [[name, value] for name, value in gauges.items()],
+        ))
+    timers = snapshot.get("timers", {})
+    if timers:
+        sections.append(render_table(
+            ["timer", "count", "total (s)", "mean (ms)", "max (ms)"],
+            [
+                [
+                    name,
+                    t["count"],
+                    f"{t['total_seconds']:.4f}",
+                    f"{t['mean_seconds'] * 1e3:.3f}",
+                    f"{t['max_seconds'] * 1e3:.3f}",
+                ]
+                for name, t in timers.items()
+            ],
+        ))
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        sections.append(render_table(
+            ["histogram", "count", "mean", "p50", "p95", "max"],
+            [
+                [name, h["count"], h["mean"], h["p50"], h["p95"], h["max"]]
+                for name, h in histograms.items()
+            ],
+        ))
+    if not sections:
+        return f"{title}: (no metrics recorded)"
+    return "\n\n".join(sections)
 
 
 def _cell(value: object) -> str:

@@ -16,6 +16,7 @@ case stopping at a cheap small ring.
 from __future__ import annotations
 
 from ..core.routing import complete_graph_propagation, propagate_query
+from ..obs.metrics import get_registry
 from ..topology.strong import CompleteGraph
 from .base import QUERY_BYTES, QueryCost, SearchProtocol
 from .flooding import FloodingSearch
@@ -55,6 +56,8 @@ class ExpandingRingSearch(SearchProtocol):
         return propagate_query(graph, source, ttl)
 
     def query_cost(self, source: int) -> QueryCost:
+        metrics = get_registry()
+        metrics.counter("search.expanding_ring.queries").add()
         floods = []
         final = None
         for ttl in self.policy:
@@ -65,6 +68,9 @@ class ExpandingRingSearch(SearchProtocol):
             final = cost
             if cost.expected_results >= self.result_target:
                 break
+        metrics.counter("search.expanding_ring.rings_issued").add(len(floods))
+        if len(floods) > 1:
+            metrics.counter("search.expanding_ring.escalations").add(len(floods) - 1)
         # Query traffic is paid for every ring issued; the user keeps the
         # final ring's result set (earlier rings' responses are subsumed —
         # the re-flood reaches a superset — so response traffic is charged

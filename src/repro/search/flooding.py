@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.routing import complete_graph_propagation, propagate_query
+from ..obs.metrics import get_registry
 from ..topology.strong import CompleteGraph
 from .base import QUERY_BYTES, QueryCost, SearchProtocol
 
@@ -45,8 +46,13 @@ class FloodingSearch(SearchProtocol):
                                blocked=self.dead_clusters)
 
     def query_cost(self, source: int) -> QueryCost:
+        metrics = get_registry()
         prop = self._propagate(source)
         reached = prop.reached
+        metrics.counter("search.flooding.queries").add()
+        metrics.counter("search.flooding.query_messages").add(
+            float(prop.transmissions.sum())
+        )
         responders = reached.copy()
         responders[source] = False
 

@@ -20,6 +20,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from ..obs.metrics import get_registry
+
 
 @dataclass(order=True)
 class _Entry:
@@ -70,6 +72,12 @@ class Simulator:
         self.now = 0.0
         self.events_processed = 0
         self.compactions = 0
+        # Observation-only instruments (inert under the null registry);
+        # resolved once here so step() stays free of registry lookups.
+        metrics = get_registry()
+        self._m_events = metrics.counter("sim.engine.events")
+        self._m_compactions = metrics.counter("sim.engine.compactions")
+        self._m_run = metrics.timer("sim.engine.run")
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args) -> EventHandle:
         """Schedule ``callback(*args)`` to fire ``delay`` from now."""
@@ -100,6 +108,7 @@ class Simulator:
         heapq.heapify(self._heap)
         self._cancelled = 0
         self.compactions += 1
+        self._m_compactions.add()
 
     def _pop_cancelled(self) -> _Entry:
         """Pop one known-cancelled entry off the heap head."""
@@ -130,15 +139,18 @@ class Simulator:
         """
         if end_time < self.now:
             raise ValueError("end_time precedes the current time")
-        while self._heap:
-            entry = self._heap[0]
-            if entry.cancelled:
-                self._pop_cancelled()
-                continue
-            if entry.time > end_time:
-                break
-            self.step()
-        self.now = end_time
+        fired_before = self.events_processed
+        with self._m_run.time():
+            while self._heap:
+                entry = self._heap[0]
+                if entry.cancelled:
+                    self._pop_cancelled()
+                    continue
+                if entry.time > end_time:
+                    break
+                self.step()
+            self.now = end_time
+        self._m_events.add(self.events_processed - fired_before)
 
     def run(self, max_events: int | None = None) -> None:
         """Drain the queue (optionally bounded by ``max_events``)."""

@@ -34,6 +34,8 @@ from dataclasses import dataclass, field, fields, replace
 import numpy as np
 
 from ..core.routing import QueryPropagation, _neighbors_of_frontier
+from ..obs.metrics import get_registry
+from ..obs.trace import NULL_TRACER
 from ..topology.strong import CompleteGraph
 
 
@@ -248,11 +250,16 @@ class FaultRuntime:
     the :class:`FaultOutcome` counters.
     """
 
-    def __init__(self, plan, instance, rng, metrics=None) -> None:
+    def __init__(self, plan, instance, rng, metrics=None, tracer=None) -> None:
         self.plan = plan
         self.instance = instance
         self.rng = rng
         self.metrics = metrics if metrics is not None else FaultOutcome()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        registry = get_registry()
+        self._m_crashes = registry.counter("sim.partner_crashes")
+        self._m_recoveries = registry.counter("sim.partner_recoveries")
+        self._m_outages = registry.counter("sim.cluster_outages")
         n = instance.num_clusters
         k = instance.partners
         self.n = n
@@ -308,8 +315,13 @@ class FaultRuntime:
         self.up[cluster, partner] = False
         self.live[cluster] -= 1
         self.metrics.partner_crashes += 1
+        self._m_crashes.add()
+        if self.tracer.enabled:
+            self.tracer.emit("crash", self.sim.now, cluster=cluster,
+                             partner=partner, live=int(self.live[cluster]))
         if self.live[cluster] == 0:
             self.metrics.outages += 1
+            self._m_outages.add()
             self._outage_started[cluster] = self.sim.now
         else:
             # Surviving partners absorb the crashed slot's clients: the
@@ -326,6 +338,10 @@ class FaultRuntime:
         self.up[cluster, partner] = True
         self.live[cluster] += 1
         self.metrics.partner_recoveries += 1
+        self._m_recoveries.add()
+        if self.tracer.enabled:
+            self.tracer.emit("recover", self.sim.now, cluster=cluster,
+                             partner=partner, live=int(self.live[cluster]))
         if self._on_recovery is not None:
             self._on_recovery(cluster, partner)
         self._schedule_crash(cluster, partner)
@@ -338,6 +354,9 @@ class FaultRuntime:
         self._downtime[cluster] += length
         self.metrics.recovery_times.append(length)
         self.metrics.longest_outage = max(self.metrics.longest_outage, length)
+        if self.tracer.enabled:
+            self.tracer.emit("outage-end", end_time, cluster=cluster,
+                             length=length)
         clients = int(self.instance.clients[cluster])
         self.metrics.orphaned_client_seconds += clients * length
         self._outage_started[cluster] = -1.0

@@ -37,6 +37,8 @@ import numpy as np
 from .. import constants
 from ..core import costs
 from ..core.load import LoadReport, _HANDSHAKE_BYTES, _HANDSHAKE_RECV_UNITS, _HANDSHAKE_SEND_UNITS
+from ..obs.metrics import get_registry
+from ..obs.trace import NULL_TRACER, Tracer
 from ..core.routing import complete_graph_propagation, propagate_query
 from ..querymodel.distributions import QueryModel, default_query_model
 from ..querymodel.files import default_file_distribution
@@ -132,6 +134,27 @@ class _State:
         self.num_updates = 0
         self.total_results = 0.0
         self.total_reach = 0.0
+        # Observability (observation-only; inert under the null registry).
+        # Instruments are resolved once so the per-event cost is one
+        # attribute lookup and a no-op call when metrics are disabled.
+        metrics = get_registry()
+        self.tracer: Tracer = NULL_TRACER
+        self.sim = None  # bound by simulate_instance for trace timestamps
+        self.m_queries = metrics.counter("sim.queries")
+        self.m_joins = metrics.counter("sim.joins")
+        self.m_updates = metrics.counter("sim.updates")
+        self.m_query_messages = metrics.counter("sim.query_messages")
+        self.m_response_messages = metrics.counter("sim.response_messages")
+        self.m_flood_drops = metrics.counter("sim.flood_messages_dropped")
+        self.m_response_drops = metrics.counter("sim.response_messages_dropped")
+        self.m_retries = metrics.counter("sim.retries")
+        self.m_orphans = metrics.counter("sim.orphaned_queries")
+        self.m_results = metrics.histogram("sim.results_per_query")
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (0 before the simulator is bound)."""
+        return self.sim.now if self.sim is not None else 0.0
 
     # --- index bookkeeping ------------------------------------------------------
 
@@ -255,6 +278,16 @@ def _run_query(state: _State, source_cluster: int, client_index: int | None) -> 
     to_a = fw_a[s] + (k_addr[s] if own_msg else 0)
     to_r = fw_r[s] + (n_results[s] if own_msg else 0)
     st.total_results += fw_r[s] + n_results[s]
+    st.m_queries.add()
+    st.m_query_messages.add(float(prop.transmissions.sum()))
+    st.m_response_messages.add(float(fw_m[senders].sum()))
+    st.m_results.observe(float(fw_r[s] + n_results[s]))
+    if st.tracer.enabled:
+        st.tracer.emit(
+            "query", st.now, source=s, reach=int(prop.reach),
+            results=float(fw_r[s] + n_results[s]),
+            query_messages=float(prop.transmissions.sum()),
+        )
     if client_index is not None and to_m > 0:
         bytes_to_client = (
             constants.RESPONSE_MESSAGE_BASE * to_m
@@ -314,8 +347,12 @@ def _run_query_faulty(state: _State, rt: FaultRuntime, source_cluster: int,
             met.queries_attempted += 1
             met.queries_failed += 1
             met.orphaned_queries += 1
+            st.m_orphans.add()
+            if st.tracer.enabled:
+                st.tracer.emit("orphan", st.now, source=s)
         return
     st.num_queries += 1
+    st.m_queries.add()
     met.queries_attempted += 1
     ptr = st.instance.client_ptr
     client_sum = np.add.reduceat(np.append(client_matches, 0), ptr[:-1])
@@ -353,10 +390,19 @@ def _run_query_faulty(state: _State, rt: FaultRuntime, source_cluster: int,
         if attempt + 1 < max_attempts:
             met.retries += 1
             met.retry_wait_seconds += retry.timeout * retry.backoff ** attempt
+            st.m_retries.add()
+            if st.tracer.enabled:
+                st.tracer.emit("retry", st.now, source=s, attempt=attempt + 1)
     if saw_loss:
         met.truncated_floods += 1
+        if st.tracer.enabled:
+            st.tracer.emit("flood-truncated", st.now, source=s)
     st.total_results += best_results
     st.total_reach += best_reach
+    st.m_results.observe(best_results)
+    if st.tracer.enabled:
+        st.tracer.emit("query", st.now, source=s, reach=best_reach,
+                       results=best_results, degraded=saw_loss)
     # A zero-result query is only a *fault* when loss was observed:
     # rare-file queries legitimately return nothing even fault-free, and
     # counting them would bury the degradation signal under the query
@@ -377,6 +423,11 @@ def _flood_attempt_faulty(state: _State, rt: FaultRuntime, s: int,
         st.instance.graph, s, st.instance.config.ttl, rt, now
     )
     met.flood_messages_lost += stats.lost
+    st.m_query_messages.add(float(stats.attempted))
+    if stats.lost:
+        st.m_flood_drops.add(float(stats.lost))
+        if st.tracer.enabled:
+            st.tracer.emit("drop", now, source=s, phase="flood", lost=stats.lost)
     reached = prop.reached
 
     # Flood costs: senders pay for every attempted transmission, dead or
@@ -422,7 +473,14 @@ def _flood_attempt_faulty(state: _State, rt: FaultRuntime, s: int,
         + costs.RECV_RESPONSE_PER_ADDRESS * recv_a[reached]
         + costs.RECV_RESPONSE_PER_RESULT * recv_r[reached]
     ) / kv[reached]
-    met.response_messages_lost += float(sent_m[senders].sum() - recv_m.sum())
+    lost_responses = float(sent_m[senders].sum() - recv_m.sum())
+    met.response_messages_lost += lost_responses
+    st.m_response_messages.add(float(sent_m[senders].sum()))
+    if lost_responses > 0:
+        st.m_response_drops.add(lost_responses)
+        if st.tracer.enabled:
+            st.tracer.emit("drop", now, source=s, phase="response",
+                           lost=lost_responses)
 
     # Deliver what survived (plus own-index results) to the client.
     own_msg = 1.0 if n_results[s] > 0 else 0.0
@@ -461,6 +519,7 @@ def _run_client_churn(state: _State, client_index: int,
     """
     st = state
     st.num_joins += 1
+    st.m_joins.add()
     partners = st.k if live is None else live
     cluster = int(st.cluster_of_client[client_index])
     old_files = int(st.client_files[client_index])
@@ -494,6 +553,7 @@ def _run_partner_churn(state: _State, cluster: int, partner: int,
     """
     st = state
     st.num_joins += 1
+    st.m_joins.add()
     m = st.m_sp[cluster]
     # Handshake one empty message each way per open connection; mirror side
     # is attributed to this cluster's meter in aggregate form (neighbours,
@@ -531,6 +591,7 @@ def _run_update(state: _State, cluster: int, client_index: int | None,
     """
     st = state
     st.num_updates += 1
+    st.m_updates.add()
     partners = st.k if live is None else live
     upd = float(constants.UPDATE_MESSAGE_SIZE)
     if client_index is not None:
@@ -560,6 +621,7 @@ def simulate_instance(
     enable_updates: bool = True,
     faults: FaultPlan | None = None,
     fault_metrics: FaultOutcome | None = None,
+    tracer: Tracer | None = None,
 ) -> SimulationReport:
     """Simulate ``duration`` seconds of the network's life and measure loads.
 
@@ -575,6 +637,12 @@ def simulate_instance(
     ``fault_metrics`` collector to receive the degraded-mode counters
     (or use :func:`repro.sim.resilience.run_resilience`, which wraps
     this with baseline comparison and reporting).
+
+    ``tracer`` (optional) receives ring-buffered
+    :class:`~repro.obs.trace.TraceEvent` records — queries, drops,
+    retries, crashes/recoveries, outages.  Tracing, like the metrics
+    registry, is observation-only: it never touches an RNG stream, so
+    traced and untraced runs produce bit-identical loads.
     """
     if duration <= 0:
         raise ValueError("duration must be positive")
@@ -588,10 +656,14 @@ def simulate_instance(
             fault_rng = derive_rng(rng, "sim", "faults")
     rng = derive_rng(rng, "sim")
     state = _State(instance, model, rng)
+    if tracer is not None:
+        state.tracer = tracer
     sim = Simulator()
+    state.sim = sim
     fault_rt: FaultRuntime | None = None
     if faults is not None:
-        fault_rt = FaultRuntime(faults, instance, fault_rng, metrics=fault_metrics)
+        fault_rt = FaultRuntime(faults, instance, fault_rng, metrics=fault_metrics,
+                                tracer=state.tracer)
         # A recovered partner is a fresh peer: charge the replacement's
         # handshakes and (k > 1) index exchange exactly as instantaneous
         # churn does, just at recovery time instead of departure time.

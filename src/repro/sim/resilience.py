@@ -140,6 +140,7 @@ def run_resilience(
     baseline: SimulationReport | None = None,
     enable_churn: bool = True,
     enable_updates: bool = True,
+    tracer=None,
 ) -> ResilienceReport:
     """Measure an instance's degraded-mode behaviour under ``plan``.
 
@@ -148,7 +149,9 @@ def run_resilience(
     ``rng`` must be a seed (or None), not a Generator: both runs must be
     able to start from the same stream.  Pass ``baseline`` to reuse a
     fault-free report measured earlier (e.g. when sweeping plans over
-    one instance).
+    one instance).  ``tracer`` (a :class:`~repro.obs.trace.Tracer`)
+    records the *degraded* run's event stream; the baseline is never
+    traced, so the trace reads as "what the faults did".
     """
     if isinstance(rng, np.random.Generator):
         raise TypeError(
@@ -159,7 +162,7 @@ def run_resilience(
     degraded = simulate_instance(
         instance, duration=duration, model=model, rng=rng,
         enable_churn=enable_churn, enable_updates=enable_updates,
-        faults=plan, fault_metrics=outcome,
+        faults=plan, fault_metrics=outcome, tracer=tracer,
     )
     if baseline is None:
         baseline = simulate_instance(

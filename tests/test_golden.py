@@ -1,0 +1,126 @@
+"""Golden-value regression tests for the load engine.
+
+Four small, fixed-seed configurations — strong and power-law, each with
+k=1 and k=2 super-peer redundancy — are evaluated exactly and their
+headline numbers pinned to ``tests/golden/golden_loads.json``.  Any
+change to topology generation, the query model or the Eq. 1-4 load
+engine that moves these numbers (beyond float noise) fails here first,
+with a message naming the statistic that moved — turning "the figures
+look different" into a one-line diff.
+
+Regenerating the fixture (only after an *intentional* numeric change)::
+
+    PYTHONPATH=src python tests/test_golden.py --regen
+
+and commit the updated JSON alongside the change that justifies it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.config import Configuration, GraphType
+from repro.core.load import evaluate_instance
+from repro.topology.builder import build_instance
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "golden_loads.json"
+
+#: Loosened only for cross-platform float noise; a real model change
+#: moves these numbers by orders of magnitude more.
+RTOL = 1e-9
+
+#: The pinned configurations.  Seeds are part of the contract.
+CASES = {
+    "strong_k1": dict(
+        graph_type=GraphType.STRONG, graph_size=200, cluster_size=10,
+        ttl=1, seed=5,
+    ),
+    "strong_k2": dict(
+        graph_type=GraphType.STRONG, graph_size=200, cluster_size=10,
+        ttl=1, redundancy=True, seed=5,
+    ),
+    "power_k1": dict(
+        graph_type=GraphType.POWER_LAW, graph_size=300, cluster_size=10,
+        avg_outdegree=4.0, ttl=4, seed=3,
+    ),
+    "power_k2": dict(
+        graph_type=GraphType.POWER_LAW, graph_size=300, cluster_size=10,
+        avg_outdegree=4.0, ttl=4, redundancy=True, seed=3,
+    ),
+}
+
+
+def _evaluate(case: dict) -> dict[str, float]:
+    params = dict(case)
+    seed = params.pop("seed")
+    instance = build_instance(Configuration(**params), seed=seed)
+    report = evaluate_instance(instance)  # exact: every source cluster
+    aggregate = report.aggregate_load()
+    superpeer = report.mean_superpeer_load()
+    client = report.mean_client_load()
+    return {
+        "aggregate_incoming_bps": aggregate.incoming_bps,
+        "aggregate_outgoing_bps": aggregate.outgoing_bps,
+        "aggregate_processing_hz": aggregate.processing_hz,
+        "superpeer_incoming_bps": superpeer.incoming_bps,
+        "superpeer_outgoing_bps": superpeer.outgoing_bps,
+        "superpeer_processing_hz": superpeer.processing_hz,
+        "client_incoming_bps": client.incoming_bps,
+        "mean_results_per_query": report.mean_results_per_query(),
+        "mean_epl": report.mean_epl(),
+        "mean_reach_clusters": report.mean_reach_clusters(),
+        "mean_reach_peers": report.mean_reach_peers(),
+    }
+
+
+def _load_golden() -> dict:
+    with GOLDEN_PATH.open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def test_golden_fixture_covers_all_cases():
+    golden = _load_golden()
+    assert set(golden) == set(CASES)
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_loads(name):
+    golden = _load_golden()[name]
+    actual = _evaluate(CASES[name])
+    assert set(actual) == set(golden), f"{name}: statistic set changed"
+    for stat, expected in golden.items():
+        assert actual[stat] == pytest.approx(expected, rel=RTOL), (
+            f"{name}.{stat} moved: expected {expected!r}, got {actual[stat]!r}"
+        )
+
+
+def test_redundancy_changes_the_numbers():
+    # Sanity on the fixture itself: the four cases must be genuinely
+    # distinct experiments, not four copies of one.
+    golden = _load_golden()
+    values = {
+        name: payload["aggregate_processing_hz"]
+        for name, payload in golden.items()
+    }
+    assert len(set(values.values())) == len(values)
+
+
+def _regenerate() -> None:
+    GOLDEN_PATH.parent.mkdir(exist_ok=True)
+    payload = {name: _evaluate(case) for name, case in sorted(CASES.items())}
+    GOLDEN_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

@@ -1,0 +1,445 @@
+"""Unit + property tests for the observability layer (``repro.obs``).
+
+Three contracts are held here:
+
+* **Instrument algebra** — counters/timers/histograms accumulate exactly,
+  registry merge is associative (so per-trial registries can be folded in
+  any grouping), the null registry is both inert and the merge identity.
+* **Trace buffer semantics** — the ring keeps the most recent events,
+  counts the evicted ones, preserves order, and round-trips JSONL.
+* **Instrumentation neutrality** — the load engine and the simulator
+  produce bit-identical numbers whether metrics/tracing are enabled or
+  not.  Observation only: no RNG draws, no value-dependent branches.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.load import evaluate_instance
+from repro.obs.manifest import RunManifest, config_fingerprint, manifest_for
+from repro.obs.metrics import (
+    _BUCKETS_PER_OCTAVE,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    _bucket_midpoint,
+    _bucket_of,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.trace import NULL_TRACER, TraceEvent, Tracer, read_jsonl
+from repro.reporting import render_metrics
+from repro.sim.faults import FaultPlan, RetryPolicy
+from repro.sim.network import simulate_instance
+from repro.sim.resilience import run_resilience
+
+from conftest import make_instance
+
+
+# --- instruments ---------------------------------------------------------------
+
+
+def test_counter_accumulates():
+    registry = MetricsRegistry()
+    c = registry.counter("x")
+    c.add()
+    c.add(2.5)
+    assert c.value == 3.5
+    assert registry.counter("x") is c  # stable identity for hot paths
+
+
+def test_gauge_last_value_wins():
+    g = MetricsRegistry().gauge("g")
+    assert not g.was_set
+    g.set(1.0)
+    g.set(-2.0)
+    assert g.value == -2.0
+    assert g.was_set
+
+
+def test_timer_records_and_times():
+    t = MetricsRegistry().timer("t")
+    t.record(0.5)
+    t.record(1.5)
+    assert t.count == 2
+    assert t.total_seconds == 2.0
+    assert t.mean_seconds == 1.0
+    assert t.max_seconds == 1.5
+    with t.time():
+        pass
+    assert t.count == 3
+    assert t.total_seconds >= 2.0
+
+
+def test_histogram_exact_stats_and_quantile_endpoints():
+    h = MetricsRegistry().histogram("h")
+    values = [1.0, 2.0, 4.0, 100.0, 0.25]
+    for v in values:
+        h.observe(v)
+    assert h.count == len(values)
+    assert h.total == pytest.approx(sum(values))
+    assert h.mean == pytest.approx(sum(values) / len(values))
+    assert h.quantile(0.0) == min(values)
+    assert h.quantile(1.0) == max(values)
+    assert min(values) <= h.quantile(0.5) <= max(values)
+    assert sum(h.bucket_counts().values()) == len(values)
+
+
+def test_histogram_quantile_rejects_out_of_range():
+    h = MetricsRegistry().histogram("h")
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+@given(st.floats(min_value=1e-9, max_value=1e9, allow_nan=False))
+def test_bucket_midpoint_relative_error(value):
+    # The log buckets are 2**(1/8) wide; the geometric midpoint is within
+    # a factor 2**(1/16) of every value in the bucket.
+    mid = _bucket_midpoint(_bucket_of(value))
+    bound = 2.0 ** (0.5 / _BUCKETS_PER_OCTAVE)
+    assert mid / value <= bound * (1 + 1e-12)
+    assert mid / value >= (1 / bound) * (1 - 1e-12)
+    # Sign symmetry: negatives land in the mirrored bucket.
+    assert _bucket_of(-value) == -_bucket_of(value)
+
+
+def test_bucket_of_zero_and_nonfinite():
+    assert _bucket_of(0.0) == 0
+    assert _bucket_of(math.inf) == 0
+    assert _bucket_midpoint(0) == 0.0
+
+
+# --- registry ------------------------------------------------------------------
+
+
+def test_snapshot_shape_and_unset_gauge_omitted():
+    registry = MetricsRegistry()
+    registry.counter("c").add(2)
+    registry.gauge("set").set(7.0)
+    registry.gauge("unset")  # created but never set: must not appear
+    registry.timer("t").record(0.25)
+    registry.histogram("h").observe(3.0)
+    snap = registry.snapshot()
+    assert snap["counters"] == {"c": 2.0}
+    assert snap["gauges"] == {"set": 7.0}
+    assert snap["timers"]["t"]["count"] == 1
+    assert snap["timers"]["t"]["total_seconds"] == 0.25
+    assert snap["histograms"]["h"]["count"] == 1
+    assert snap["histograms"]["h"]["min"] == 3.0
+
+
+def test_registry_reset():
+    registry = MetricsRegistry()
+    registry.counter("c").add()
+    registry.reset()
+    assert registry.snapshot()["counters"] == {}
+
+
+_NAMES = st.sampled_from(["a", "b", "c"])
+_AMOUNTS = st.integers(min_value=-1000, max_value=1000).map(float)
+_OPS = st.lists(st.tuples(_NAMES, _AMOUNTS), max_size=20)
+
+
+def _registry_from(ops):
+    registry = MetricsRegistry()
+    for name, amount in ops:
+        registry.counter(name).add(amount)
+        registry.histogram(name).observe(amount)
+        registry.gauge(name).set(amount)
+        registry.timer(name).record(abs(amount))
+    return registry
+
+
+@settings(deadline=None, max_examples=50)
+@given(_OPS, _OPS, _OPS)
+def test_merge_is_associative(ops_a, ops_b, ops_c):
+    # Integer-valued amounts keep float addition exact, so associativity
+    # is testable as strict snapshot equality.
+    a, b, c = _registry_from(ops_a), _registry_from(ops_b), _registry_from(ops_c)
+    left = a.merge(b).merge(c)
+    right = a.merge(b.merge(c))
+    assert left.snapshot() == right.snapshot()
+
+
+@settings(deadline=None, max_examples=50)
+@given(_OPS, _OPS)
+def test_merge_adds_and_does_not_mutate(ops_a, ops_b):
+    a, b = _registry_from(ops_a), _registry_from(ops_b)
+    before_a, before_b = a.snapshot(), b.snapshot()
+    merged = a.merge(b)
+    for name in set(before_a["counters"]) | set(before_b["counters"]):
+        expected = (before_a["counters"].get(name, 0.0)
+                    + before_b["counters"].get(name, 0.0))
+        assert merged.counter(name).value == expected
+    assert a.snapshot() == before_a
+    assert b.snapshot() == before_b
+
+
+def test_null_registry_is_merge_identity():
+    registry = MetricsRegistry()
+    registry.counter("c").add(3)
+    merged = NULL_REGISTRY.merge(registry)
+    assert merged.snapshot()["counters"] == {"c": 3.0}
+    assert merged is not registry  # a copy: mutating it can't leak back
+
+
+# --- null registry / process default ------------------------------------------
+
+
+def test_null_registry_is_inert():
+    assert not NULL_REGISTRY.enabled
+    c = NULL_REGISTRY.counter("anything")
+    c.add(100.0)
+    assert c.value == 0.0
+    assert NULL_REGISTRY.counter("other") is c  # one singleton per kind
+    NULL_REGISTRY.gauge("g").set(5.0)
+    NULL_REGISTRY.histogram("h").observe(5.0)
+    with NULL_REGISTRY.timer("t").time():
+        pass
+    snap = NULL_REGISTRY.snapshot()
+    assert snap["counters"] == {} and snap["gauges"] == {}
+
+
+def test_default_registry_management():
+    assert get_registry() is NULL_REGISTRY
+    registry = MetricsRegistry()
+    try:
+        previous = set_registry(registry)
+        assert previous is NULL_REGISTRY
+        assert get_registry() is registry
+    finally:
+        disable_metrics()
+    assert get_registry() is NULL_REGISTRY
+
+
+def test_use_registry_restores_on_exception():
+    registry = MetricsRegistry()
+    with pytest.raises(RuntimeError):
+        with use_registry(registry):
+            assert get_registry() is registry
+            raise RuntimeError("boom")
+    assert get_registry() is NULL_REGISTRY
+
+
+def test_enable_metrics_installs_fresh_registry():
+    try:
+        registry = enable_metrics()
+        assert get_registry() is registry
+        assert registry.enabled
+    finally:
+        disable_metrics()
+
+
+# --- tracer --------------------------------------------------------------------
+
+
+def test_tracer_ring_is_bounded_and_counts_drops():
+    tracer = Tracer(capacity=8)
+    for i in range(20):
+        tracer.emit("tick", t=float(i), i=i)
+    assert len(tracer) == 8
+    assert tracer.emitted == 20
+    assert tracer.dropped == 12
+    # The ring keeps the most recent events, in order.
+    kept = [e.fields["i"] for e in tracer.events()]
+    assert kept == list(range(12, 20))
+    ts = [e.t for e in tracer.events()]
+    assert ts == sorted(ts)
+
+
+def test_tracer_counts_by_kind_and_clear():
+    tracer = Tracer(capacity=16)
+    tracer.emit("crash", t=1.0)
+    tracer.emit("query", t=2.0)
+    tracer.emit("query", t=3.0)
+    assert tracer.counts_by_kind() == {"crash": 1, "query": 2}
+    tracer.clear()
+    assert len(tracer) == 0 and tracer.emitted == 0 and tracer.dropped == 0
+
+
+def test_tracer_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+
+
+def test_null_tracer_is_inert():
+    assert not NULL_TRACER.enabled
+    NULL_TRACER.emit("anything", t=1.0, x=1)
+    assert len(NULL_TRACER) == 0
+
+
+def test_trace_jsonl_roundtrip(tmp_path):
+    tracer = Tracer(capacity=64)
+    tracer.emit("query", t=1.5, source=3, results=7.25)
+    tracer.emit("drop", t=2.0, phase="flood", hop=2)
+    tracer.emit("crash", t=3.25, cluster=1, partner=0)
+    path = tracer.to_jsonl(tmp_path / "trace.jsonl")
+    assert read_jsonl(path) == tracer.events()
+    # dumps() and the file agree line for line.
+    assert path.read_text(encoding="utf-8") == tracer.dumps()
+    assert read_jsonl(tracer.dumps().splitlines()) == tracer.events()
+
+
+_FIELD_VALUES = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=12),
+    st.booleans(),
+    st.none(),
+)
+_FIELDS = st.dictionaries(
+    st.text(st.characters(min_codepoint=97, max_codepoint=122),
+            min_size=1, max_size=8).filter(lambda k: k not in ("t", "kind")),
+    _FIELD_VALUES,
+    max_size=4,
+)
+
+
+@settings(deadline=None, max_examples=50)
+@given(st.floats(allow_nan=False, allow_infinity=False), st.text(max_size=12),
+       _FIELDS)
+def test_trace_event_json_roundtrip(t, kind, fields):
+    event = TraceEvent(t=t, kind=kind, fields=fields)
+    assert TraceEvent.from_json(event.to_json()) == event
+
+
+# --- manifests -----------------------------------------------------------------
+
+
+def test_manifest_phase_accumulates():
+    manifest = RunManifest(name="m")
+    with manifest.phase("work"):
+        pass
+    first = manifest.phases["work"]
+    with manifest.phase("work"):
+        pass
+    assert manifest.phases["work"] > first  # re-entering the phase adds
+    assert manifest.total_seconds == sum(manifest.phases.values())
+
+
+def test_manifest_finish_and_roundtrip(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("c").add(4)
+    manifest = manifest_for("roundtrip", config=None, seed=11, note="x")
+    with manifest.phase("p"):
+        pass
+    manifest.finish(registry)
+    assert manifest.metrics["counters"] == {"c": 4.0}
+    assert manifest.peak_rss is None or manifest.peak_rss > 0
+    path = tmp_path / "m.json"
+    manifest.to_json(path)
+    loaded = RunManifest.from_json(path)
+    assert loaded.name == "roundtrip"
+    assert loaded.seed == 11
+    assert loaded.extra == {"note": "x"}
+    assert loaded.phases == manifest.phases
+    assert loaded.metrics["counters"] == {"c": 4.0}
+
+
+def test_config_fingerprint_distinguishes_configs():
+    from repro.config import Configuration
+
+    a = Configuration(graph_size=1000)
+    b = Configuration(graph_size=1000)
+    c = Configuration(graph_size=2000)
+    assert config_fingerprint(a) == config_fingerprint(b)
+    assert config_fingerprint(a) != config_fingerprint(c)
+    assert len(config_fingerprint(a)) == 16
+    int(config_fingerprint(a), 16)  # hex
+
+
+# --- rendering -----------------------------------------------------------------
+
+
+def test_render_metrics_sections_and_empty_fallback():
+    registry = MetricsRegistry()
+    assert "(no metrics recorded)" in render_metrics(registry)
+    registry.counter("sim.queries").add(5)
+    registry.timer("load.queries").record(0.125)
+    registry.histogram("sim.results").observe(10.0)
+    text = render_metrics(registry, title="run metrics")
+    assert "run metrics" in text
+    assert "sim.queries" in text
+    assert "load.queries" in text
+    assert "sim.results" in text
+    # Accepts a plain snapshot dict too.
+    assert "sim.queries" in render_metrics(registry.snapshot())
+
+
+# --- instrumentation neutrality ------------------------------------------------
+
+
+def _load_arrays(report):
+    return (
+        report.superpeer_incoming_bps, report.superpeer_outgoing_bps,
+        report.superpeer_processing_hz, report.client_incoming_bps,
+        report.client_outgoing_bps, report.client_processing_hz,
+        report.results_per_query, report.epl_per_query,
+        report.reach_clusters,
+    )
+
+
+def _sim_arrays(report):
+    return (
+        report.superpeer_incoming_bps, report.superpeer_outgoing_bps,
+        report.superpeer_processing_hz, report.client_incoming_bps,
+        report.client_outgoing_bps, report.client_processing_hz,
+    )
+
+
+def _assert_identical(arrays_a, arrays_b):
+    for left, right in zip(arrays_a, arrays_b):
+        np.testing.assert_array_equal(left, right)
+
+
+def test_evaluate_instance_is_metrics_neutral():
+    instance = make_instance(seed=7)
+    baseline = evaluate_instance(instance, max_sources=15, rng=1)
+    with use_registry(MetricsRegistry()) as registry:
+        instrumented = evaluate_instance(instance, max_sources=15, rng=1)
+    _assert_identical(_load_arrays(baseline), _load_arrays(instrumented))
+    assert registry.snapshot()["counters"]["load.instances_evaluated"] == 1.0
+
+
+def test_simulation_is_metrics_and_trace_neutral():
+    instance = make_instance(graph_size=150, cluster_size=8, seed=2)
+    baseline = simulate_instance(instance, duration=240.0, rng=9)
+    with use_registry(MetricsRegistry()) as registry:
+        instrumented = simulate_instance(
+            instance, duration=240.0, rng=9, tracer=Tracer(capacity=4096)
+        )
+    _assert_identical(_sim_arrays(baseline), _sim_arrays(instrumented))
+    assert baseline.num_queries == instrumented.num_queries
+    assert baseline.mean_results_per_query == instrumented.mean_results_per_query
+    assert registry.snapshot()["counters"]["sim.queries"] == baseline.num_queries
+
+
+def test_resilience_is_metrics_and_trace_neutral():
+    instance = make_instance(graph_size=150, cluster_size=8, seed=4)
+    plan = FaultPlan(message_loss=0.05, retry=RetryPolicy(max_retries=1))
+    baseline = run_resilience(instance, plan, duration=240.0, rng=13)
+    tracer = Tracer(capacity=4096)
+    with use_registry(MetricsRegistry()) as registry:
+        instrumented = run_resilience(
+            instance, plan, duration=240.0, rng=13, tracer=tracer
+        )
+    _assert_identical(_sim_arrays(baseline.degraded),
+                      _sim_arrays(instrumented.degraded))
+    _assert_identical(_sim_arrays(baseline.baseline),
+                      _sim_arrays(instrumented.baseline))
+    assert (baseline.outcome.queries_attempted
+            == instrumented.outcome.queries_attempted)
+    assert baseline.query_success_rate == instrumented.query_success_rate
+    counters = registry.snapshot()["counters"]
+    assert counters["sim.queries"] > 0
+    # The degraded run actually dropped messages — and tracing saw it.
+    assert counters["sim.flood_messages_dropped"] > 0
+    assert tracer.counts_by_kind().get("drop", 0) > 0

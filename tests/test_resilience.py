@@ -10,6 +10,10 @@ from repro.sim.network import simulate_instance
 from repro.sim.resilience import run_resilience
 from repro.topology.builder import build_instance
 
+# Each case runs paired (baseline + degraded) simulations; the fast tier
+# keeps fault coverage via test_faults.py and the neutrality tests.
+pytestmark = pytest.mark.slow
+
 LOAD_FIELDS = (
     "superpeer_incoming_bps",
     "superpeer_outgoing_bps",

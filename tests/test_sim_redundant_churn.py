@@ -6,6 +6,10 @@ from repro.config import Configuration, GraphType
 from repro.sim.network import simulate_instance
 from repro.topology.builder import build_instance
 
+# Long redundant-cluster simulations; fast-tier sim coverage lives in
+# test_sim_engine.py and the short runs inside test_obs.py.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def redundant_instance():

@@ -16,6 +16,10 @@ from repro.core.load import evaluate_instance
 from repro.sim.network import simulate_instance
 from repro.topology.builder import build_instance
 
+# Long simulations (minutes in aggregate): the fast tier skips them and
+# tests/test_golden.py + test_sim_smoke keep the cheap coverage.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def power_instance():
