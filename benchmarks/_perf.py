@@ -1,0 +1,108 @@
+"""The shared perf workload behind ``bench_perf.py`` and ``bench_gate.py``.
+
+One function, :func:`run_perf_workload`, executes the three hot paths —
+``build_instance``, ``evaluate_instance`` (exact and sampled) and one
+message-level simulation — at fixed seeds under a private metrics
+registry, and packages the result as the ``BENCH_perf.json`` payload:
+per-phase wall-clock, peak RSS, python/platform provenance and every
+metric counter.  The benchmark writes that payload as the committed
+baseline; the gate reruns the identical workload and compares.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from pathlib import Path
+
+from repro.config import Configuration, GraphType
+from repro.core.load import evaluate_instance
+from repro.obs.manifest import manifest_for, peak_rss_bytes
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.sim.network import simulate_instance
+from repro.topology.builder import build_instance
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_perf.json"
+HISTORY_FILE = REPO_ROOT / "BENCH_history.jsonl"
+
+#: Fixed seeds: the perf numbers must be attributable to code, not RNG.
+SEED = 0
+SIM_SEED = 1
+SIM_DURATION = 600.0
+
+
+def perf_config(graph_size: int) -> Configuration:
+    return Configuration(
+        graph_type=GraphType.POWER_LAW,
+        graph_size=graph_size,
+        cluster_size=10,
+        avg_outdegree=3.1,
+        ttl=7,
+    )
+
+
+def run_perf_workload(
+    graph_size: int,
+    seed: int = SEED,
+    sim_seed: int = SIM_SEED,
+    sim_duration: float = SIM_DURATION,
+    scale: float = 1.0,
+):
+    """Run the timed workload once; returns ``(payload, manifest, results)``.
+
+    ``payload`` is the JSON-ready ``BENCH_perf.json`` document;
+    ``results`` holds the live objects (instance, exact/sampled reports,
+    simulation) for sanity assertions.
+    """
+    config = perf_config(graph_size)
+    manifest = manifest_for(
+        "bench_perf", config=config, seed=seed,
+        graph_size=graph_size, scale=scale, sim_duration=sim_duration,
+    )
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        with manifest.phase("build_instance"):
+            instance = build_instance(config, seed=seed)
+        with manifest.phase("mva_exact"):
+            exact = evaluate_instance(instance)
+        with manifest.phase("mva_sampled"):
+            sampled = evaluate_instance(instance, max_sources=50, rng=seed)
+        with manifest.phase("sim_message_level"):
+            sim = simulate_instance(instance, duration=sim_duration, rng=sim_seed)
+    manifest.finish(registry)
+
+    snapshot = registry.snapshot()
+    events = snapshot["counters"].get("sim.engine.events", 0.0)
+    sim_seconds = manifest.phases["sim_message_level"]
+    payload = {
+        "schema": 1,
+        "created_unix": time.time(),
+        "git_rev": manifest.git_rev,
+        "config_hash": manifest.config_hash,
+        "seed": seed,
+        "sim_seed": sim_seed,
+        "scale": scale,
+        "graph_size": graph_size,
+        "num_clusters": instance.num_clusters,
+        "sim_duration": sim_duration,
+        "phases_seconds": dict(manifest.phases),
+        "peak_rss_bytes": peak_rss_bytes(),
+        "sim_events": events,
+        "sim_queries": sim.num_queries,
+        "sim_virtual_seconds_per_wall_second": (
+            sim_duration / sim_seconds if sim_seconds > 0 else None
+        ),
+        "counters": snapshot["counters"],
+        # Cross-machine comparisons need to know *what* produced the
+        # numbers, not just when (satellite of ISSUE 3).
+        "python_version": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    results = {
+        "instance": instance,
+        "exact": exact,
+        "sampled": sampled,
+        "sim": sim,
+    }
+    return payload, manifest, results

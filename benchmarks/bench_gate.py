@@ -1,0 +1,214 @@
+"""CI perf-regression gate: rerun the perf workload, compare to baseline.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_gate.py [--time-factor 2.0]
+
+Reads the committed ``BENCH_perf.json``, reruns the *identical* workload
+(same graph size, seeds and simulated duration, via ``_perf.py``) and
+compares:
+
+* **event counts** (metric counters, ``sim_events``, ``sim_queries``,
+  ``num_clusters``) must match the baseline almost exactly — they are
+  seeded and deterministic, so any drift is a behaviour change, not
+  noise;
+* **phase wall-clock** may vary with the machine, so each phase is
+  gated multiplicatively (``current <= baseline * time_factor +
+  time_slack``).  CI passes a loose factor; local runs can tighten it.
+
+Every run appends one line to ``BENCH_history.jsonl`` (bounded to the
+most recent :data:`HISTORY_LIMIT` entries) so the perf trajectory stays
+inspectable across PRs.
+
+Exit codes: 0 = pass, 1 = regression detected, 2 = usage error
+(missing/unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # script execution: make src/ importable
+    _SRC = Path(__file__).resolve().parent.parent / "src"
+    if str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+from _perf import BENCH_FILE, HISTORY_FILE, run_perf_workload  # noqa: E402
+from _sweeps import write_manifest  # noqa: E402
+
+DEFAULT_TIME_FACTOR = 2.0
+DEFAULT_TIME_SLACK = 0.25
+DEFAULT_COUNT_RTOL = 1e-6
+HISTORY_LIMIT = 200
+
+#: Scalar payload fields that must match the baseline like counters do.
+_COUNT_FIELDS = ("num_clusters", "sim_events", "sim_queries")
+
+#: Payload fields that must be identical for the comparison to be valid.
+_IDENTITY_FIELDS = ("schema", "seed", "sim_seed", "scale", "graph_size",
+                    "sim_duration")
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    time_factor: float = DEFAULT_TIME_FACTOR,
+    time_slack: float = DEFAULT_TIME_SLACK,
+    count_rtol: float = DEFAULT_COUNT_RTOL,
+) -> list[str]:
+    """Compare a fresh payload against the baseline; returns failures.
+
+    An empty list means the gate passes.  Each failure is one
+    human-readable sentence naming the quantity, the observed value and
+    the allowed bound.
+    """
+    failures: list[str] = []
+
+    for field in _IDENTITY_FIELDS:
+        if baseline.get(field) != current.get(field):
+            failures.append(
+                f"workload mismatch: {field} is {current.get(field)!r} "
+                f"but the baseline recorded {baseline.get(field)!r}"
+            )
+    if failures:
+        # Count/time comparisons are meaningless across different workloads.
+        return failures
+
+    counts = [(f"field {name}", baseline.get(name), current.get(name))
+              for name in _COUNT_FIELDS]
+    counts += [
+        (f"counter {name}", value, current.get("counters", {}).get(name))
+        for name, value in sorted(baseline.get("counters", {}).items())
+    ]
+    for label, base_value, cur_value in counts:
+        if base_value is None:
+            continue
+        if cur_value is None:
+            failures.append(f"{label} missing from the current run "
+                            f"(baseline {base_value!r})")
+        elif abs(cur_value - base_value) > count_rtol * max(abs(base_value), 1.0):
+            failures.append(
+                f"{label} changed: {cur_value!r} vs baseline {base_value!r} "
+                f"(rtol {count_rtol:g}) — seeded counts must not drift"
+            )
+
+    for phase, base_s in sorted(baseline.get("phases_seconds", {}).items()):
+        cur_s = current.get("phases_seconds", {}).get(phase)
+        if cur_s is None:
+            failures.append(f"phase {phase} missing from the current run")
+            continue
+        allowed = base_s * time_factor + time_slack
+        if cur_s > allowed:
+            failures.append(
+                f"phase {phase} regressed: {cur_s:.3f}s > allowed "
+                f"{allowed:.3f}s (baseline {base_s:.3f}s x {time_factor:g} "
+                f"+ {time_slack:g}s slack)"
+            )
+    return failures
+
+
+def append_history(entry: dict, path: Path, limit: int = HISTORY_LIMIT) -> None:
+    """Append one JSONL record, keeping only the most recent ``limit``."""
+    lines: list[str] = []
+    if path.exists():
+        lines = [ln for ln in path.read_text(encoding="utf-8").splitlines()
+                 if ln.strip()]
+    lines.append(json.dumps(entry, sort_keys=True))
+    path.write_text("\n".join(lines[-limit:]) + "\n", encoding="utf-8")
+
+
+def main(argv: list[str] | None = None, workload=run_perf_workload) -> int:
+    parser = argparse.ArgumentParser(
+        description="rerun the perf workload and fail on regressions",
+    )
+    parser.add_argument("--baseline", type=Path, default=BENCH_FILE,
+                        help=f"baseline payload (default {BENCH_FILE.name})")
+    parser.add_argument("--history", type=Path, default=HISTORY_FILE,
+                        help="bounded JSONL perf history (default "
+                             f"{HISTORY_FILE.name}); --no-history disables")
+    parser.add_argument("--no-history", action="store_true",
+                        help="do not append this run to the history file")
+    parser.add_argument("--time-factor", type=float, default=DEFAULT_TIME_FACTOR,
+                        help="allowed slowdown multiplier per phase "
+                             "(default %(default)s; CI uses a loose value)")
+    parser.add_argument("--time-slack", type=float, default=DEFAULT_TIME_SLACK,
+                        help="absolute per-phase slack in seconds, so "
+                             "sub-100ms phases are not gated on scheduler "
+                             "noise (default %(default)s)")
+    parser.add_argument("--count-rtol", type=float, default=DEFAULT_COUNT_RTOL,
+                        help="relative tolerance for deterministic counts "
+                             "(default %(default)s)")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="also write the current run's payload here "
+                             "(CI uploads it as an artifact)")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"bench_gate: cannot read baseline {args.baseline}: {exc}",
+              file=sys.stderr)
+        print("bench_gate: create one with "
+              "`pytest benchmarks/bench_perf.py --rebaseline`",
+              file=sys.stderr)
+        return 2
+
+    print(f"bench_gate: baseline {args.baseline} "
+          f"(git {baseline.get('git_rev')}, graph_size "
+          f"{baseline.get('graph_size')}, scale {baseline.get('scale')})")
+    current, manifest, _results = workload(
+        baseline["graph_size"],
+        seed=baseline["seed"],
+        sim_seed=baseline["sim_seed"],
+        sim_duration=baseline["sim_duration"],
+        scale=baseline.get("scale", 1.0),
+    )
+    if manifest is not None:
+        manifest.name = "bench_gate"
+        write_manifest(manifest)
+    if args.json is not None:
+        args.json.write_text(
+            json.dumps(current, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    failures = compare(
+        baseline, current,
+        time_factor=args.time_factor,
+        time_slack=args.time_slack,
+        count_rtol=args.count_rtol,
+    )
+
+    if not args.no_history:
+        append_history({
+            "t": time.time(),
+            "git_rev": current.get("git_rev"),
+            "baseline_git_rev": baseline.get("git_rev"),
+            "passed": not failures,
+            "failures": len(failures),
+            "phases_seconds": current.get("phases_seconds", {}),
+            "python_version": current.get("python_version"),
+        }, args.history)
+
+    for phase, cur_s in sorted(current.get("phases_seconds", {}).items()):
+        base_s = baseline.get("phases_seconds", {}).get(phase)
+        ratio = f"{cur_s / base_s:5.2f}x" if base_s else "  n/a"
+        print(f"bench_gate:   {phase:<20} {cur_s:8.3f}s  "
+              f"(baseline {base_s if base_s is not None else float('nan'):8.3f}s, {ratio})")
+
+    if failures:
+        print(f"bench_gate: FAIL — {len(failures)} regression(s):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"bench_gate:   - {failure}", file=sys.stderr)
+        return 1
+    print("bench_gate: PASS — counts identical, phases within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,11 +2,15 @@
 
 Times the three hot paths every optimization PR must not regress —
 ``evaluate_instance`` in exact and sampled modes, and one message-level
-simulation — at fixed seeds, and writes ``BENCH_perf.json`` at the repo
-root: per-phase wall-clock, peak RSS, machine metadata and the metric
-counters of each phase.  This file seeds the perf trajectory; a later PR
-that touches a hot path reruns ``pytest benchmarks/bench_perf.py`` and
-compares against the committed history.
+simulation — at fixed seeds (the shared workload in ``_perf.py``), and
+writes ``BENCH_perf.json`` at the repo root: per-phase wall-clock, peak
+RSS, machine metadata and the metric counters of each phase.
+
+The committed baseline is a contract, not a scratch file: rerunning this
+benchmark **refuses to overwrite** an existing ``BENCH_perf.json`` unless
+pytest is invoked with ``--rebaseline``.  ``benchmarks/bench_gate.py``
+is the comparison side — it reruns the same workload and fails on
+regressions.
 
 Network sizes honour ``REPRO_BENCH_SCALE`` (recorded in the output, so
 runs at different scales are never compared by accident).
@@ -15,98 +19,37 @@ runs at different scales are never compared by accident).
 from __future__ import annotations
 
 import json
-import time
-from pathlib import Path
 
-from repro.config import Configuration, GraphType
-from repro.core.load import evaluate_instance
-from repro.obs.manifest import manifest_for, peak_rss_bytes
-from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.reporting import render_table
-from repro.sim.network import simulate_instance
-from repro.topology.builder import build_instance
 
+from _perf import BENCH_FILE, SEED, run_perf_workload
 from _sweeps import write_manifest
 from conftest import bench_scale, run_once, scaled
 
-BENCH_FILE = Path(__file__).parent.parent / "BENCH_perf.json"
 
-#: Fixed seeds: the perf numbers must be attributable to code, not RNG.
-SEED = 0
-SIM_SEED = 1
-SIM_DURATION = 600.0
-
-
-def _perf_config(graph_size: int) -> Configuration:
-    return Configuration(
-        graph_type=GraphType.POWER_LAW,
-        graph_size=graph_size,
-        cluster_size=10,
-        avg_outdegree=3.1,
-        ttl=7,
-    )
-
-
-def test_perf_baseline(benchmark, emit):
+def test_perf_baseline(benchmark, emit, rebaseline):
     graph_size = scaled(5000)
-    config = _perf_config(graph_size)
-    manifest = manifest_for(
-        "bench_perf", config=config, seed=SEED,
-        graph_size=graph_size, scale=bench_scale(),
-        sim_duration=SIM_DURATION,
+    payload, manifest, results = run_once(
+        benchmark, lambda: run_perf_workload(graph_size, scale=bench_scale())
     )
-    registry = MetricsRegistry()
-
-    def experiment():
-        with use_registry(registry):
-            with manifest.phase("build_instance"):
-                instance = build_instance(config, seed=SEED)
-            with manifest.phase("mva_exact"):
-                exact = evaluate_instance(instance)
-            with manifest.phase("mva_sampled"):
-                sampled = evaluate_instance(
-                    instance, max_sources=50, rng=SEED
-                )
-            with manifest.phase("sim_message_level"):
-                sim = simulate_instance(
-                    instance, duration=SIM_DURATION, rng=SIM_SEED
-                )
-        return instance, exact, sampled, sim
-
-    instance, exact, sampled, sim = run_once(benchmark, experiment)
-    manifest.finish(registry)
     write_manifest(manifest)
 
     # Sanity: the timed work actually produced the reproduction's numbers.
-    assert exact.aggregate_load().processing_hz > 0
-    assert sampled.aggregate_load().processing_hz > 0
-    assert sim.num_queries > 0
+    assert results["exact"].aggregate_load().processing_hz > 0
+    assert results["sampled"].aggregate_load().processing_hz > 0
+    assert results["sim"].num_queries > 0
 
-    snapshot = registry.snapshot()
-    events = snapshot["counters"].get("sim.engine.events", 0.0)
-    sim_seconds = manifest.phases["sim_message_level"]
-    payload = {
-        "schema": 1,
-        "created_unix": time.time(),
-        "git_rev": manifest.git_rev,
-        "config_hash": manifest.config_hash,
-        "seed": SEED,
-        "sim_seed": SIM_SEED,
-        "scale": bench_scale(),
-        "graph_size": graph_size,
-        "num_clusters": instance.num_clusters,
-        "sim_duration": SIM_DURATION,
-        "phases_seconds": dict(manifest.phases),
-        "peak_rss_bytes": peak_rss_bytes(),
-        "sim_events": events,
-        "sim_queries": sim.num_queries,
-        "sim_virtual_seconds_per_wall_second": (
-            SIM_DURATION / sim_seconds if sim_seconds > 0 else None
-        ),
-        "counters": snapshot["counters"],
-    }
-    BENCH_FILE.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
-                          encoding="utf-8")
+    if BENCH_FILE.exists() and not rebaseline:
+        baseline_note = (
+            f"{BENCH_FILE.name} exists; not overwritten "
+            "(rerun with --rebaseline to refresh the baseline)"
+        )
+    else:
+        BENCH_FILE.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        baseline_note = f"baseline written -> {BENCH_FILE.name}"
 
     rows = [[phase, f"{seconds:.4f}"] for phase, seconds in manifest.phases.items()]
     rows.append(["total", f"{manifest.total_seconds:.4f}"])
@@ -115,5 +58,5 @@ def test_perf_baseline(benchmark, emit):
     emit("PERF", render_table(
         ["phase", "wall-clock (s)"], rows,
         title=f"perf baseline (graph_size={graph_size}, seed={SEED}) "
-              f"-> {BENCH_FILE.name}",
+              f"-- {baseline_note}",
     ))

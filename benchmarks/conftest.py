@@ -23,6 +23,21 @@ import pytest
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--rebaseline",
+        action="store_true",
+        default=False,
+        help="allow bench_perf to overwrite the committed BENCH_perf.json",
+    )
+
+
+@pytest.fixture
+def rebaseline(request) -> bool:
+    """True when the run may overwrite committed perf baselines."""
+    return bool(request.config.getoption("--rebaseline"))
+
+
 def bench_scale() -> float:
     """Global scale factor for benchmark network sizes."""
     return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Cost-attribution profile of a power-law super-peer network (Figure 7).
+
+Builds the paper's k = 2 redundant power-law design, runs the mean-value
+load analysis with the attribution profiler attached, and prints the
+hotspot tables: which super-peers carry the load, which directed overlay
+edges are hottest, and which action class (queries, responses, joins,
+updates) dominates.
+
+The headline observation matches Figure 7's discussion: on a power-law
+overlay the load is very unequal — the handful of high-outdegree
+super-peers absorb a disproportionate share of the query traffic, which
+is exactly why the paper pairs power-law topologies with redundancy
+(rule 2 softens the damage when one partner of a hot cluster fails).
+
+Run:  python examples/profile_hotspots.py
+"""
+
+from repro.config import Configuration, GraphType
+from repro.obs import profile_instance
+from repro.reporting import render_attribution, render_load_row
+from repro.topology.builder import build_instance
+
+
+def main() -> None:
+    config = Configuration(
+        graph_type=GraphType.POWER_LAW,
+        graph_size=400,
+        cluster_size=10,
+        redundancy=2,          # k = 2: every cluster served by two partners
+        avg_outdegree=3.1,
+        ttl=7,
+    )
+    instance = build_instance(config, seed=0)
+    print(f"power-law overlay, {config.graph_size} peers in "
+          f"{config.graph_size // config.cluster_size} clusters of "
+          f"{config.cluster_size}, k = 2, TTL 7\n")
+
+    # Attribution is observation-only: `report` is bit-identical to a
+    # plain evaluate_instance() run, and verify() has already checked
+    # that the attributed cells sum back to these aggregates.
+    report, attribution = profile_instance(instance, top=10)
+    agg = report.aggregate_load()
+    print(render_load_row("aggregate (whole network)",
+                          agg.incoming_bps, agg.outgoing_bps,
+                          agg.processing_hz))
+    print()
+    print(render_attribution(attribution, top=10))
+
+    top = attribution.top_superpeers(10)
+    share = sum(row["share"] for row in top)
+    degrees = [row["outdegree"] for row in top]
+    print()
+    print(f"the top 10 of {instance.num_clusters * config.redundancy} "
+          f"super-peers carry {share:.1%} of all attributed bandwidth "
+          f"(outdegrees {min(degrees)}-{max(degrees)}; network average "
+          f"{config.avg_outdegree:g}) — high-outdegree hubs dominate, "
+          "as in the paper's Figure 7 discussion")
+
+
+if __name__ == "__main__":
+    main()

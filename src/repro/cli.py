@@ -9,6 +9,7 @@ Commands
 ``simulate``  run the event-driven simulator on a configuration
 ``resilience``  simulate under a fault plan and measure degradation
 ``crawl``     synthesize a Gnutella-style crawl and summarize it
+``profile``   attribute every unit of load to (node, action, hop) hotspots
 
 Every command accepts ``--seed`` for reproducibility and prints the same
 tables the library's reporting helpers produce.
@@ -21,10 +22,12 @@ import sys
 
 from .config import Configuration, GraphType
 from .reporting import (
+    render_attribution,
     render_load_row,
     render_metrics,
     render_resilience_report,
     render_table,
+    render_timeline,
 )
 from .units import format_bps, format_hz
 
@@ -220,6 +223,61 @@ def cmd_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    from .obs.attribution import profile_instance
+    from .obs.export import export_bundle, prometheus_exposition, write_json
+    from .obs.metrics import get_registry
+    from .topology.builder import build_instance
+
+    config = _config_from_args(args)
+    instance = build_instance(config, seed=args.seed)
+    print(instance.describe())
+    report, attribution = profile_instance(
+        instance, max_sources=args.max_sources, rng=args.seed
+    )
+    agg = report.aggregate_load()
+    print(render_load_row("aggregate (all nodes)",
+                          agg.incoming_bps, agg.outgoing_bps, agg.processing_hz))
+    print()
+    print(render_attribution(attribution, top=args.top))
+
+    timeline = None
+    if args.simulate > 0:
+        from .obs.timeline import build_timeline
+        from .obs.trace import Tracer
+        from .sim.network import simulate_instance
+
+        if args.tracer is None:
+            args.tracer = Tracer(capacity=args.trace_capacity)
+        simulate_instance(instance, duration=args.simulate, rng=args.seed,
+                          tracer=args.tracer)
+        timeline = build_timeline(args.tracer)
+        print()
+        print(render_timeline(
+            timeline, title=f"query timeline ({args.simulate:.0f}s simulated)"
+        ))
+
+    if args.json or args.prom:
+        registry = get_registry()
+        bundle = export_bundle(
+            registry=registry if registry.enabled else None,
+            attribution=attribution,
+            timeline=timeline,
+            top=args.top,
+        )
+        if args.json:
+            print(f"profile bundle -> {write_json(bundle, args.json)}")
+        if args.prom:
+            from pathlib import Path
+
+            Path(args.prom).write_text(
+                prometheus_exposition(registry), encoding="utf-8"
+            )
+            note = "" if registry.enabled else " (empty: pass --metrics)"
+            print(f"prometheus exposition -> {args.prom}{note}")
+    return 0
+
+
 def cmd_crawl(args: argparse.Namespace) -> int:
     from .topology.crawl import synthesize_crawl
 
@@ -315,6 +373,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="retry budget per query (0 disables retries)")
     p.set_defaults(func=cmd_resilience)
 
+    p = sub.add_parser(
+        "profile",
+        help="cost-attribution profile: hotspot super-peers, edges, actions",
+    )
+    _add_config_arguments(p)
+    p.add_argument("--top", type=int, default=10,
+                   help="rows per hotspot table")
+    p.add_argument("--simulate", type=float, default=0.0,
+                   help="also simulate this many virtual seconds with "
+                        "tracing and render the query timeline")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="write the attribution/metrics/timeline bundle as JSON")
+    p.add_argument("--prom", metavar="PATH", default=None,
+                   help="write the metrics registry in Prometheus text format")
+    p.set_defaults(func=cmd_profile)
+
     p = sub.add_parser("crawl", help="synthesize a Gnutella-style crawl")
     p.add_argument("--graph-size", type=int, default=20_000)
     p.add_argument("--outdegree", type=float, default=3.1)
@@ -337,16 +411,19 @@ def main(argv: list[str] | None = None) -> int:
     if args.trace_out is not None:
         from .obs.trace import Tracer
 
-        args.tracer = Tracer(capacity=args.trace_capacity)
+        # Streaming sink: evicted events append to the file as the run
+        # goes, so the JSONL holds the *full* stream, not just the tail.
+        args.tracer = Tracer(capacity=args.trace_capacity, sink=args.trace_out)
     try:
         code = args.func(args)
     finally:
         if registry is not None:
             set_registry(previous)
     if args.tracer is not None:
-        path = args.tracer.to_jsonl(args.trace_out)
-        print(f"trace: {len(args.tracer)} events "
-              f"({args.tracer.dropped} dropped) -> {path}")
+        total = args.tracer.flush()
+        args.tracer.close()
+        print(f"trace: {total} events "
+              f"({args.tracer.dropped} dropped) -> {args.trace_out}")
     if registry is not None:
         print()
         print(render_metrics(registry, title="metrics"))

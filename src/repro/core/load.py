@@ -39,6 +39,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import constants
+from ..obs.attribution import NULL_ATTRIBUTION, NullAttribution
 from ..obs.metrics import get_registry
 from ..querymodel.distributions import QueryModel, default_query_model
 from ..querymodel.expectation import ClusterExpectations, cluster_expectations
@@ -242,6 +243,7 @@ def evaluate_instance(
     rng: np.random.Generator | int | None = None,
     components: tuple[str, ...] = WORKLOAD_COMPONENTS,
     response_mode: str = "reverse-path",
+    attribution=None,
 ) -> LoadReport:
     """Run the mean-value analysis over one instance.
 
@@ -265,6 +267,11 @@ def evaluate_instance(
         responder opens a temporary connection to the source and ships
         its Response in one hop, paying a connection handshake but no
         forwarding — the Section 3.1 alternative, as an ablation.
+    attribution:
+        Optional :class:`~repro.obs.attribution.LoadAttribution` that
+        receives a copy of every contribution added to the accumulators,
+        tagged (node, action, resource, hop).  Observation-only: the
+        numeric outputs are bit-identical with or without it.
     """
     unknown = set(components) - set(WORKLOAD_COMPONENTS)
     if unknown:
@@ -274,6 +281,8 @@ def evaluate_instance(
             f"unknown response_mode {response_mode!r}; one of {RESPONSE_MODES}"
         )
     model = model or default_query_model()
+    att = NULL_ATTRIBUTION if attribution is None else attribution
+    att.bind(instance)
     metrics = get_registry()
     with metrics.timer("load.expectations").time():
         exp = cluster_expectations(instance, model)
@@ -298,24 +307,24 @@ def evaluate_instance(
                 # On K_n every responder already neighbours the source, so the
                 # reverse path *is* the direct hop (minus the temporary
                 # connection handshake, which the ablation adds below).
-                _accumulate_queries_strong(instance, exp, acc, per_source)
+                _accumulate_queries_strong(instance, exp, acc, per_source, att)
                 if response_mode == "direct":
-                    _add_direct_connection_overhead(instance, exp, acc)
+                    _add_direct_connection_overhead(instance, exp, acc, att)
                 # Closed form is exact over all sources regardless of sampling.
                 sources = np.arange(n, dtype=np.int64)
                 scale = 1.0
             else:
                 _accumulate_queries_bfs(
-                    instance, exp, acc, per_source, sources, scale, response_mode
+                    instance, exp, acc, per_source, sources, scale, response_mode, att
                 )
-            _accumulate_client_query_costs(instance, acc, per_source, sources, scale)
+            _accumulate_client_query_costs(instance, acc, per_source, sources, scale, att)
         metrics.counter("load.query_sources_evaluated").add(len(sources))
     if "join" in components:
         with metrics.timer("load.joins").time():
-            _accumulate_joins(instance, acc)
+            _accumulate_joins(instance, acc, att)
     if "update" in components:
         with metrics.timer("load.updates").time():
-            _accumulate_updates(instance, acc)
+            _accumulate_updates(instance, acc, att)
     metrics.counter("load.instances_evaluated").add()
     metrics.gauge("load.last_num_clusters").set(float(n))
 
@@ -380,6 +389,7 @@ def _accumulate_queries_bfs(
     sources: np.ndarray,
     scale: float,
     response_mode: str = "reverse-path",
+    att: NullAttribution = NULL_ATTRIBUTION,
 ) -> None:
     """Flooding query accounting over an explicit overlay, per source."""
     graph = instance.graph
@@ -397,16 +407,28 @@ def _accumulate_queries_bfs(
         reached = prop.reached
 
         # Query transmission and receipt costs.
-        acc.q_out += w * prop.transmissions * _QUERY_BYTES
-        acc.q_proc += w * prop.transmissions * send_q_proc
-        acc.q_in += w * prop.receipts * _QUERY_BYTES
-        acc.q_proc += w * prop.receipts * recv_q_proc
+        tx_bytes = w * prop.transmissions * _QUERY_BYTES
+        tx_proc = w * prop.transmissions * send_q_proc
+        rx_bytes = w * prop.receipts * _QUERY_BYTES
+        rx_proc = w * prop.receipts * recv_q_proc
+        acc.q_out += tx_bytes
+        acc.q_proc += tx_proc
+        acc.q_in += rx_bytes
+        acc.q_proc += rx_proc
 
         # Index probe at every node that processes the query (source included).
-        acc.q_proc[reached] += w * (
+        probe = w * (
             costs.PROCESS_QUERY_BASE
             + costs.PROCESS_QUERY_PER_RESULT * res_o[reached]
         )
+        acc.q_proc[reached] += probe
+
+        if att.enabled:
+            att.add_q_by_depth("query", "out_bw", prop.depth, tx_bytes)
+            att.add_q_by_depth("query", "proc", prop.depth, tx_proc)
+            att.add_q_by_depth("query", "in_bw", prop.depth, rx_bytes)
+            att.add_q_by_depth("query", "proc", prop.depth, rx_proc)
+            att.add_q_at("query", "proc", reached, prop.depth, probe)
 
         # Response origination weights: every reached cluster except the
         # source responds over the overlay.
@@ -426,11 +448,18 @@ def _accumulate_queries_bfs(
             fw_m[s] = msgs_w.sum()
             fw_a[s] = addr_w.sum()
             fw_r[s] = res_w.sum()
-            acc.q_out += w * _HANDSHAKE_BYTES * fw_m
-            acc.q_in += w * _HANDSHAKE_BYTES * fw_m
-            acc.q_proc += w * fw_m * (
+            hs_bytes = w * _HANDSHAKE_BYTES * fw_m
+            hs_proc = w * fw_m * (
                 _HANDSHAKE_SEND_UNITS + _HANDSHAKE_RECV_UNITS + 2.0 * _MUX * m_sp
             )
+            acc.q_out += hs_bytes
+            acc.q_in += hs_bytes
+            acc.q_proc += hs_proc
+            if att.enabled:
+                att.add_q_by_depth("response", "out_bw", prop.depth, hs_bytes)
+                att.add_q_by_depth("response", "in_bw", prop.depth, hs_bytes)
+                att.add_q_by_depth("response", "proc", prop.depth, hs_proc)
+                att.add_edges(prop, w, None, None, None)  # flood edges only
         else:
             fw_m = prop.accumulate_to_source(msgs_w)
             fw_a = prop.accumulate_to_source(addr_w)
@@ -438,30 +467,42 @@ def _accumulate_queries_bfs(
 
         senders = reached.copy()
         senders[s] = False
-        acc.q_out[senders] += w * (
+        resp_out = w * (
             constants.RESPONSE_MESSAGE_BASE * fw_m[senders]
             + constants.RESPONSE_ADDRESS_SIZE * fw_a[senders]
             + constants.RESULT_RECORD_SIZE * fw_r[senders]
         )
-        acc.q_proc[senders] += w * (
+        resp_out_proc = w * (
             (costs.SEND_RESPONSE_BASE + _MUX * m_sp[senders]) * fw_m[senders]
             + costs.SEND_RESPONSE_PER_ADDRESS * fw_a[senders]
             + costs.SEND_RESPONSE_PER_RESULT * fw_r[senders]
         )
+        acc.q_out[senders] += resp_out
+        acc.q_proc[senders] += resp_out_proc
 
         inc_m = fw_m - msgs_w
         inc_a = fw_a - addr_w
         inc_r = fw_r - res_w
-        acc.q_in[reached] += w * (
+        resp_in = w * (
             constants.RESPONSE_MESSAGE_BASE * inc_m[reached]
             + constants.RESPONSE_ADDRESS_SIZE * inc_a[reached]
             + constants.RESULT_RECORD_SIZE * inc_r[reached]
         )
-        acc.q_proc[reached] += w * (
+        resp_in_proc = w * (
             (costs.RECV_RESPONSE_BASE + _MUX * m_sp[reached]) * inc_m[reached]
             + costs.RECV_RESPONSE_PER_ADDRESS * inc_a[reached]
             + costs.RECV_RESPONSE_PER_RESULT * inc_r[reached]
         )
+        acc.q_in[reached] += resp_in
+        acc.q_proc[reached] += resp_in_proc
+
+        if att.enabled:
+            att.add_q_at("response", "out_bw", senders, prop.depth, resp_out)
+            att.add_q_at("response", "proc", senders, prop.depth, resp_out_proc)
+            att.add_q_at("response", "in_bw", reached, prop.depth, resp_in)
+            att.add_q_at("response", "proc", reached, prop.depth, resp_in_proc)
+            if response_mode != "direct":
+                att.add_edges(prop, w, fw_m, fw_a, fw_r)
 
         # Per-source outcomes.
         arrived_m, arrived_a, arrived_r = fw_m[s], fw_a[s], fw_r[s]
@@ -485,6 +526,7 @@ def _accumulate_queries_strong(
     exp: ClusterExpectations,
     acc: _Accumulator,
     per_source: _QuerySourceOutputs,
+    att: NullAttribution = NULL_ATTRIBUTION,
 ) -> None:
     """Closed-form query accounting on the complete overlay K_n.
 
@@ -508,49 +550,80 @@ def _accumulate_queries_strong(
 
     # --- query transmissions / receipts ---------------------------------------
     # As source: n-1 transmissions per own query.
-    acc.q_out += q_rates * (n - 1) * _QUERY_BYTES
-    acc.q_proc += q_rates * (n - 1) * send_q_proc
+    src_tx = q_rates * (n - 1) * _QUERY_BYTES
+    src_tx_proc = q_rates * (n - 1) * send_q_proc
+    acc.q_out += src_tx
+    acc.q_proc += src_tx_proc
     # As non-source: one receipt per foreign query...
-    acc.q_in += others_q * _QUERY_BYTES
-    acc.q_proc += others_q * recv_q_proc
+    rx = others_q * _QUERY_BYTES
+    rx_proc = others_q * recv_q_proc
+    acc.q_in += rx
+    acc.q_proc += rx_proc
+    if att.enabled:
+        att.add_q("query", "out_bw", src_tx, hop=0)
+        att.add_q("query", "proc", src_tx_proc, hop=0)
+        att.add_q("query", "in_bw", rx, hop=1)
+        att.add_q("query", "proc", rx_proc, hop=1)
     if ttl >= 2 and n > 2:
         # ...plus n-2 duplicate forwards sent and n-2 duplicates received.
-        acc.q_out += others_q * (n - 2) * _QUERY_BYTES
-        acc.q_proc += others_q * (n - 2) * send_q_proc
-        acc.q_in += others_q * (n - 2) * _QUERY_BYTES
-        acc.q_proc += others_q * (n - 2) * recv_q_proc
+        dup_tx = others_q * (n - 2) * _QUERY_BYTES
+        dup_tx_proc = others_q * (n - 2) * send_q_proc
+        dup_rx = others_q * (n - 2) * _QUERY_BYTES
+        dup_rx_proc = others_q * (n - 2) * recv_q_proc
+        acc.q_out += dup_tx
+        acc.q_proc += dup_tx_proc
+        acc.q_in += dup_rx
+        acc.q_proc += dup_rx_proc
+        if att.enabled:
+            att.add_q("query", "out_bw", dup_tx, hop=1)
+            att.add_q("query", "proc", dup_tx_proc, hop=1)
+            att.add_q("query", "in_bw", dup_rx, hop=2)
+            att.add_q("query", "proc", dup_rx_proc, hop=2)
 
     # --- index probes -----------------------------------------------------------
     # Every query in the system (own + foreign) probes every cluster's index.
-    acc.q_proc += total_q * (
-        costs.PROCESS_QUERY_BASE + costs.PROCESS_QUERY_PER_RESULT * res_o
-    )
+    probe = costs.PROCESS_QUERY_BASE + costs.PROCESS_QUERY_PER_RESULT * res_o
+    acc.q_proc += total_q * probe
+    if att.enabled:
+        # Split the total into the own-query (hop 0) and foreign (hop 1)
+        # shares; the sum differs from total_q * probe only by ulps.
+        att.add_q("query", "proc", q_rates * probe, hop=0)
+        att.add_q("query", "proc", others_q * probe, hop=1)
 
     # --- responses ---------------------------------------------------------------
     # As responder (for every foreign query): send own response directly.
-    acc.q_out += others_q * (
+    resp_out = others_q * (
         constants.RESPONSE_MESSAGE_BASE * msgs_o
         + constants.RESPONSE_ADDRESS_SIZE * addr_o
         + constants.RESULT_RECORD_SIZE * res_o
     )
-    acc.q_proc += others_q * (
+    resp_out_proc = others_q * (
         (costs.SEND_RESPONSE_BASE + _MUX * m_sp) * msgs_o
         + costs.SEND_RESPONSE_PER_ADDRESS * addr_o
         + costs.SEND_RESPONSE_PER_RESULT * res_o
     )
+    acc.q_out += resp_out
+    acc.q_proc += resp_out_proc
     # As source: receive every other cluster's response.
     tot_m, tot_a, tot_r = msgs_o.sum(), addr_o.sum(), res_o.sum()
     arr_m, arr_a, arr_r = tot_m - msgs_o, tot_a - addr_o, tot_r - res_o
-    acc.q_in += q_rates * (
+    resp_in = q_rates * (
         constants.RESPONSE_MESSAGE_BASE * arr_m
         + constants.RESPONSE_ADDRESS_SIZE * arr_a
         + constants.RESULT_RECORD_SIZE * arr_r
     )
-    acc.q_proc += q_rates * (
+    resp_in_proc = q_rates * (
         (costs.RECV_RESPONSE_BASE + _MUX * m_sp) * arr_m
         + costs.RECV_RESPONSE_PER_ADDRESS * arr_a
         + costs.RECV_RESPONSE_PER_RESULT * arr_r
     )
+    acc.q_in += resp_in
+    acc.q_proc += resp_in_proc
+    if att.enabled:
+        att.add_q("response", "out_bw", resp_out, hop=1)
+        att.add_q("response", "proc", resp_out_proc, hop=1)
+        att.add_q("response", "in_bw", resp_in, hop=0)
+        att.add_q("response", "proc", resp_in_proc, hop=0)
 
     # --- per-source outcomes -------------------------------------------------------
     per_source.results[:] = tot_r  # full reach: every cluster contributes
@@ -566,6 +639,7 @@ def _add_direct_connection_overhead(
     instance: NetworkInstance,
     exp: ClusterExpectations,
     acc: _Accumulator,
+    att: NullAttribution = NULL_ATTRIBUTION,
 ) -> None:
     """Temporary-connection handshakes for direct responses on K_n.
 
@@ -583,11 +657,23 @@ def _add_direct_connection_overhead(
     # As source: one handshake pair per arriving response.
     arriving = q_rates * (msgs_o.sum() - msgs_o)
     handshakes = per_responder + arriving
-    acc.q_out += handshakes * _HANDSHAKE_BYTES
-    acc.q_in += handshakes * _HANDSHAKE_BYTES
-    acc.q_proc += handshakes * (
+    hs_bytes = handshakes * _HANDSHAKE_BYTES
+    hs_proc = handshakes * (
         _HANDSHAKE_SEND_UNITS + _HANDSHAKE_RECV_UNITS + 2.0 * _MUX * m_sp
     )
+    acc.q_out += hs_bytes
+    acc.q_in += hs_bytes
+    acc.q_proc += hs_proc
+    if att.enabled:
+        # Responder-side handshakes happen one hop out; the source's own
+        # happen at hop 0.  The split differs from the total only by ulps.
+        hs_unit = _HANDSHAKE_SEND_UNITS + _HANDSHAKE_RECV_UNITS + 2.0 * _MUX * m_sp
+        att.add_q("response", "out_bw", per_responder * _HANDSHAKE_BYTES, hop=1)
+        att.add_q("response", "in_bw", per_responder * _HANDSHAKE_BYTES, hop=1)
+        att.add_q("response", "proc", per_responder * hs_unit, hop=1)
+        att.add_q("response", "out_bw", arriving * _HANDSHAKE_BYTES, hop=0)
+        att.add_q("response", "in_bw", arriving * _HANDSHAKE_BYTES, hop=0)
+        att.add_q("response", "proc", arriving * hs_unit, hop=0)
 
 
 def _accumulate_client_query_costs(
@@ -596,6 +682,7 @@ def _accumulate_client_query_costs(
     per_source: _QuerySourceOutputs,
     sources: np.ndarray,
     scale: float,
+    att: NullAttribution = NULL_ATTRIBUTION,
 ) -> None:
     """The client leg of client-sourced queries.
 
@@ -628,32 +715,50 @@ def _accumulate_client_query_costs(
     cq_rate = q_rates * client_fraction
 
     # Super-peer side: receive the query, send the collected responses.
-    acc.q_in += cq_rate * _QUERY_BYTES
-    acc.q_proc += cq_rate * (_RECV_Q_UNITS + _MUX * m_sp)
+    cq_in = cq_rate * _QUERY_BYTES
+    cq_in_proc = cq_rate * (_RECV_Q_UNITS + _MUX * m_sp)
+    acc.q_in += cq_in
+    acc.q_proc += cq_in_proc
     resp_bytes = (
         constants.RESPONSE_MESSAGE_BASE * msgs
         + constants.RESPONSE_ADDRESS_SIZE * addr
         + constants.RESULT_RECORD_SIZE * res
     )
-    acc.q_out += cq_rate * resp_bytes
-    acc.q_proc += cq_rate * (
+    sp_resp_out = cq_rate * resp_bytes
+    sp_resp_proc = cq_rate * (
         (costs.SEND_RESPONSE_BASE + _MUX * m_sp) * msgs
         + costs.SEND_RESPONSE_PER_ADDRESS * addr
         + costs.SEND_RESPONSE_PER_RESULT * res
     )
+    acc.q_out += sp_resp_out
+    acc.q_proc += sp_resp_proc
+    if att.enabled:
+        att.add_q("query", "in_bw", cq_in, hop=0)
+        att.add_q("query", "proc", cq_in_proc, hop=0)
+        att.add_q("response", "out_bw", sp_resp_out, hop=0)
+        att.add_q("response", "proc", sp_resp_proc, hop=0)
 
     # Client side: each client submits queries at the per-user rate.
     q = config.query_rate
     cluster_of_client = np.repeat(np.arange(n), instance.clients)
     if cluster_of_client.size:
-        acc.c_out += q * _QUERY_BYTES
-        acc.c_proc += q * (_SEND_Q_UNITS + _MUX * m_cl)
-        acc.c_in += q * resp_bytes[cluster_of_client]
-        acc.c_proc += q * (
+        cl_q_out = q * _QUERY_BYTES
+        cl_q_proc = q * (_SEND_Q_UNITS + _MUX * m_cl)
+        cl_resp_in = q * resp_bytes[cluster_of_client]
+        cl_resp_proc = q * (
             (costs.RECV_RESPONSE_BASE + _MUX * m_cl) * msgs[cluster_of_client]
             + costs.RECV_RESPONSE_PER_ADDRESS * addr[cluster_of_client]
             + costs.RECV_RESPONSE_PER_RESULT * res[cluster_of_client]
         )
+        acc.c_out += cl_q_out
+        acc.c_proc += cl_q_proc
+        acc.c_in += cl_resp_in
+        acc.c_proc += cl_resp_proc
+        if att.enabled:
+            att.add_c("query", "out_bw", cl_q_out)
+            att.add_c("query", "proc", cl_q_proc)
+            att.add_c("response", "in_bw", cl_resp_in)
+            att.add_c("response", "proc", cl_resp_proc)
 
 
 def _cluster_sum(values: np.ndarray, instance: NetworkInstance) -> np.ndarray:
@@ -674,7 +779,11 @@ def _neighbor_sum(instance: NetworkInstance, values: np.ndarray) -> np.ndarray:
     )
 
 
-def _accumulate_joins(instance: NetworkInstance, acc: _Accumulator) -> None:
+def _accumulate_joins(
+    instance: NetworkInstance,
+    acc: _Accumulator,
+    att: NullAttribution = NULL_ATTRIBUTION,
+) -> None:
     """Join (and the associated leave) costs at per-node rates 1/lifespan."""
     k = instance.partners
     m_sp = instance.superpeer_connections.astype(float)
@@ -688,64 +797,98 @@ def _accumulate_joins(instance: NetworkInstance, acc: _Accumulator) -> None:
 
     # Client side: send the Join (with metadata) to each of the k partners.
     if rates.size:
-        acc.c_out += rates * k * (
+        cj_out = rates * k * (
             constants.JOIN_MESSAGE_BASE + constants.FILE_METADATA_SIZE * files
         )
-        acc.c_proc += rates * k * (
+        cj_proc = rates * k * (
             costs.SEND_JOIN_BASE
             + costs.SEND_JOIN_PER_FILE * files
             + _MUX * m_cl
         )
+        acc.c_out += cj_out
+        acc.c_proc += cj_proc
+        if att.enabled:
+            att.add_c("join", "out_bw", cj_out)
+            att.add_c("join", "proc", cj_proc)
 
     # Partner side: every partner receives every client's Join, inserts the
     # metadata, and removes it again at the client's leave.
-    acc.p_in += (
+    pj_in = (
         constants.JOIN_MESSAGE_BASE * rate_sum
         + constants.FILE_METADATA_SIZE * rate_files_sum
     )
-    acc.p_proc += (
+    pj_proc = (
         (costs.RECV_JOIN_BASE + _MUX * m_sp) * rate_sum
         + costs.RECV_JOIN_PER_FILE * rate_files_sum
         # index insertion at join + removal at leave
         + 2.0 * (costs.PROCESS_JOIN_BASE * rate_sum + costs.PROCESS_JOIN_PER_FILE * rate_files_sum)
     )
+    acc.p_in += pj_in
+    acc.p_proc += pj_proc
+    if att.enabled:
+        att.add_p("join", "in_bw", pj_in)
+        att.add_p("join", "proc", pj_proc)
 
     # --- super-peer (partner) joins ---------------------------------------------
     # A joining partner handshakes (one empty message each way) over every
     # connection it opens; the peers at the other end each handle one pair.
     partner_rates = (1.0 / instance.partner_lifespans).sum(axis=1)  # per cluster
-    acc.p_in += (partner_rates / k) * _HANDSHAKE_BYTES * m_sp
-    acc.p_out += (partner_rates / k) * _HANDSHAKE_BYTES * m_sp
-    acc.p_proc += (partner_rates / k) * m_sp * (
+    own_hs = (partner_rates / k) * _HANDSHAKE_BYTES * m_sp
+    own_hs_proc = (partner_rates / k) * m_sp * (
         _HANDSHAKE_SEND_UNITS + _HANDSHAKE_RECV_UNITS + 2.0 * _MUX * m_sp
     )
+    acc.p_in += own_hs
+    acc.p_out += own_hs
+    acc.p_proc += own_hs_proc
+    if att.enabled:
+        att.add_p("join", "in_bw", own_hs)
+        att.add_p("join", "out_bw", own_hs)
+        att.add_p("join", "proc", own_hs_proc)
 
     # Peers on the other end of those handshakes:
     # * this cluster's clients (each is touched by each partner join),
     cluster_of_client = np.repeat(np.arange(instance.num_clusters), instance.clients)
     if cluster_of_client.size:
         touch = partner_rates[cluster_of_client]
-        acc.c_in += touch * _HANDSHAKE_BYTES
-        acc.c_out += touch * _HANDSHAKE_BYTES
-        acc.c_proc += touch * (
+        touch_hs = touch * _HANDSHAKE_BYTES
+        touch_proc = touch * (
             _HANDSHAKE_SEND_UNITS + _HANDSHAKE_RECV_UNITS + 2.0 * _MUX * m_cl
         )
+        acc.c_in += touch_hs
+        acc.c_out += touch_hs
+        acc.c_proc += touch_proc
+        if att.enabled:
+            att.add_c("join", "in_bw", touch_hs)
+            att.add_c("join", "out_bw", touch_hs)
+            att.add_c("join", "proc", touch_proc)
     # * fellow partners ((k-1) of the k partner connections, split evenly),
     if k > 1:
         fellow = partner_rates * (k - 1) / k
-        acc.p_in += fellow * _HANDSHAKE_BYTES
-        acc.p_out += fellow * _HANDSHAKE_BYTES
-        acc.p_proc += fellow * (
+        fellow_hs = fellow * _HANDSHAKE_BYTES
+        fellow_proc = fellow * (
             _HANDSHAKE_SEND_UNITS + _HANDSHAKE_RECV_UNITS + 2.0 * _MUX * m_sp
         )
+        acc.p_in += fellow_hs
+        acc.p_out += fellow_hs
+        acc.p_proc += fellow_proc
+        if att.enabled:
+            att.add_p("join", "in_bw", fellow_hs)
+            att.add_p("join", "out_bw", fellow_hs)
+            att.add_p("join", "proc", fellow_proc)
     # * neighbouring clusters' partners (k handshakes per neighbouring
     #   cluster per join, i.e. one per partner there).
     neighbour_rates = _neighbor_sum(instance, partner_rates)
-    acc.p_in += neighbour_rates * _HANDSHAKE_BYTES
-    acc.p_out += neighbour_rates * _HANDSHAKE_BYTES
-    acc.p_proc += neighbour_rates * (
+    nb_hs = neighbour_rates * _HANDSHAKE_BYTES
+    nb_proc = neighbour_rates * (
         _HANDSHAKE_SEND_UNITS + _HANDSHAKE_RECV_UNITS + 2.0 * _MUX * m_sp
     )
+    acc.p_in += nb_hs
+    acc.p_out += nb_hs
+    acc.p_proc += nb_proc
+    if att.enabled:
+        att.add_p("join", "in_bw", nb_hs)
+        att.add_p("join", "out_bw", nb_hs)
+        att.add_p("join", "proc", nb_proc)
 
     # Under redundancy, a joining partner also ships its own metadata to
     # its k-1 fellow partners (each partner holds the others' data too).
@@ -754,29 +897,38 @@ def _accumulate_joins(instance: NetworkInstance, acc: _Accumulator) -> None:
         p_files = instance.partner_files.astype(float)
         rate_sum_p = (p_rates).sum(axis=1)
         rate_files_p = (p_rates * p_files).sum(axis=1)
-        # Sender side (averaged over the cluster's partners):
-        acc.p_out += (k - 1) / k * (
+        meta_bytes = (k - 1) / k * (
             constants.JOIN_MESSAGE_BASE * rate_sum_p
             + constants.FILE_METADATA_SIZE * rate_files_p
         )
-        acc.p_proc += (k - 1) / k * (
+        # Sender side (averaged over the cluster's partners):
+        meta_out_proc = (k - 1) / k * (
             (costs.SEND_JOIN_BASE + _MUX * m_sp) * rate_sum_p
             + costs.SEND_JOIN_PER_FILE * rate_files_p
         )
+        acc.p_out += meta_bytes
+        acc.p_proc += meta_out_proc
         # Receiver side: each fellow partner receives, inserts, and later
         # removes the metadata.
-        acc.p_in += (k - 1) / k * (
-            constants.JOIN_MESSAGE_BASE * rate_sum_p
-            + constants.FILE_METADATA_SIZE * rate_files_p
-        )
-        acc.p_proc += (k - 1) / k * (
+        meta_in_proc = (k - 1) / k * (
             (costs.RECV_JOIN_BASE + _MUX * m_sp) * rate_sum_p
             + costs.RECV_JOIN_PER_FILE * rate_files_p
             + 2.0 * (costs.PROCESS_JOIN_BASE * rate_sum_p + costs.PROCESS_JOIN_PER_FILE * rate_files_p)
         )
+        acc.p_in += meta_bytes
+        acc.p_proc += meta_in_proc
+        if att.enabled:
+            att.add_p("join", "out_bw", meta_bytes)
+            att.add_p("join", "proc", meta_out_proc)
+            att.add_p("join", "in_bw", meta_bytes)
+            att.add_p("join", "proc", meta_in_proc)
 
 
-def _accumulate_updates(instance: NetworkInstance, acc: _Accumulator) -> None:
+def _accumulate_updates(
+    instance: NetworkInstance,
+    acc: _Accumulator,
+    att: NullAttribution = NULL_ATTRIBUTION,
+) -> None:
     """Update costs: fixed-size metadata deltas at the per-user update rate."""
     u = instance.config.update_rate
     if u == 0.0:
@@ -789,20 +941,41 @@ def _accumulate_updates(instance: NetworkInstance, acc: _Accumulator) -> None:
     # Clients: send one Update to each partner; partners receive and apply.
     clients = instance.clients.astype(float)
     if instance.total_clients:
-        acc.c_out += u * k * upd_bytes
-        acc.c_proc += u * k * (costs.SEND_UPDATE_UNITS + _MUX * m_cl)
-    acc.p_in += u * clients * upd_bytes
-    acc.p_proc += u * clients * (
+        cu_out = u * k * upd_bytes
+        cu_proc = u * k * (costs.SEND_UPDATE_UNITS + _MUX * m_cl)
+        acc.c_out += cu_out
+        acc.c_proc += cu_proc
+        if att.enabled:
+            att.add_c("update", "out_bw", cu_out)
+            att.add_c("update", "proc", cu_proc)
+    pu_in = u * clients * upd_bytes
+    pu_proc = u * clients * (
         costs.RECV_UPDATE_UNITS + _MUX * m_sp + costs.PROCESS_UPDATE_UNITS
     )
+    acc.p_in += pu_in
+    acc.p_proc += pu_proc
+    if att.enabled:
+        att.add_p("update", "in_bw", pu_in)
+        att.add_p("update", "proc", pu_proc)
 
     # Partners' own updates: applied locally; under redundancy also
     # propagated to the k-1 fellow partners.
-    acc.p_proc += u * costs.PROCESS_UPDATE_UNITS
+    own_proc = u * costs.PROCESS_UPDATE_UNITS
+    acc.p_proc += own_proc
+    if att.enabled:
+        att.add_p("update", "proc", own_proc)
     if k > 1:
-        acc.p_out += u * (k - 1) * upd_bytes
-        acc.p_proc += u * (k - 1) * (costs.SEND_UPDATE_UNITS + _MUX * m_sp)
-        acc.p_in += u * (k - 1) * upd_bytes
-        acc.p_proc += u * (k - 1) * (
+        fan_bytes = u * (k - 1) * upd_bytes
+        fan_out_proc = u * (k - 1) * (costs.SEND_UPDATE_UNITS + _MUX * m_sp)
+        fan_in_proc = u * (k - 1) * (
             costs.RECV_UPDATE_UNITS + _MUX * m_sp + costs.PROCESS_UPDATE_UNITS
         )
+        acc.p_out += fan_bytes
+        acc.p_proc += fan_out_proc
+        acc.p_in += fan_bytes
+        acc.p_proc += fan_in_proc
+        if att.enabled:
+            att.add_p("update", "out_bw", fan_bytes)
+            att.add_p("update", "proc", fan_out_proc)
+            att.add_p("update", "in_bw", fan_bytes)
+            att.add_p("update", "proc", fan_in_proc)

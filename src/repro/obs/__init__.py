@@ -8,6 +8,16 @@ and instrumented code must be bit-identical with metrics on or off
 (``tests/test_obs.py`` enforces neutrality).
 """
 
+from .attribution import (
+    ACTIONS,
+    AttributionError,
+    LoadAttribution,
+    NULL_ATTRIBUTION,
+    NullAttribution,
+    RESOURCES,
+    profile_instance,
+)
+from .export import export_bundle, metric_name, prometheus_exposition, write_json
 from .manifest import (
     RunManifest,
     config_fingerprint,
@@ -29,29 +39,50 @@ from .metrics import (
     set_registry,
     use_registry,
 )
+from .timeline import (
+    OutageWindow,
+    QueryLifecycle,
+    TimelineReport,
+    build_timeline,
+)
 from .trace import NULL_TRACER, NullTracer, TraceEvent, Tracer, read_jsonl
 
 __all__ = [
+    "ACTIONS",
+    "AttributionError",
     "Counter",
     "Gauge",
     "Histogram",
+    "LoadAttribution",
     "MetricsRegistry",
+    "NULL_ATTRIBUTION",
     "NULL_REGISTRY",
     "NULL_TRACER",
+    "NullAttribution",
     "NullRegistry",
     "NullTracer",
+    "OutageWindow",
+    "QueryLifecycle",
+    "RESOURCES",
     "RunManifest",
+    "TimelineReport",
     "Timer",
     "TraceEvent",
     "Tracer",
+    "build_timeline",
     "config_fingerprint",
     "disable_metrics",
     "enable_metrics",
+    "export_bundle",
     "get_registry",
     "git_revision",
     "manifest_for",
+    "metric_name",
     "peak_rss_bytes",
+    "profile_instance",
+    "prometheus_exposition",
     "read_jsonl",
     "set_registry",
     "use_registry",
+    "write_json",
 ]

@@ -1,0 +1,106 @@
+"""Exporters: Prometheus text exposition and stable JSON bundles.
+
+Two consumers, two formats.  Dashboards and scrape-based tooling get
+:func:`prometheus_exposition` — the plain-text exposition format
+(`# TYPE` headers, one sample per line, quantile labels for timers and
+histograms) rendered from a :class:`~repro.obs.metrics.MetricsRegistry`
+snapshot.  Scripted analysis gets :func:`export_bundle` — one stable,
+sorted JSON document combining a registry snapshot with attribution
+tables (:class:`~repro.obs.attribution.LoadAttribution`) and timeline
+summaries (:class:`~repro.obs.timeline.TimelineReport`), so two runs
+can be diffed line by line.
+
+Everything here is read-only over snapshots: exporting never mutates an
+instrument and can be done mid-run.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def metric_name(name: str, prefix: str = "repro") -> str:
+    """Sanitize an instrument name into a Prometheus metric name."""
+    clean = _NAME_RE.sub("_", name)
+    return f"{prefix}_{clean}" if prefix else clean
+
+
+def prometheus_exposition(registry, prefix: str = "repro") -> str:
+    """Render a registry (or its ``snapshot()``) in Prometheus text format.
+
+    Counters and gauges map directly; timers and histograms export as
+    summaries — ``_count`` / ``_sum`` samples plus ``quantile``-labelled
+    gauges for the percentiles the snapshot carries.
+    """
+    snapshot = registry if isinstance(registry, dict) else registry.snapshot()
+    lines: list[str] = []
+
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value!r}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value!r}")
+    for name, t in sorted(snapshot.get("timers", {}).items()):
+        metric = metric_name(name + "_seconds", prefix)
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_count {t['count']!r}")
+        lines.append(f"{metric}_sum {t['total_seconds']!r}")
+        lines.append(f'{metric}{{quantile="max"}} {t["max_seconds"]!r}')
+    for name, h in sorted(snapshot.get("histograms", {}).items()):
+        metric = metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_count {h['count']!r}")
+        for q_label, key in (("0.5", "p50"), ("0.95", "p95"), ("1", "max")):
+            if key in h:
+                lines.append(f'{metric}{{quantile="{q_label}"}} {h[key]!r}')
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def export_bundle(
+    registry=None,
+    attribution=None,
+    timeline=None,
+    manifest=None,
+    top: int = 10,
+) -> dict:
+    """Combine observability artifacts into one JSON-ready document.
+
+    Every argument is optional; present ones land under a stable key
+    (``metrics`` / ``attribution`` / ``timeline`` / ``manifest``).  Pass
+    snapshots or live objects interchangeably.
+    """
+    bundle: dict = {"schema": 1}
+    if registry is not None:
+        bundle["metrics"] = (
+            registry if isinstance(registry, dict) else registry.snapshot()
+        )
+    if attribution is not None:
+        bundle["attribution"] = (
+            attribution if isinstance(attribution, dict)
+            else attribution.to_dict(top=top)
+        )
+    if timeline is not None:
+        bundle["timeline"] = (
+            timeline if isinstance(timeline, dict) else timeline.to_dict()
+        )
+    if manifest is not None:
+        bundle["manifest"] = (
+            manifest if isinstance(manifest, dict) else manifest.to_dict()
+        )
+    return bundle
+
+
+def write_json(payload: dict, path: str | Path) -> Path:
+    """Write a bundle as sorted, indented JSON (diff-friendly)."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path

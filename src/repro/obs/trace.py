@@ -14,10 +14,18 @@ feedback) and the :data:`NULL_TRACER` makes instrumented code free when
 tracing is off.  Events export to JSONL — one JSON object per line,
 ``{"t": ..., "kind": ..., ...fields}`` — and round-trip back through
 :func:`read_jsonl`.
+
+A tracer can also *stream*: constructed with a ``sink`` (path or open
+file), events evicted from the full ring are appended to the sink
+instead of being lost, and :meth:`Tracer.flush` drains the rest — so a
+run emitting millions of events keeps a complete on-disk record at ring
+memory cost, and ``--trace-out`` captures everything instead of the
+last ``capacity`` events.
 """
 
 from __future__ import annotations
 
+import io
 import json
 from collections import deque
 from dataclasses import dataclass, field
@@ -47,21 +55,62 @@ class TraceEvent:
 
 
 class Tracer:
-    """A bounded, chronological buffer of :class:`TraceEvent`."""
+    """A bounded, chronological buffer of :class:`TraceEvent`.
+
+    With ``sink`` set (a path or an open text file), evicted events are
+    appended there as JSONL the moment they fall off the ring, and
+    :meth:`flush` appends whatever the ring still holds — the sink ends
+    up with every event in emission order.
+    """
 
     enabled = True
 
-    def __init__(self, capacity: int = 65_536) -> None:
+    def __init__(self, capacity: int = 65_536,
+                 sink: str | Path | io.TextIOBase | None = None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self._events: deque[TraceEvent] = deque(maxlen=capacity)
         self.emitted = 0
+        self.streamed = 0
+        self._sink = None
+        self._owns_sink = False
+        if sink is not None:
+            if isinstance(sink, (str, Path)):
+                self._sink = Path(sink).open("w", encoding="utf-8")
+                self._owns_sink = True
+            else:
+                self._sink = sink
 
     def emit(self, kind: str, t: float = 0.0, **fields) -> None:
         """Record one event (evicting the oldest when the ring is full)."""
         self.emitted += 1
+        if self._sink is not None and len(self._events) == self.capacity:
+            self._write(self._events[0])
         self._events.append(TraceEvent(t=float(t), kind=kind, fields=fields))
+
+    # --- streaming sink -------------------------------------------------------
+
+    def _write(self, event: TraceEvent) -> None:
+        self._sink.write(event.to_json())
+        self._sink.write("\n")
+        self.streamed += 1
+
+    def flush(self) -> int:
+        """Drain the ring to the sink; returns total events streamed so far."""
+        if self._sink is not None:
+            while self._events:
+                self._write(self._events.popleft())
+            self._sink.flush()
+        return self.streamed
+
+    def close(self) -> None:
+        """Flush and (if this tracer opened the sink file) close it."""
+        self.flush()
+        if self._owns_sink and self._sink is not None:
+            self._sink.close()
+            self._sink = None
+            self._owns_sink = False
 
     def events(self) -> list[TraceEvent]:
         return list(self._events)
@@ -71,8 +120,8 @@ class Tracer:
 
     @property
     def dropped(self) -> int:
-        """Events evicted because the ring was full."""
-        return self.emitted - len(self._events)
+        """Events lost to eviction (streamed-to-sink events are not lost)."""
+        return self.emitted - len(self._events) - self.streamed
 
     def counts_by_kind(self) -> dict[str, int]:
         counts: dict[str, int] = {}
@@ -80,9 +129,24 @@ class Tracer:
             counts[event.kind] = counts.get(event.kind, 0) + 1
         return counts
 
+    # The analytics layer spells it in the singular; keep both working.
+    count_by_kind = counts_by_kind
+
+    def filter(self, kind: str | None = None, **fields) -> list[TraceEvent]:
+        """Retained events matching ``kind`` and every given field value."""
+        out = []
+        for event in self._events:
+            if kind is not None and event.kind != kind:
+                continue
+            if any(event.fields.get(k) != v for k, v in fields.items()):
+                continue
+            out.append(event)
+        return out
+
     def clear(self) -> None:
         self._events.clear()
         self.emitted = 0
+        self.streamed = 0
 
     # --- JSONL export ---------------------------------------------------------
 

@@ -13,7 +13,9 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 from .units import format_bps, format_hz
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .obs.attribution import LoadAttribution
     from .obs.metrics import MetricsRegistry
+    from .obs.timeline import TimelineReport
     from .sim.resilience import ResilienceReport
 
 
@@ -145,6 +147,113 @@ def render_metrics(registry: "MetricsRegistry | dict",
         ))
     if not sections:
         return f"{title}: (no metrics recorded)"
+    return "\n\n".join(sections)
+
+
+def render_attribution(attribution: "LoadAttribution", top: int = 10) -> str:
+    """Render a cost-attribution profile as hotspot tables.
+
+    Three sections: action classes ranked by aggregate bandwidth, the
+    top super-peers by per-partner bandwidth (with overlay out-degree,
+    so the Figure 7 "high-outdegree nodes dominate" claim is visible at
+    a glance), and — on explicit overlays — the hottest directed edges.
+    """
+    sections = [render_table(
+        ["action", "in", "out", "proc", "share"],
+        [
+            [
+                row["action"],
+                format_bps(row["incoming_bps"]),
+                format_bps(row["outgoing_bps"]),
+                format_hz(row["processing_hz"]),
+                f"{row['share']:.1%}",
+            ]
+            for row in attribution.top_actions()
+        ],
+        title="load by action class (aggregate)",
+    )]
+
+    by_hop = attribution.by_hop()
+    if len(by_hop) > 1:
+        sections.append(render_table(
+            ["hop", "in", "out", "proc"],
+            [
+                [
+                    h,
+                    format_bps(loads["incoming_bps"]),
+                    format_bps(loads["outgoing_bps"]),
+                    format_hz(loads["processing_hz"]),
+                ]
+                for h, loads in by_hop.items()
+            ],
+            title="load by hop",
+        ))
+
+    sections.append(render_table(
+        ["cluster", "outdeg", "in", "out", "proc", "share", "dominant"],
+        [
+            [
+                row["cluster"],
+                row["outdegree"],
+                format_bps(row["incoming_bps"]),
+                format_bps(row["outgoing_bps"]),
+                format_hz(row["processing_hz"]),
+                f"{row['share']:.1%}",
+                row["dominant_action"],
+            ]
+            for row in attribution.top_superpeers(top)
+        ],
+        title=f"top {top} super-peers by per-partner bandwidth",
+    ))
+
+    edges = attribution.top_edges(top)
+    if edges:
+        sections.append(render_table(
+            ["edge", "total", "flood", "response"],
+            [
+                [
+                    f"{row['edge'][0]} -> {row['edge'][1]}",
+                    format_bps(row["bandwidth_bps"]),
+                    format_bps(row["flood_bps"]),
+                    format_bps(row["response_bps"]),
+                ]
+                for row in edges
+            ],
+            title=f"top {len(edges)} overlay edges by attributed bandwidth",
+        ))
+    return "\n\n".join(sections)
+
+
+def render_timeline(report: "TimelineReport",
+                    title: str = "query timeline") -> str:
+    """Render trace analytics: lifecycle stats, fan-out profile, outages."""
+    summary = report.to_dict()
+    rows = [
+        ["queries", summary["queries"]],
+        ["orphaned", summary["orphans"]],
+        ["completion rate", f"{summary['completion_rate']:.1%}"],
+        ["degraded queries", summary["degraded_queries"]],
+        ["retries", summary["retries"]],
+    ]
+    for phase, lost in sorted(summary["drops"].items()):
+        rows.append([f"messages lost ({phase})", lost])
+    for name, value in summary["waited"].items():
+        rows.append([f"waited {name} (s)", value])
+    for name, value in summary["results"].items():
+        rows.append([f"results {name}", value])
+    rows += [
+        ["crashes / recoveries", f"{summary['crashes']} / {summary['recoveries']}"],
+        ["failovers", summary["failovers"]],
+        ["outages", summary["outages"]],
+        ["outage seconds", summary["total_outage_seconds"]],
+    ]
+    sections = [render_table(["metric", "value"], rows, title=title)]
+    fanout = report.mean_fanout_by_hop()
+    if fanout:
+        sections.append(render_series(
+            "mean flood fan-out", list(range(len(fanout))), fanout,
+            x_label="hop", y_label="messages",
+        ))
     return "\n\n".join(sections)
 
 

@@ -71,6 +71,15 @@ class ExpandingRingSearch(SearchProtocol):
         metrics.counter("search.expanding_ring.rings_issued").add(len(floods))
         if len(floods) > 1:
             metrics.counter("search.expanding_ring.escalations").add(len(floods) - 1)
+            # Every ring before the last was pure overhead: its responses
+            # are subsumed by the final (superset) ring, so its query
+            # traffic is the price of guessing the TTL too small.
+            metrics.counter("search.expanding_ring.wasted_query_messages").add(
+                sum(c.query_messages for c in floods[:-1])
+            )
+        metrics.histogram("search.expanding_ring.rings_per_query").observe(
+            float(len(floods))
+        )
         # Query traffic is paid for every ring issued; the user keeps the
         # final ring's result set (earlier rings' responses are subsumed —
         # the re-flood reaches a superset — so response traffic is charged

@@ -45,6 +45,19 @@ class FloodingSearch(SearchProtocol):
         return propagate_query(graph, source, self.ttl,
                                blocked=self.dead_clusters)
 
+    def hop_profile(self, source: int) -> list[float]:
+        """Messages transmitted at each hop of the flood from ``source``.
+
+        Index ``h`` is the number of Query transmissions made by nodes at
+        BFS depth ``h`` — the protocol-level analogue of the simulator's
+        per-query ``fanout`` trace field, and the shape the attribution
+        profiler's by-hop tables aggregate over all sources.
+        """
+        prop = self._propagate(source)
+        mask = prop.depth >= 0
+        counts = np.bincount(prop.depth[mask], weights=prop.transmissions[mask])
+        return [float(x) for x in counts]
+
     def query_cost(self, source: int) -> QueryCost:
         metrics = get_registry()
         prop = self._propagate(source)
@@ -53,6 +66,7 @@ class FloodingSearch(SearchProtocol):
         metrics.counter("search.flooding.query_messages").add(
             float(prop.transmissions.sum())
         )
+        metrics.histogram("search.flooding.reach").observe(float(prop.reach))
         responders = reached.copy()
         responders[source] = False
 
@@ -76,6 +90,7 @@ class FloodingSearch(SearchProtocol):
         response_bytes = self._response_bytes(depth_weighted, addr_weighted, res_weighted)
 
         epl = depth_weighted / msgs if msgs > 0 else 0.0
+        metrics.histogram("search.flooding.response_hops").observe(epl)
         return QueryCost(
             query_messages=float(prop.transmissions.sum()),
             response_messages=depth_weighted,

@@ -186,6 +186,13 @@ def _propagate(state: _State, source: int, ttl: int):
     return propagate_query(graph, source, ttl)
 
 
+def _fanout_per_hop(prop) -> list[float]:
+    """Messages crossing each hop: transmissions summed by sender depth."""
+    mask = prop.depth >= 0
+    counts = np.bincount(prop.depth[mask], weights=prop.transmissions[mask])
+    return [float(x) for x in counts]
+
+
 def _run_query(state: _State, source_cluster: int, client_index: int | None) -> None:
     """Account one full query: flood, sampled matches, reverse-path responses.
 
@@ -287,6 +294,9 @@ def _run_query(state: _State, source_cluster: int, client_index: int | None) -> 
             "query", st.now, source=s, reach=int(prop.reach),
             results=float(fw_r[s] + n_results[s]),
             query_messages=float(prop.transmissions.sum()),
+            fanout=_fanout_per_hop(prop),
+            client=client_index is not None,
+            attempts=1, waited=0.0,
         )
     if client_index is not None and to_m > 0:
         bytes_to_client = (
@@ -375,14 +385,17 @@ def _run_query_faulty(state: _State, rt: FaultRuntime, source_cluster: int,
     max_attempts = 1 + (retry.max_retries if retry is not None else 0)
     best_results = 0.0
     best_reach = 0.0
+    best_fanout: list[float] = []
     saw_loss = False
+    waited = 0.0
     for attempt in range(max_attempts):
-        results, reach, lost = _flood_attempt_faulty(
+        results, reach, lost, fanout = _flood_attempt_faulty(
             st, rt, s, client_index, n_results, k_addr, kv
         )
         if results > best_results or attempt == 0:
             best_results = results
             best_reach = reach
+            best_fanout = fanout
         if lost > 0:
             saw_loss = True
         if best_results > 0:
@@ -390,6 +403,7 @@ def _run_query_faulty(state: _State, rt: FaultRuntime, source_cluster: int,
         if attempt + 1 < max_attempts:
             met.retries += 1
             met.retry_wait_seconds += retry.timeout * retry.backoff ** attempt
+            waited += retry.timeout * retry.backoff ** attempt
             st.m_retries.add()
             if st.tracer.enabled:
                 st.tracer.emit("retry", st.now, source=s, attempt=attempt + 1)
@@ -402,7 +416,9 @@ def _run_query_faulty(state: _State, rt: FaultRuntime, source_cluster: int,
     st.m_results.observe(best_results)
     if st.tracer.enabled:
         st.tracer.emit("query", st.now, source=s, reach=best_reach,
-                       results=best_results, degraded=saw_loss)
+                       results=best_results, degraded=saw_loss,
+                       fanout=best_fanout, client=client_index is not None,
+                       attempts=attempt + 1, waited=waited)
     # A zero-result query is only a *fault* when loss was observed:
     # rare-file queries legitimately return nothing even fault-free, and
     # counting them would bury the degradation signal under the query
@@ -414,8 +430,12 @@ def _run_query_faulty(state: _State, rt: FaultRuntime, source_cluster: int,
 def _flood_attempt_faulty(state: _State, rt: FaultRuntime, s: int,
                           client_index: int | None, n_results: np.ndarray,
                           k_addr: np.ndarray,
-                          kv: np.ndarray) -> tuple[float, float, int]:
-    """One sampled flood + response pass; returns (results, reach, lost)."""
+                          kv: np.ndarray) -> tuple[float, float, int, list[float]]:
+    """One sampled flood + response pass.
+
+    Returns (results, reach, lost, fanout-per-hop); the fanout list is
+    only materialized when tracing is on (empty otherwise).
+    """
     st = state
     met = rt.metrics
     now = rt.sim.now if rt.sim is not None else 0.0
@@ -506,7 +526,8 @@ def _flood_attempt_faulty(state: _State, rt: FaultRuntime, s: int,
             + costs.RECV_RESPONSE_PER_ADDRESS * to_a
             + costs.RECV_RESPONSE_PER_RESULT * to_r
         )
-    return delivered, float(prop.reach), stats.lost
+    fanout = _fanout_per_hop(prop) if st.tracer.enabled else []
+    return delivered, float(prop.reach), stats.lost, fanout
 
 
 def _run_client_churn(state: _State, client_index: int,

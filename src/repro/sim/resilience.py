@@ -164,6 +164,10 @@ def run_resilience(
         enable_churn=enable_churn, enable_updates=enable_updates,
         faults=plan, fault_metrics=outcome, tracer=tracer,
     )
+    if tracer is not None and getattr(tracer, "_sink", None) is not None:
+        # Streaming tracer: drain the ring so the sink holds the full run
+        # before the (untraced) baseline replays the stream.
+        tracer.flush()
     if baseline is None:
         baseline = simulate_instance(
             instance, duration=duration, model=model, rng=rng,

@@ -1,0 +1,206 @@
+"""Tests for the CI perf-regression gate (``benchmarks/bench_gate.py``).
+
+The gate's workload is the full perf baseline (too slow for tier 1), so
+these tests exercise the decision logic with canned payloads and a
+monkeypatched workload runner: the gate must pass on an identical rerun,
+exit nonzero on an injected over-tolerance slowdown or on any drift in
+the deterministic event counts, and keep its history file bounded.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+import bench_gate  # noqa: E402
+
+
+def payload(**overrides) -> dict:
+    base = {
+        "schema": 1,
+        "seed": 0,
+        "sim_seed": 1,
+        "scale": 1.0,
+        "graph_size": 500,
+        "sim_duration": 600.0,
+        "num_clusters": 50,
+        "sim_events": 4000.0,
+        "sim_queries": 2700,
+        "phases_seconds": {
+            "build_instance": 0.01,
+            "mva_exact": 0.4,
+            "sim_message_level": 20.0,
+        },
+        "counters": {
+            "sim.queries": 2700.0,
+            "sim.query_messages": 100_000.0,
+        },
+        "git_rev": "abc123",
+        "python_version": "3.12.0",
+        "platform": "test",
+    }
+    base.update(overrides)
+    return base
+
+
+# --- compare() -----------------------------------------------------------------
+
+
+def test_identical_rerun_passes():
+    assert bench_gate.compare(payload(), payload()) == []
+
+
+def test_within_tolerance_slowdown_passes():
+    current = payload()
+    current["phases_seconds"]["sim_message_level"] *= 1.8   # < 2.0x default
+    assert bench_gate.compare(payload(), current) == []
+
+
+def test_injected_slowdown_fails():
+    current = payload()
+    current["phases_seconds"]["sim_message_level"] *= 5.0
+    failures = bench_gate.compare(payload(), current)
+    assert len(failures) == 1
+    assert "sim_message_level" in failures[0]
+    assert "regressed" in failures[0]
+
+
+def test_absolute_slack_forgives_tiny_phases():
+    # 0.01s -> 0.2s is 20x, but well inside the 0.25s absolute slack.
+    current = payload()
+    current["phases_seconds"]["build_instance"] = 0.2
+    assert bench_gate.compare(payload(), current) == []
+    # With slack off, the multiplicative bound bites.
+    assert bench_gate.compare(payload(), current, time_slack=0.0)
+
+
+def test_counter_drift_fails():
+    current = payload()
+    current["counters"]["sim.query_messages"] += 5.0
+    failures = bench_gate.compare(payload(), current)
+    assert any("sim.query_messages" in f for f in failures)
+
+
+def test_count_field_drift_fails():
+    current = payload(sim_queries=2699)
+    failures = bench_gate.compare(payload(), current)
+    assert any("sim_queries" in f for f in failures)
+
+
+def test_missing_counter_and_phase_fail():
+    current = payload()
+    del current["counters"]["sim.queries"]
+    del current["phases_seconds"]["mva_exact"]
+    failures = bench_gate.compare(payload(), current)
+    assert any("sim.queries" in f and "missing" in f for f in failures)
+    assert any("mva_exact" in f and "missing" in f for f in failures)
+
+
+def test_workload_identity_mismatch_short_circuits():
+    current = payload(graph_size=400)
+    current["phases_seconds"]["sim_message_level"] *= 100  # must NOT be reported
+    failures = bench_gate.compare(payload(), current)
+    assert len(failures) == 1
+    assert "graph_size" in failures[0]
+
+
+# --- history -------------------------------------------------------------------
+
+
+def test_history_is_bounded(tmp_path):
+    path = tmp_path / "history.jsonl"
+    for i in range(10):
+        bench_gate.append_history({"i": i}, path, limit=4)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    assert [json.loads(ln)["i"] for ln in lines] == [6, 7, 8, 9]
+
+
+# --- main() exit codes ---------------------------------------------------------
+
+
+def _write_baseline(tmp_path: Path, doc: dict) -> Path:
+    path = tmp_path / "BENCH_perf.json"
+    path.write_text(json.dumps(doc), encoding="utf-8")
+    return path
+
+
+def _stub_workload(result: dict):
+    calls = []
+
+    def workload(graph_size, seed, sim_seed, sim_duration, scale):
+        calls.append((graph_size, seed, sim_seed, sim_duration, scale))
+        return copy.deepcopy(result), None, None
+
+    workload.calls = calls
+    return workload
+
+
+def test_main_passes_against_identical_workload(tmp_path, capsys):
+    baseline = _write_baseline(tmp_path, payload())
+    workload = _stub_workload(payload())
+    rc = bench_gate.main(
+        ["--baseline", str(baseline), "--history", str(tmp_path / "h.jsonl"),
+         "--json", str(tmp_path / "current.json")],
+        workload=workload,
+    )
+    assert rc == 0
+    assert "PASS" in capsys.readouterr().out
+    # The gate reran the *baseline's* workload parameters...
+    assert workload.calls == [(500, 0, 1, 600.0, 1.0)]
+    # ...recorded the run, and exported the payload artifact.
+    history = (tmp_path / "h.jsonl").read_text(encoding="utf-8").splitlines()
+    assert json.loads(history[-1])["passed"] is True
+    assert json.loads((tmp_path / "current.json").read_text())["schema"] == 1
+
+
+def test_main_fails_on_injected_slowdown(tmp_path, capsys):
+    baseline = _write_baseline(tmp_path, payload())
+    slow = payload()
+    slow["phases_seconds"]["sim_message_level"] *= 5.0
+    rc = bench_gate.main(
+        ["--baseline", str(baseline), "--history", str(tmp_path / "h.jsonl")],
+        workload=_stub_workload(slow),
+    )
+    assert rc == 1
+    assert "FAIL" in capsys.readouterr().err
+    history = (tmp_path / "h.jsonl").read_text(encoding="utf-8").splitlines()
+    assert json.loads(history[-1])["passed"] is False
+
+
+def test_main_loose_time_factor_lets_slow_machines_pass(tmp_path):
+    baseline = _write_baseline(tmp_path, payload())
+    slow = payload()
+    slow["phases_seconds"]["sim_message_level"] *= 5.0
+    rc = bench_gate.main(
+        ["--baseline", str(baseline), "--time-factor", "10",
+         "--no-history"],
+        workload=_stub_workload(slow),
+    )
+    assert rc == 0  # loose factor: timing forgiven on noisy machines
+
+
+def test_main_missing_baseline_is_usage_error(tmp_path, capsys):
+    rc = bench_gate.main(
+        ["--baseline", str(tmp_path / "nope.json"), "--no-history"],
+        workload=_stub_workload(payload()),
+    )
+    assert rc == 2
+    assert "--rebaseline" in capsys.readouterr().err
+
+
+def test_main_counter_drift_fails_even_when_fast(tmp_path):
+    baseline = _write_baseline(tmp_path, payload())
+    drifted = payload()
+    drifted["counters"]["sim.queries"] = 2701.0
+    rc = bench_gate.main(
+        ["--baseline", str(baseline), "--time-factor", "100",
+         "--no-history"],
+        workload=_stub_workload(drifted),
+    )
+    assert rc == 1

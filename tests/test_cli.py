@@ -138,6 +138,45 @@ class TestResilience:
         assert "query success rate" in out
 
 
+class TestProfile:
+    def test_attribution_tables(self, capsys):
+        code, out = run_cli(
+            capsys, *SMALL, "--seed", "1", "profile", "--graph-size", "200",
+            "--cluster-size", "10", "--redundancy",
+        )
+        assert code == 0
+        assert "aggregate" in out
+        assert "load by action class" in out
+        assert "top 10 super-peers by per-partner bandwidth" in out
+        assert "response" in out  # the dominant action class shows up
+
+    def test_simulate_adds_timeline(self, capsys):
+        code, out = run_cli(
+            capsys, *SMALL, "--seed", "1", "profile", "--graph-size", "200",
+            "--cluster-size", "10", "--simulate", "120",
+        )
+        assert code == 0
+        assert "query timeline" in out
+        assert "completion rate" in out
+        assert "mean flood fan-out" in out
+
+    def test_json_and_prom_exports(self, capsys, tmp_path):
+        import json
+
+        json_path = tmp_path / "profile.json"
+        prom_path = tmp_path / "profile.prom"
+        code, _ = run_cli(
+            capsys, *SMALL, "--seed", "1", "--metrics", "profile",
+            "--graph-size", "200", "--cluster-size", "10",
+            "--json", str(json_path), "--prom", str(prom_path),
+        )
+        assert code == 0
+        bundle = json.loads(json_path.read_text(encoding="utf-8"))
+        assert bundle["schema"] == 1
+        assert "attribution" in bundle and "metrics" in bundle
+        assert "# TYPE" in prom_path.read_text(encoding="utf-8")
+
+
 class TestCrawl:
     def test_summary_table(self, capsys):
         code, out = run_cli(capsys, "crawl", "--graph-size", "1000")

@@ -52,6 +52,13 @@ def test_fault_tolerance_scaled(monkeypatch, capsys):
     assert "load inflation" in out
 
 
+def test_profile_hotspots(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "profile_hotspots.py")
+    assert "load by action class" in out
+    assert "top 10 super-peers" in out
+    assert "high-outdegree hubs dominate" in out
+
+
 @pytest.mark.slow
 def test_search_protocols(monkeypatch, capsys):
     out = run_example(monkeypatch, capsys, "search_protocols.py")

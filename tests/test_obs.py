@@ -97,6 +97,24 @@ def test_histogram_quantile_rejects_out_of_range():
     h = MetricsRegistry().histogram("h")
     with pytest.raises(ValueError):
         h.quantile(1.5)
+    with pytest.raises(ValueError):
+        h.quantile(-0.1)
+
+
+def test_histogram_quantile_empty_is_zero():
+    h = MetricsRegistry().histogram("h")
+    for q in (0.0, 0.5, 1.0):
+        assert h.quantile(q) == 0.0
+
+
+def test_histogram_quantile_single_observation():
+    h = MetricsRegistry().histogram("h")
+    h.observe(3.75)
+    # With one sample every quantile is that sample, exactly (the min/max
+    # endpoints are exact even though interior quantiles are bucketed).
+    assert h.quantile(0.0) == 3.75
+    assert h.quantile(1.0) == 3.75
+    assert h.quantile(0.5) == pytest.approx(3.75, rel=0.1)
 
 
 @given(st.floats(min_value=1e-9, max_value=1e9, allow_nan=False))
@@ -181,6 +199,25 @@ def test_merge_adds_and_does_not_mutate(ops_a, ops_b):
         assert merged.counter(name).value == expected
     assert a.snapshot() == before_a
     assert b.snapshot() == before_b
+
+
+def test_merge_disjoint_instrument_sets():
+    # Folding per-trial registries that measured different things must
+    # union the instruments, each keeping its own tallies untouched.
+    a = MetricsRegistry()
+    a.counter("load.evals").add(2)
+    a.timer("phase.build").record(0.5)
+    b = MetricsRegistry()
+    b.counter("sim.queries").add(7)
+    b.gauge("sim.live").set(42.0)
+    b.histogram("search.reach").observe(9.0)
+    merged = a.merge(b)
+    snap = merged.snapshot()
+    assert snap["counters"] == {"load.evals": 2.0, "sim.queries": 7.0}
+    assert snap["gauges"] == {"sim.live": 42.0}
+    assert merged.timer("phase.build").total_seconds == 0.5
+    assert merged.histogram("search.reach").count == 1
+    assert merged.histogram("search.reach").quantile(1.0) == 9.0
 
 
 def test_null_registry_is_merge_identity():

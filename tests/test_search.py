@@ -179,3 +179,55 @@ class TestRandomWalk:
             instance, num_walkers=8, max_steps=16, rng=1, num_samples=2
         ).query_cost(0)
         assert cost.reach <= instance.num_clusters
+
+
+class TestSearchObservability:
+    """The protocols' hop/waste instrumentation (observation-only)."""
+
+    def test_flooding_hop_profile_sums_to_query_messages(self, instance):
+        flood = FloodingSearch(instance)
+        profile = flood.hop_profile(2)
+        cost = flood.query_cost(2)
+        assert profile[0] > 0  # the source itself transmits at hop 0
+        assert sum(profile) == pytest.approx(cost.query_messages)
+
+    def test_flooding_records_reach_and_response_hops(self, instance):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+
+        with use_registry(MetricsRegistry()) as registry:
+            cost = FloodingSearch(instance).query_cost(0)
+        snap = registry.snapshot()["histograms"]
+        assert snap["search.flooding.reach"]["count"] == 1
+        assert snap["search.flooding.reach"]["max"] == pytest.approx(cost.reach)
+        assert snap["search.flooding.response_hops"]["max"] == pytest.approx(
+            cost.mean_response_hops
+        )
+
+    def test_expanding_ring_counts_wasted_messages(self, instance):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+
+        ring = ExpandingRingSearch(instance, result_target=1e9)  # never satisfied
+        with use_registry(MetricsRegistry()) as registry:
+            ring.query_cost(0)
+        counters = registry.snapshot()["counters"]
+        rings = len(ring.policy)
+        assert counters["search.expanding_ring.rings_issued"] == rings
+        assert counters["search.expanding_ring.escalations"] == rings - 1
+        # Everything before the final ring was wasted query traffic.
+        partial = sum(
+            FloodingSearch(instance, ttl=t).query_cost(0).query_messages
+            for t in ring.policy[:-1]
+        )
+        assert counters["search.expanding_ring.wasted_query_messages"] == (
+            pytest.approx(partial)
+        )
+        snap = registry.snapshot()["histograms"]
+        assert snap["search.expanding_ring.rings_per_query"]["max"] == rings
+
+    def test_search_metrics_are_neutral(self, instance):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+
+        baseline = FloodingSearch(instance).query_cost(4)
+        with use_registry(MetricsRegistry()):
+            instrumented = FloodingSearch(instance).query_cost(4)
+        assert baseline == instrumented
