@@ -1,12 +1,16 @@
 """The shared perf workload behind ``bench_perf.py`` and ``bench_gate.py``.
 
-One function, :func:`run_perf_workload`, executes the three hot paths —
-``build_instance``, ``evaluate_instance`` (exact and sampled) and one
-message-level simulation — at fixed seeds under a private metrics
+One function, :func:`run_perf_workload`, executes the hot paths —
+``build_instance``, ``evaluate_instance`` (exact and sampled), one
+message-level simulation, and the ``repro.api`` sweep executor both
+serially (``sweep_serial``) and sharded over :data:`SWEEP_JOBS` worker
+processes (``sweep_parallel``) — at fixed seeds under a private metrics
 registry, and packages the result as the ``BENCH_perf.json`` payload:
 per-phase wall-clock, peak RSS, python/platform provenance and every
 metric counter.  The benchmark writes that payload as the committed
-baseline; the gate reruns the identical workload and compares.
+baseline; the gate reruns the identical workload and compares.  The
+two sweep phases run the identical grid, so their wall-clock ratio
+(``sweep_parallel_speedup``) tracks the executor's scaling PR over PR.
 """
 
 from __future__ import annotations
@@ -15,6 +19,7 @@ import platform
 import time
 from pathlib import Path
 
+from repro.api import SweepSpec, run_sweep
 from repro.config import Configuration, GraphType
 from repro.core.load import evaluate_instance
 from repro.obs.manifest import manifest_for, peak_rss_bytes
@@ -31,6 +36,12 @@ SEED = 0
 SIM_SEED = 1
 SIM_DURATION = 600.0
 
+#: Worker processes for the ``sweep_parallel`` phase.  Fixed (not
+#: cpu_count-derived) so the workload — and its deterministic counters —
+#: is identical on every machine; the wall-clock speedup over
+#: ``sweep_serial`` only materializes where cores exist.
+SWEEP_JOBS = 4
+
 
 def perf_config(graph_size: int) -> Configuration:
     return Configuration(
@@ -39,6 +50,26 @@ def perf_config(graph_size: int) -> Configuration:
         cluster_size=10,
         avg_outdegree=3.1,
         ttl=7,
+    )
+
+
+def perf_sweep_spec(graph_size: int) -> SweepSpec:
+    """The sweep timed by the ``sweep_serial``/``sweep_parallel`` phases.
+
+    Eight query-rate points on the perf topology: every point costs the
+    same (the topology and query model work dominate and do not depend
+    on the rate), so the parallel phase's speedup reflects the executor,
+    not luck in point balance.
+    """
+    base_rate = 9.26e-3
+    return SweepSpec(
+        name="perf_sweep",
+        base=perf_config(graph_size),
+        grid={"query_rate": tuple(base_rate * (0.5 + 0.25 * i)
+                                  for i in range(8))},
+        trials=1,
+        seed=SEED,
+        max_sources=None,
     )
 
 
@@ -70,6 +101,21 @@ def run_perf_workload(
             sampled = evaluate_instance(instance, max_sources=50, rng=seed)
         with manifest.phase("sim_message_level"):
             sim = simulate_instance(instance, duration=sim_duration, rng=sim_seed)
+    # The sweep phases run outside use_registry: run_sweep collects into
+    # its own per-point registries and returns the merged result.
+    spec = perf_sweep_spec(graph_size)
+    with manifest.phase("sweep_serial"):
+        sweep_serial = run_sweep(spec, jobs=1)
+    with manifest.phase("sweep_parallel"):
+        sweep_parallel = run_sweep(spec, jobs=SWEEP_JOBS)
+    # jobs=N must reproduce jobs=1 bit-for-bit (the executor may only
+    # move work, never change it).
+    for a, b in zip(sweep_serial.points, sweep_parallel.points):
+        if a.summary.intervals != b.summary.intervals:
+            raise AssertionError(
+                f"parallel sweep diverged from serial at {a.label}"
+            )
+    registry.absorb(sweep_serial.registry)
     manifest.finish(registry)
 
     snapshot = registry.snapshot()
@@ -93,6 +139,12 @@ def run_perf_workload(
         "sim_virtual_seconds_per_wall_second": (
             sim_duration / sim_seconds if sim_seconds > 0 else None
         ),
+        "sweep_points": len(sweep_serial.points),
+        "sweep_jobs": SWEEP_JOBS,
+        "sweep_parallel_speedup": (
+            manifest.phases["sweep_serial"] / manifest.phases["sweep_parallel"]
+            if manifest.phases.get("sweep_parallel") else None
+        ),
         "counters": snapshot["counters"],
         # Cross-machine comparisons need to know *what* produced the
         # numbers, not just when (satellite of ISSUE 3).
@@ -104,5 +156,7 @@ def run_perf_workload(
         "exact": exact,
         "sampled": sampled,
         "sim": sim,
+        "sweep_serial": sweep_serial,
+        "sweep_parallel": sweep_parallel,
     }
     return payload, manifest, results

@@ -12,38 +12,48 @@ and the 10 system's loads sit in a moderate band ("more fair").
 
 import numpy as np
 
+from repro.api import SweepSpec, run_sweep
 from repro.config import Configuration
-from repro.core.analysis import evaluate_configuration
 from repro.reporting import render_table
 from repro.stats.histogram import group_by
 
+from _sweeps import sweep_jobs
 from conftest import run_once, scaled
 
 
-def _histogram(avg_outdegree: float, graph_size: int):
-    config = Configuration(
-        graph_size=graph_size, cluster_size=20, avg_outdegree=avg_outdegree, ttl=7
+def _histograms(graph_size: int):
+    """Both systems' (load, results) histograms via one outdegree sweep."""
+    spec = SweepSpec(
+        name="f07",
+        base=Configuration(graph_size=graph_size, cluster_size=20, ttl=7),
+        grid={"avg_outdegree": (3.1, 10.0)},
+        trials=2,
+        seed=0,
+        max_sources=None,
+        keep_reports=True,
     )
-    summary = evaluate_configuration(
-        config, trials=2, seed=0, max_sources=None, keep_reports=True
-    )
-    degrees = np.concatenate([
-        r.instance.graph.degrees for r in summary.reports
-    ])
-    loads = np.concatenate([
-        r.superpeer_outgoing_bps for r in summary.reports
-    ])
-    results = np.concatenate([
-        np.nan_to_num(r.results_per_query) for r in summary.reports
-    ])
-    return group_by(degrees, loads), group_by(degrees, results)
+    sweep = run_sweep(spec, jobs=sweep_jobs())
+    out = []
+    for point in sweep:
+        summary = point.summary
+        degrees = np.concatenate([
+            r.instance.graph.degrees for r in summary.reports
+        ])
+        loads = np.concatenate([
+            r.superpeer_outgoing_bps for r in summary.reports
+        ])
+        results = np.concatenate([
+            np.nan_to_num(r.results_per_query) for r in summary.reports
+        ])
+        out.append((group_by(degrees, loads), group_by(degrees, results)))
+    return tuple(out)
 
 
 def test_f07_outgoing_bandwidth_by_outdegree(benchmark, emit):
     graph_size = scaled(10_000)
 
     def experiment():
-        return _histogram(3.1, graph_size), _histogram(10.0, graph_size)
+        return _histograms(graph_size)
 
     (low_load, low_res), (high_load, high_res) = run_once(benchmark, experiment)
 
@@ -90,5 +100,5 @@ def get_results_histograms(graph_size: int):
     """Reuse F7's computation for F8 when it already ran this session."""
     if _CACHED_RESULTS is not None and _CACHED_RESULTS[0] == graph_size:
         return _CACHED_RESULTS[1], _CACHED_RESULTS[2]
-    (_, low_res), (_, high_res) = _histogram(3.1, graph_size), _histogram(10.0, graph_size)
+    (_, low_res), (_, high_res) = _histograms(graph_size)
     return low_res, high_res

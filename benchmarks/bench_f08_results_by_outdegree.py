@@ -1,7 +1,9 @@
 """F8 — Figure 8: expected results per query, binned by source outdegree.
 
 Companion to Figure 7 on the same two systems (cluster size 20, average
-outdegree 3.1 vs 10, TTL 7).  Paper shape: in the sparse system,
+outdegree 3.1 vs 10, TTL 7); the experiment itself is F7's
+``repro.api`` outdegree sweep — this file is figure rendering only.
+Paper shape: in the sparse system,
 low-outdegree super-peers receive visibly fewer results (their TTL-7
 flood misses part of the network), while in the outdegree-10 system
 every super-peer collects (nearly) full results — the "gain" the sparse

@@ -38,6 +38,11 @@ def test_perf_baseline(benchmark, emit, rebaseline):
     assert results["exact"].aggregate_load().processing_hz > 0
     assert results["sampled"].aggregate_load().processing_hz > 0
     assert results["sim"].num_queries > 0
+    # The parallel sweep phase really evaluated the grid and matched the
+    # serial executor point for point (checked inside the workload too).
+    assert len(results["sweep_parallel"]) == payload["sweep_points"] > 0
+    assert [p.summary.intervals for p in results["sweep_serial"].points] == \
+        [p.summary.intervals for p in results["sweep_parallel"].points]
 
     if BENCH_FILE.exists() and not rebaseline:
         baseline_note = (
@@ -52,6 +57,10 @@ def test_perf_baseline(benchmark, emit, rebaseline):
         baseline_note = f"baseline written -> {BENCH_FILE.name}"
 
     rows = [[phase, f"{seconds:.4f}"] for phase, seconds in manifest.phases.items()]
+    if payload.get("sweep_parallel_speedup"):
+        rows.append(["sweep speedup (serial/parallel, "
+                     f"jobs={payload['sweep_jobs']})",
+                     f"{payload['sweep_parallel_speedup']:.2f}x"])
     rows.append(["total", f"{manifest.total_seconds:.4f}"])
     rows.append(["peak RSS (MB)",
                  f"{(payload['peak_rss_bytes'] or 0) / 1e6:.1f}"])

@@ -16,10 +16,17 @@ Quickstart
 >>> summary.superpeer_load().total_bandwidth_bps > 0
 True
 
+For parameter sweeps — which is what every figure of the paper is —
+use the experiment API instead of looping ``evaluate_configuration``
+by hand: declare a :class:`~repro.api.SweepSpec` grid and hand it to
+:func:`~repro.api.run_sweep`, which shards the points across worker
+processes (``jobs=N``) and merges the metrics/manifest fragments.
+
 See ``examples/`` for end-to-end walkthroughs and ``benchmarks/`` for the
 scripts regenerating every table and figure of the paper.
 """
 
+from .api import ExperimentSpec, SweepPoint, SweepResult, SweepSpec, run_sweep
 from .config import (
     Configuration,
     GraphType,
@@ -90,6 +97,11 @@ from .topology.builder import replace_overlay
 __version__ = "1.0.0"
 
 __all__ = [
+    "ExperimentSpec",
+    "SweepPoint",
+    "SweepResult",
+    "SweepSpec",
+    "run_sweep",
     "Configuration",
     "GraphType",
     "DEFAULT",

@@ -1,0 +1,342 @@
+"""The unified experiment API: declare sweeps, run them in parallel.
+
+Every figure of the paper is a parameter sweep — cluster size, outdegree,
+TTL, redundancy (Figures 4-12) — and every future scaling experiment will
+be too.  This module is the single entry point for all of them:
+
+* :class:`ExperimentSpec` — one evaluation point: a configuration plus
+  the trial count, root seed and source-sampling bound that
+  :func:`~repro.core.analysis.evaluate_configuration` needs.  Picklable,
+  so a point can be shipped to a worker process verbatim.
+* :class:`SweepSpec` — a named grid over configuration fields.  The grid
+  is the cartesian product of the listed values in field order; points
+  whose configuration is invalid (e.g. ``cluster_size > graph_size``)
+  are skipped, which is exactly the hand-filtering every bench used to
+  do inline.
+* :func:`run_sweep` — evaluate every point of a sweep, serially
+  (``jobs=1``, bit-identical to calling ``evaluate_configuration`` in a
+  loop) or sharded across a ``ProcessPoolExecutor`` (``jobs=N``).  Each
+  point is evaluated under a private :class:`~repro.obs.metrics.MetricsRegistry`
+  and a per-point :class:`~repro.obs.manifest.RunManifest` fragment;
+  the fragments are merged associatively, so the returned
+  :class:`SweepResult` carries one registry and one manifest regardless
+  of how the work was sharded — and ``jobs=N`` returns exactly the same
+  numbers as ``jobs=1``, in the same stable point order.
+
+Quickstart
+----------
+>>> from repro.api import SweepSpec, run_sweep
+>>> from repro import Configuration
+>>> spec = SweepSpec(
+...     name="cluster-sweep",
+...     base=Configuration(graph_size=500),
+...     grid={"cluster_size": (5, 10, 20)},
+...     trials=1, max_sources=50,
+... )
+>>> result = run_sweep(spec)          # serial
+>>> len(result.points)
+3
+>>> xs, ys = result.series("superpeer_incoming_bps")
+
+Prefer this facade over hand-rolled ``Configuration(**kwargs)`` +
+``evaluate_configuration`` loops: the loop idiom cannot parallelize,
+cache or record provenance, and is deprecated for sweeps.
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+from .config import Configuration
+from .core.analysis import ConfigurationSummary, evaluate_configuration
+from .obs.manifest import RunManifest, manifest_for
+from .obs.metrics import MetricsRegistry, use_registry
+from .stats.rng import derive_seed
+
+__all__ = [
+    "ExperimentSpec",
+    "SweepSpec",
+    "SweepPoint",
+    "SweepResult",
+    "run_sweep",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One evaluation point: a configuration plus its evaluation knobs.
+
+    ``run()`` is the whole contract — everything a worker process needs
+    travels inside the spec, so specs pickle and the same spec evaluated
+    anywhere yields bit-identical numbers.
+    """
+
+    config: Configuration
+    trials: int = 3
+    seed: int | None = 0
+    max_sources: int | None = 400
+    keep_reports: bool = False
+    label: str = ""
+
+    def run(self) -> ConfigurationSummary:
+        """Evaluate this point (Section 4.1 steps 1-4) and summarize it."""
+        return evaluate_configuration(
+            self.config,
+            trials=self.trials,
+            seed=self.seed,
+            max_sources=self.max_sources,
+            keep_reports=self.keep_reports,
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named grid of experiment points over configuration fields.
+
+    ``grid`` maps field names to the values to sweep; the points are the
+    cartesian product in field-insertion order, so a single-field grid
+    enumerates in the order given and a two-field grid varies the last
+    field fastest.  ``base`` supplies every non-swept field.
+
+    ``seed_mode`` controls per-point seeding:
+
+    * ``"shared"`` (default) — every point evaluates at the root
+      ``seed``, matching the historical serial loops bit-for-bit
+      (``evaluate_configuration`` already derives independent per-trial
+      streams internally).
+    * ``"per-point"`` — point *i* of the full product enumeration gets
+      ``derive_seed(seed, i)``, giving mutually independent points for
+      studies where shared instances would correlate the grid.
+    """
+
+    name: str
+    base: Configuration
+    grid: Mapping[str, Sequence[Any]]
+    trials: int = 3
+    seed: int | None = 0
+    max_sources: int | None = 400
+    keep_reports: bool = False
+    seed_mode: str = "shared"
+    #: Drop grid points whose Configuration raises ValueError (e.g.
+    #: cluster_size > graph_size) instead of failing the whole sweep.
+    skip_invalid: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.grid:
+            raise ValueError("grid must name at least one field to sweep")
+        if self.seed_mode not in ("shared", "per-point"):
+            raise ValueError(
+                f"seed_mode must be 'shared' or 'per-point', got {self.seed_mode!r}"
+            )
+        for field_name in self.grid:
+            if not hasattr(self.base, field_name):
+                raise ValueError(
+                    f"unknown configuration field {field_name!r} in grid"
+                )
+
+    def points(self) -> list[tuple[dict, ExperimentSpec]]:
+        """The grid's evaluation points as ``(overrides, spec)`` pairs.
+
+        Order is stable (cartesian product in field order) and skipped
+        invalid points never shift the per-point seeds of the survivors:
+        seeds derive from the position in the *full* product enumeration.
+        """
+        fields = list(self.grid)
+        points: list[tuple[dict, ExperimentSpec]] = []
+        for index, combo in enumerate(itertools.product(
+            *(self.grid[f] for f in fields)
+        )):
+            overrides = dict(zip(fields, combo))
+            try:
+                config = self.base.with_changes(**overrides)
+            except ValueError:
+                if self.skip_invalid:
+                    continue
+                raise
+            if self.seed_mode == "per-point":
+                seed = derive_seed(self.seed, index)
+            else:
+                seed = self.seed
+            label = self.name + "[" + ",".join(
+                f"{k}={v}" for k, v in overrides.items()
+            ) + "]"
+            points.append((overrides, ExperimentSpec(
+                config=config,
+                trials=self.trials,
+                seed=seed,
+                max_sources=self.max_sources,
+                keep_reports=self.keep_reports,
+                label=label,
+            )))
+        return points
+
+    # --- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict; round-trips through :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "base": self.base.to_dict(),
+            "grid": {k: list(v) for k, v in self.grid.items()},
+            "trials": self.trials,
+            "seed": self.seed,
+            "max_sources": self.max_sources,
+            "keep_reports": self.keep_reports,
+            "seed_mode": self.seed_mode,
+            "skip_invalid": self.skip_invalid,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict, **overrides) -> "SweepSpec":
+        """Build a sweep from a :meth:`to_dict`-style mapping.
+
+        The declarative twin of ``repro sweep --config sweep.json``:
+        only ``base`` and ``grid`` are required; keyword ``overrides``
+        (e.g. ``trials`` from a CLI flag) win over the payload.
+        """
+        known = {"name", "base", "grid", "trials", "seed", "max_sources",
+                 "keep_reports", "seed_mode", "skip_invalid"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown sweep fields {unknown}; valid fields are {sorted(known)}"
+            )
+        kwargs = dict(payload)
+        kwargs["base"] = Configuration.from_dict(kwargs.get("base", {}))
+        kwargs.setdefault("name", "sweep")
+        kwargs.update(overrides)
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated grid point of a :class:`SweepResult`."""
+
+    index: int
+    label: str
+    overrides: dict
+    spec: ExperimentSpec
+    summary: ConfigurationSummary
+
+    def value(self, field_name: str) -> Any:
+        """The swept value of ``field_name`` at this point."""
+        return self.overrides[field_name]
+
+
+@dataclass
+class SweepResult:
+    """Every point of a sweep plus the merged observability record."""
+
+    spec: SweepSpec
+    points: list[SweepPoint]
+    manifest: RunManifest
+    registry: MetricsRegistry = field(repr=False, default_factory=MetricsRegistry)
+    jobs: int = 1
+
+    def __iter__(self) -> Iterator[SweepPoint]:
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def summaries(self) -> list[ConfigurationSummary]:
+        """The per-point summaries in stable point order."""
+        return [p.summary for p in self.points]
+
+    def series(self, metric: str, field_name: str | None = None):
+        """``(xs, ys)`` of a metric over the sweep, ready to plot.
+
+        ``xs`` are the swept values of ``field_name`` (defaults to the
+        grid's only field; required for multi-field grids) and ``ys``
+        the trial-mean of ``metric`` at each point.
+        """
+        if field_name is None:
+            grid_fields = list(self.spec.grid)
+            if len(grid_fields) != 1:
+                raise ValueError(
+                    "field_name is required for multi-field grids; "
+                    f"this sweep varies {grid_fields}"
+                )
+            field_name = grid_fields[0]
+        xs = [p.value(field_name) for p in self.points]
+        ys = [p.summary.mean(metric) for p in self.points]
+        return xs, ys
+
+
+def _evaluate_point(spec: ExperimentSpec):
+    """Evaluate one point under private metrics/manifest collectors.
+
+    Module-level so the process pool can import it; returns the summary
+    plus the point's registry and manifest fragment for merging.  The
+    identical function runs in-process when ``jobs=1``, which is what
+    makes serial and parallel sweeps bit-identical.
+    """
+    registry = MetricsRegistry()
+    fragment = RunManifest(name=spec.label or "point")
+    with use_registry(registry):
+        with fragment.phase(spec.label or "point"):
+            summary = spec.run()
+    fragment.finish()
+    return summary, registry, fragment
+
+
+def run_sweep(spec: SweepSpec, jobs: int = 1) -> SweepResult:
+    """Evaluate every point of ``spec``, sharded over ``jobs`` processes.
+
+    ``jobs=1`` runs in-process with no executor — the drop-in
+    replacement for the historical serial loops, bit-identical to them.
+    ``jobs>1`` shards the points across a ``ProcessPoolExecutor``;
+    results come back in stable point order and match ``jobs=1`` exactly
+    because each point's evaluation is self-contained (its spec carries
+    its own seed and the per-trial streams derive from it).
+
+    The returned :class:`SweepResult` carries the merged
+    :class:`~repro.obs.metrics.MetricsRegistry` and
+    :class:`~repro.obs.manifest.RunManifest` (per-point phases keyed by
+    point label), folded associatively from the per-point fragments.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    points = spec.points()
+    specs = [point_spec for _, point_spec in points]
+    if jobs == 1 or len(specs) <= 1:
+        outcomes = [_evaluate_point(s) for s in specs]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+            outcomes = list(pool.map(_evaluate_point, specs))
+
+    manifest = manifest_for(
+        spec.name,
+        config=spec.base,
+        seed=spec.seed,
+        grid={k: list(v) for k, v in spec.grid.items()},
+        trials=spec.trials,
+        max_sources=spec.max_sources,
+        seed_mode=spec.seed_mode,
+        jobs=jobs,
+    )
+    registry = MetricsRegistry()
+    result_points: list[SweepPoint] = []
+    for index, ((overrides, point_spec), (summary, frag_registry, fragment)) in (
+        enumerate(zip(points, outcomes))
+    ):
+        registry.absorb(frag_registry)
+        manifest = manifest.merge(fragment, name=spec.name)
+        result_points.append(SweepPoint(
+            index=index,
+            label=point_spec.label,
+            overrides=overrides,
+            spec=point_spec,
+            summary=summary,
+        ))
+    manifest.finish(registry)
+    return SweepResult(
+        spec=spec,
+        points=result_points,
+        manifest=manifest,
+        registry=registry,
+        jobs=jobs,
+    )

@@ -3,7 +3,8 @@
 Commands
 --------
 ``analyze``   evaluate a configuration's expected loads
-``sweep``     sweep one configuration parameter and tabulate the loads
+``sweep``     sweep configuration parameters (optionally in parallel
+              via ``--jobs``) and tabulate the loads
 ``design``    run the Figure 10 global design procedure
 ``capacity``  largest cluster size fitting a per-super-peer budget
 ``simulate``  run the event-driven simulator on a configuration
@@ -33,13 +34,20 @@ from .units import format_bps, format_hz
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--graph-size", type=int, default=10_000,
+    parser.add_argument("--config", metavar="PATH", default=None,
+                        help="JSON file of Configuration fields "
+                             "(Configuration.to_dict form); explicit flags "
+                             "override file values")
+    parser.add_argument("--graph-size", type=int, default=None,
                         help="number of peers (Table 1 default: 10000)")
-    parser.add_argument("--cluster-size", type=int, default=10,
-                        help="peers per cluster, super-peer included")
-    parser.add_argument("--outdegree", type=float, default=3.1,
-                        help="suggested average super-peer outdegree")
-    parser.add_argument("--ttl", type=int, default=7, help="query TTL")
+    parser.add_argument("--cluster-size", type=int, default=None,
+                        help="peers per cluster, super-peer included "
+                             "(default: 10)")
+    parser.add_argument("--outdegree", type=float, default=None,
+                        help="suggested average super-peer outdegree "
+                             "(default: 3.1)")
+    parser.add_argument("--ttl", type=int, default=None,
+                        help="query TTL (default: 7)")
     parser.add_argument("--strong", action="store_true",
                         help="strongly connected overlay instead of power-law")
     parser.add_argument("--redundancy", action="store_true",
@@ -48,18 +56,57 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="queries per user per second (default 9.26e-3)")
 
 
+def _load_config_payload(path: str) -> dict:
+    """Read a JSON config/sweep file, exiting with a usage error if bad."""
+    import json
+    from pathlib import Path
+
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read config file {path}: {exc}")
+    if not isinstance(payload, dict):
+        raise SystemExit(f"config file {path} must hold a JSON object")
+    return payload
+
+
 def _config_from_args(args: argparse.Namespace) -> Configuration:
-    kwargs = dict(
-        graph_type=GraphType.STRONG if args.strong else GraphType.POWER_LAW,
-        graph_size=args.graph_size,
-        cluster_size=args.cluster_size,
-        avg_outdegree=args.outdegree,
-        ttl=args.ttl,
-        redundancy=args.redundancy,
-    )
-    if args.query_rate is not None:
-        kwargs["query_rate"] = args.query_rate
-    return Configuration(**kwargs)
+    """Build the base configuration from ``--config`` file + flags.
+
+    A thin wrapper over :meth:`Configuration.from_dict`: the file (if
+    given) supplies the base fields and explicitly passed flags override
+    them.  ``--strong``/``--redundancy`` are store-true flags, so they
+    only override when asserted.
+    """
+    payload: dict = {}
+    if getattr(args, "config", None):
+        payload = _load_config_payload(args.config)
+        if "grid" in payload:  # a full sweep file; its base is the config
+            payload = dict(payload.get("base", {}))
+    flag_fields = {
+        "graph_size": args.graph_size,
+        "cluster_size": args.cluster_size,
+        "avg_outdegree": args.outdegree,
+        "ttl": args.ttl,
+        "query_rate": args.query_rate,
+    }
+    for field_name, value in flag_fields.items():
+        if value is not None:
+            payload[field_name] = value
+    if args.strong:
+        payload["graph_type"] = GraphType.STRONG
+    if args.redundancy:
+        payload["redundancy"] = True
+    # Table 1 defaults for whatever neither the file nor a flag set.
+    payload.setdefault("graph_type", GraphType.POWER_LAW)
+    payload.setdefault("graph_size", 10_000)
+    payload.setdefault("cluster_size", 10)
+    payload.setdefault("avg_outdegree", 3.1)
+    payload.setdefault("ttl", 7)
+    try:
+        return Configuration.from_dict(payload)
+    except ValueError as exc:
+        raise SystemExit(f"invalid configuration: {exc}")
 
 
 def _print_summary(summary) -> None:
@@ -90,32 +137,67 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    from .core.analysis import evaluate_configuration
+    from .api import SweepSpec, run_sweep
+    from .obs.metrics import get_registry
 
     base = _config_from_args(args)
-    values = [_parse_value(args.param, v) for v in args.values.split(",")]
-    rows = []
-    for value in values:
-        config = base.with_changes(**{args.param: value})
-        summary = evaluate_configuration(
-            config, trials=args.trials, seed=args.seed, max_sources=args.max_sources
+    grid: dict = {}
+    if args.config:
+        payload = _load_config_payload(args.config)
+        if "grid" in payload:
+            grid = {
+                param: [_parse_value(param, str(v)) for v in values]
+                for param, values in payload["grid"].items()
+            }
+    if args.param is not None:
+        if args.values is None:
+            raise SystemExit("--param requires --values")
+        grid[args.param] = [_parse_value(args.param, v)
+                            for v in args.values.split(",")]
+    if not grid:
+        raise SystemExit(
+            "nothing to sweep: pass --param/--values or a --config file "
+            'with a "grid" section'
         )
+    spec = SweepSpec(
+        name="sweep",
+        base=base,
+        grid=grid,
+        trials=args.trials,
+        seed=args.seed,
+        max_sources=args.max_sources,
+    )
+    result = run_sweep(spec, jobs=args.jobs)
+    # Fold the sweep's merged metrics into the --metrics collector (a
+    # no-op sink when metrics are disabled).
+    get_registry().absorb(result.registry)
+
+    grid_fields = list(grid)
+    rows = []
+    for point in result.points:
+        summary = point.summary
         sp = summary.superpeer_load()
         agg = summary.aggregate_load()
-        rows.append([
-            value,
-            format_bps(sp.total_bandwidth_bps),
-            format_hz(sp.processing_hz),
-            format_bps(agg.total_bandwidth_bps),
-            f"{summary.mean('results_per_query'):.0f}",
-            f"{summary.mean('epl'):.2f}",
-        ])
+        rows.append(
+            [point.value(f) for f in grid_fields] + [
+                format_bps(sp.total_bandwidth_bps),
+                format_hz(sp.processing_hz),
+                format_bps(agg.total_bandwidth_bps),
+                f"{summary.mean('results_per_query'):.0f}",
+                f"{summary.mean('epl'):.2f}",
+            ]
+        )
+    jobs_note = f", jobs={args.jobs}" if args.jobs > 1 else ""
     print(render_table(
-        [args.param, "sp bandwidth", "sp processing",
-         "aggregate bandwidth", "results", "EPL"],
+        grid_fields + ["sp bandwidth", "sp processing",
+                       "aggregate bandwidth", "results", "EPL"],
         rows,
-        title=f"sweep of {args.param} over {base.describe()}",
+        title=f"sweep of {', '.join(grid_fields)} over "
+              f"{base.describe()}{jobs_note}",
     ))
+    if args.manifest_out:
+        result.manifest.to_json(args.manifest_out)
+        print(f"sweep manifest -> {args.manifest_out}")
     return 0
 
 
@@ -317,12 +399,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_arguments(p)
     p.set_defaults(func=cmd_analyze)
 
-    p = sub.add_parser("sweep", help="sweep one configuration parameter")
+    p = sub.add_parser(
+        "sweep",
+        help="sweep configuration parameters (repro.api.run_sweep)",
+    )
     _add_config_arguments(p)
-    p.add_argument("--param", required=True,
-                   help="field to sweep (e.g. cluster_size, ttl, avg_outdegree)")
-    p.add_argument("--values", required=True,
+    p.add_argument("--param", default=None,
+                   help="field to sweep (e.g. cluster_size, ttl, avg_outdegree); "
+                        'optional when --config declares a "grid"')
+    p.add_argument("--values", default=None,
                    help="comma-separated values, e.g. 1,10,100,1000")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the sweep (1 = serial, "
+                        "in-process, bit-identical to the historical path)")
+    p.add_argument("--manifest-out", metavar="PATH", default=None,
+                   help="write the merged sweep RunManifest as JSON")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("design", help="run the Figure 10 design procedure")

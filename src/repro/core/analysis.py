@@ -104,6 +104,13 @@ def evaluate_configuration(
     keep_reports:
         Retain each trial's full :class:`LoadReport` (memory permitting) —
         needed by the histogram and rank-plot figures.
+
+    .. note::
+       For *sweeps* — evaluating a grid of configurations — do not loop
+       this function by hand.  Declare a :class:`repro.api.SweepSpec`
+       and call :func:`repro.api.run_sweep`: same numbers at ``jobs=1``,
+       process-parallel at ``jobs=N``, with merged metrics and a run
+       manifest for free.  The hand-rolled loop idiom is deprecated.
     """
     if trials < 1:
         raise ValueError("trials must be >= 1")

@@ -17,7 +17,7 @@ from pathlib import Path
 
 import numpy as np
 
-from .config import Configuration, GraphType
+from .config import Configuration
 from .core.load import LoadReport
 from .querymodel.expectation import ClusterExpectations
 from .topology.builder import NetworkInstance
@@ -28,25 +28,11 @@ FORMAT_VERSION = 1
 
 
 def _config_to_json(config: Configuration) -> str:
-    payload = {
-        "graph_type": config.graph_type.value,
-        "graph_size": config.graph_size,
-        "cluster_size": config.cluster_size,
-        "redundancy": config.redundancy,
-        "avg_outdegree": config.avg_outdegree,
-        "ttl": config.ttl,
-        "query_rate": config.query_rate,
-        "update_rate": config.update_rate,
-        "redundancy_factor": config.redundancy_factor,
-        "cluster_size_sigma": config.cluster_size_sigma,
-    }
-    return json.dumps(payload)
+    return json.dumps(config.to_dict())
 
 
 def _config_from_json(raw: str) -> Configuration:
-    payload = json.loads(raw)
-    payload["graph_type"] = GraphType(payload["graph_type"])
-    return Configuration(**payload)
+    return Configuration.from_dict(json.loads(raw))
 
 
 def save_instance(instance: NetworkInstance, path: str | Path) -> Path:

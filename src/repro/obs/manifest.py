@@ -98,8 +98,14 @@ class RunManifest:
             self.phases[name] = self.phases.get(name, 0.0) + elapsed
 
     def finish(self, registry: MetricsRegistry | None = None) -> "RunManifest":
-        """Seal the manifest: capture peak RSS and a metrics snapshot."""
-        self.peak_rss = peak_rss_bytes()
+        """Seal the manifest: capture peak RSS and a metrics snapshot.
+
+        Peak RSS only ever grows: a manifest merged from worker fragments
+        keeps the largest worker's footprint if it exceeds this process's.
+        """
+        measured = peak_rss_bytes()
+        candidates = [v for v in (self.peak_rss, measured) if v is not None]
+        self.peak_rss = max(candidates) if candidates else None
         if registry is not None:
             self.metrics = registry.snapshot()
         return self
@@ -107,6 +113,35 @@ class RunManifest:
     @property
     def total_seconds(self) -> float:
         return sum(self.phases.values())
+
+    def merge(self, other: "RunManifest", name: str | None = None) -> "RunManifest":
+        """A new manifest combining both operands (neither is mutated).
+
+        The manifest side of the registry ``merge`` machinery: per-phase
+        wall-clock adds key-wise, peak RSS takes the maximum, provenance
+        fields keep ``self``'s value when set (else ``other``'s), and
+        ``created_unix`` keeps the earliest.  All associative, so the
+        per-worker fragments of a parallel sweep fold into one manifest
+        in any grouping.  ``metrics`` keeps the first non-empty snapshot;
+        callers aggregating registries should re-``finish`` the merged
+        manifest with the merged registry instead.
+        """
+        phases = dict(self.phases)
+        for phase, seconds in other.phases.items():
+            phases[phase] = phases.get(phase, 0.0) + seconds
+        rss_values = [v for v in (self.peak_rss, other.peak_rss) if v is not None]
+        return RunManifest(
+            name=name if name is not None else (self.name or other.name),
+            config_hash=self.config_hash or other.config_hash,
+            git_rev=self.git_rev or other.git_rev,
+            seed=self.seed if self.seed is not None else other.seed,
+            created_unix=min(self.created_unix, other.created_unix),
+            python=self.python,
+            phases=phases,
+            peak_rss=max(rss_values) if rss_values else None,
+            metrics=dict(self.metrics) if self.metrics else dict(other.metrics),
+            extra={**other.extra, **self.extra},
+        )
 
     # --- serialization --------------------------------------------------------
 

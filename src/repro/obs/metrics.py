@@ -32,7 +32,31 @@ from time import perf_counter
 from typing import Iterator
 
 
-class Counter:
+class _Picklable:
+    """Pickle support for slotted instruments holding a non-picklable lock.
+
+    Sweep workers (``repro.api.run_sweep``) ship whole registries back to
+    the parent process, so every instrument serializes its slots minus
+    the lock and rebuilds a fresh lock on load.
+    """
+
+    __slots__ = ()
+
+    def __getstate__(self) -> dict:
+        state = {}
+        for cls in type(self).__mro__:
+            for slot in getattr(cls, "__slots__", ()):
+                if slot != "_lock":
+                    state[slot] = getattr(self, slot)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._lock = threading.Lock()
+
+
+class Counter(_Picklable):
     """A monotonically accumulating named value."""
 
     __slots__ = ("name", "_value", "_lock")
@@ -51,7 +75,7 @@ class Counter:
         return self._value
 
 
-class Gauge:
+class Gauge(_Picklable):
     """A last-value-wins instantaneous measurement."""
 
     __slots__ = ("name", "_value", "_set", "_lock")
@@ -76,7 +100,7 @@ class Gauge:
         return self._set
 
 
-class Timer:
+class Timer(_Picklable):
     """Accumulated wall-clock spent in a named phase.
 
     ``time()`` is the hot-path entry point: a context manager around the
@@ -151,7 +175,7 @@ def _bucket_midpoint(index: int) -> float:
     return magnitude if index > 0 else -magnitude
 
 
-class Histogram:
+class Histogram(_Picklable):
     """A log-bucketed value distribution with exact count/sum/min/max.
 
     Buckets are deterministic functions of the value, so merging two
@@ -250,6 +274,17 @@ class MetricsRegistry:
                     instrument = table[name] = factory(name)
         return instrument
 
+    # --- pickling (sweep workers ship registries across processes) -------------
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     # --- aggregation -----------------------------------------------------------
 
     def snapshot(self) -> dict:
@@ -316,6 +351,36 @@ class MetricsRegistry:
                 if g.was_set:
                     merged.gauge(name).set(g.value)
         return merged
+
+    def absorb(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other``'s instruments into this registry in place.
+
+        The mutating companion of :meth:`merge`, for call sites that hold
+        a long-lived registry (e.g. the CLI's ``--metrics`` collector)
+        and want to accumulate the merged fragments a sweep returns.
+        Returns ``self`` for chaining; ``other`` is never mutated.
+        """
+        for name, c in other._counters.items():
+            self.counter(name).add(c.value)
+        for name, t in other._timers.items():
+            target = self.timer(name)
+            with target._lock:
+                target.count += t.count
+                target.total_seconds += t.total_seconds
+                target.max_seconds = max(target.max_seconds, t.max_seconds)
+        for name, h in other._histograms.items():
+            target = self.histogram(name)
+            with target._lock:
+                target.count += h.count
+                target.total += h.total
+                target.min = min(target.min, h.min)
+                target.max = max(target.max, h.max)
+                for index, n in h._buckets.items():
+                    target._buckets[index] = target._buckets.get(index, 0) + n
+        for name, g in other._gauges.items():
+            if g.was_set:
+                self.gauge(name).set(g.value)
+        return self
 
     def reset(self) -> None:
         with self._lock:

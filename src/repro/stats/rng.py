@@ -36,6 +36,24 @@ def spawn_rngs(seed: int | None, count: int, *keys: int | str) -> list[np.random
     return [derive_rng(seed, *keys, trial) for trial in range(count)]
 
 
+def derive_seed(seed: int | None, *keys: int | str) -> int:
+    """Derive a scalar seed from a root seed and a tuple of stream keys.
+
+    The scalar analogue of :func:`derive_rng` for call sites that must
+    hand a plain integer to another seeded API (e.g. one sweep point of
+    ``repro.api.run_sweep`` seeding ``evaluate_configuration``).  Uses
+    the same ``SeedSequence`` entropy mixing, so derived seeds are
+    deterministic, platform-independent and mutually independent.
+    """
+    material = [seed if seed is not None else 0]
+    for key in keys:
+        if isinstance(key, str):
+            material.extend(key.encode("utf-8"))
+        else:
+            material.append(int(key) & 0xFFFFFFFF)
+    return int(np.random.SeedSequence(material).generate_state(1, dtype=np.uint64)[0])
+
+
 def sample_truncated_normal(
     rng: np.random.Generator,
     mean: float,

@@ -63,6 +63,87 @@ class TestSweep:
             run_cli(capsys, *SMALL, "sweep", "--graph-size", "200",
                     "--param", "bogus", "--values", "1")
 
+    def test_parallel_jobs_match_serial(self, capsys):
+        argv = [*SMALL, "sweep", "--graph-size", "300",
+                "--param", "cluster_size", "--values", "5,10,20"]
+        code, serial_out = run_cli(capsys, *argv)
+        assert code == 0
+        code, parallel_out = run_cli(capsys, *argv, "--jobs", "2")
+        assert code == 0
+        # Identical data rows: jobs only moves work, never changes it.
+        assert [ln for ln in serial_out.splitlines() if ln][-3:] == \
+            [ln for ln in parallel_out.splitlines() if ln][-3:]
+
+    def test_manifest_out(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "sweep.manifest.json"
+        code, out = run_cli(
+            capsys, *SMALL, "sweep", "--graph-size", "200",
+            "--param", "cluster_size", "--values", "5,10",
+            "--manifest-out", str(path),
+        )
+        assert code == 0
+        assert f"sweep manifest -> {path}" in out
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+        assert manifest["name"] == "sweep"
+        assert any("cluster_size=5" in phase for phase in manifest["phases"])
+
+    def test_param_without_values_rejected(self, capsys):
+        with pytest.raises(SystemExit, match="--values"):
+            run_cli(capsys, *SMALL, "sweep", "--param", "cluster_size")
+
+    def test_no_grid_rejected(self, capsys):
+        with pytest.raises(SystemExit, match="nothing to sweep"):
+            run_cli(capsys, *SMALL, "sweep", "--graph-size", "200")
+
+
+class TestConfigFile:
+    def config_path(self, tmp_path, payload) -> str:
+        import json
+
+        path = tmp_path / "config.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return str(path)
+
+    def test_analyze_reads_config_file(self, capsys, tmp_path):
+        path = self.config_path(tmp_path, {
+            "graph_type": "strong", "graph_size": 200,
+            "cluster_size": 10, "ttl": 1,
+        })
+        code, out = run_cli(capsys, *SMALL, "analyze", "--config", path)
+        assert code == 0
+        assert "strong graph, 200 peers" in out
+
+    def test_flags_override_config_file(self, capsys, tmp_path):
+        path = self.config_path(tmp_path, {"graph_size": 5000, "ttl": 3})
+        code, out = run_cli(
+            capsys, *SMALL, "analyze", "--config", path,
+            "--graph-size", "200",
+        )
+        assert code == 0
+        assert "200 peers" in out
+        assert "TTL 3" in out
+
+    def test_sweep_file_declares_grid(self, capsys, tmp_path):
+        path = self.config_path(tmp_path, {
+            "base": {"graph_size": 300, "ttl": 3},
+            "grid": {"cluster_size": [5, 10, 20]},
+        })
+        code, out = run_cli(capsys, *SMALL, "sweep", "--config", path)
+        assert code == 0
+        assert "sweep of cluster_size" in out
+        assert out.count("\n") >= 5  # header + rule + 3 rows
+
+    def test_unknown_field_in_config_file(self, capsys, tmp_path):
+        path = self.config_path(tmp_path, {"graph_sizee": 100})
+        with pytest.raises(SystemExit, match="unknown configuration fields"):
+            run_cli(capsys, *SMALL, "analyze", "--config", path)
+
+    def test_missing_config_file(self, capsys):
+        with pytest.raises(SystemExit, match="cannot read config file"):
+            run_cli(capsys, *SMALL, "analyze", "--config", "/no/such/file.json")
+
 
 class TestDesign:
     def test_feasible_design_exit_zero(self, capsys):
