@@ -54,12 +54,18 @@ from .querymodel import (
 from .sim import (
     AdaptiveLimits,
     AdaptiveNetwork,
+    ChaosReport,
+    ChaosSpec,
     CrashSpec,
+    DetectorSpec,
     FaultPlan,
     PartitionWindow,
+    RecoveryPolicy,
     ResilienceReport,
     RetryPolicy,
     SlowSpec,
+    repair_attribution,
+    run_chaos,
     run_resilience,
     simulate_cluster_churn,
     simulate_instance,
@@ -136,6 +142,12 @@ __all__ = [
     "ResilienceReport",
     "RetryPolicy",
     "SlowSpec",
+    "ChaosSpec",
+    "ChaosReport",
+    "DetectorSpec",
+    "RecoveryPolicy",
+    "repair_attribution",
+    "run_chaos",
     "run_resilience",
     "simulate_cluster_churn",
     "simulate_instance",

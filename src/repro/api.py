@@ -54,6 +54,7 @@ from .config import Configuration
 from .core.analysis import ConfigurationSummary, evaluate_configuration
 from .obs.manifest import RunManifest, manifest_for
 from .obs.metrics import MetricsRegistry, use_registry
+from .sim.chaos import ChaosReport, ChaosSpec, run_chaos  # noqa: F401 - facade
 from .stats.rng import derive_seed
 
 __all__ = [
@@ -62,6 +63,9 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "run_sweep",
+    "ChaosSpec",
+    "ChaosReport",
+    "run_chaos",
 ]
 
 

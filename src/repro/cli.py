@@ -9,6 +9,8 @@ Commands
 ``capacity``  largest cluster size fitting a per-super-peer budget
 ``simulate``  run the event-driven simulator on a configuration
 ``resilience``  simulate under a fault plan and measure degradation
+              (``--recover`` arms the self-healing layer)
+``chaos``     run seeded random fault plans against the invariant suite
 ``crawl``     synthesize a Gnutella-style crawl and summarize it
 ``profile``   attribute every unit of load to (node, action, hop) hotspots
 
@@ -293,16 +295,75 @@ def cmd_resilience(args: argparse.Namespace) -> int:
             if args.max_retries > 0 else None
         ),
     )
+    policy = None
+    if args.recover:
+        from .sim.monitor import DetectorSpec
+        from .sim.recovery import RecoveryPolicy
+
+        policy = RecoveryPolicy(
+            detector=DetectorSpec(
+                heartbeat_interval=args.heartbeat,
+                timeout_beats=args.timeout_beats,
+                false_positive_rate=args.false_positive_rate,
+            ),
+            promote=not args.no_promote,
+            rehome=not args.no_rehome,
+            heal_partitions=not args.no_heal,
+            promotion_time=args.promotion_time,
+            rehome_time=args.rehome_time,
+        )
     print(instance.describe())
     print(f"fault plan: {plan.describe()}")
+    if policy is not None:
+        print(f"recovery: {policy.describe()}")
     report = run_resilience(
         instance, plan, duration=args.duration, rng=args.seed,
-        tracer=args.tracer,
+        recovery=policy, tracer=args.tracer,
     )
     print(render_resilience_report(
         report, title=f"resilience over {args.duration:.0f}s"
     ))
+    if args.repair_top > 0:
+        from .sim.recovery import repair_attribution
+
+        if report.outcome.repair_cluster_units is None:
+            print("\nno repair attribution: recovery never ran "
+                  "(pass --recover with a non-null fault plan)")
+        else:
+            print()
+            print(render_attribution(
+                repair_attribution(instance, report.outcome, args.duration),
+                top=args.repair_top,
+            ))
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from .obs.metrics import get_registry
+    from .reporting import render_chaos_report
+    from .sim.chaos import ChaosSpec, run_chaos
+
+    spec = ChaosSpec(
+        cases=args.cases,
+        base_seed=args.seed,
+        graph_size=args.graph_size,
+        cluster_size=args.cluster_size,
+        redundancy=not args.no_redundancy,
+        duration=args.duration,
+        recovery=not args.no_recovery,
+        replay=not args.no_replay,
+    )
+    result = run_chaos(spec, jobs=args.jobs)
+    get_registry().absorb(result.registry)
+    print(render_chaos_report(result))
+    if args.report:
+        from .obs.export import write_json
+
+        print(f"chaos report -> {write_json(result.to_dict(), args.report)}")
+    if args.manifest_out:
+        result.manifest.to_json(args.manifest_out)
+        print(f"chaos manifest -> {args.manifest_out}")
+    return 0 if result.passed else 1
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -462,7 +523,56 @@ def build_parser() -> argparse.ArgumentParser:
                    help="query timeout before the source retries")
     p.add_argument("--max-retries", type=int, default=2,
                    help="retry budget per query (0 disables retries)")
+    p.add_argument("--recover", action="store_true",
+                   help="arm the self-healing layer (failure detection, "
+                        "partner promotion, client re-homing, partition "
+                        "healing) for the degraded run")
+    p.add_argument("--heartbeat", type=float, default=5.0,
+                   help="failure-detector heartbeat interval in seconds")
+    p.add_argument("--timeout-beats", type=int, default=3,
+                   help="missed heartbeats before a partner is declared dead")
+    p.add_argument("--false-positive-rate", type=float, default=0.0,
+                   help="per-heartbeat probability of falsely suspecting a "
+                        "live partner")
+    p.add_argument("--promotion-time", type=float, default=10.0,
+                   help="seconds to promote a client into a dead partner slot")
+    p.add_argument("--rehome-time", type=float, default=2.0,
+                   help="seconds to move an orphaned client to a new cluster")
+    p.add_argument("--no-promote", action="store_true",
+                   help="disable partner promotion")
+    p.add_argument("--no-rehome", action="store_true",
+                   help="disable client re-homing")
+    p.add_argument("--no-heal", action="store_true",
+                   help="disable partition healing links")
+    p.add_argument("--repair-top", type=int, default=0,
+                   help="also print the top-N repair-cost hotspot clusters")
     p.set_defaults(func=cmd_resilience)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded random fault plans vs the self-healing invariant suite",
+    )
+    p.add_argument("--cases", type=int, default=20,
+                   help="number of seeded chaos cases (seeds --seed..+cases)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (1 = serial, bit-identical)")
+    p.add_argument("--duration", type=float, default=400.0,
+                   help="virtual seconds per case")
+    p.add_argument("--graph-size", type=int, default=250,
+                   help="peers per case instance")
+    p.add_argument("--cluster-size", type=int, default=10)
+    p.add_argument("--no-redundancy", action="store_true",
+                   help="single super-peers instead of 2-redundant partners")
+    p.add_argument("--no-recovery", action="store_true",
+                   help="run the plans without a recovery policy (skips the "
+                        "recovery invariants)")
+    p.add_argument("--no-replay", action="store_true",
+                   help="skip the bit-identical replay check (faster)")
+    p.add_argument("--report", metavar="PATH", default=None,
+                   help="write per-case results as JSON")
+    p.add_argument("--manifest-out", metavar="PATH", default=None,
+                   help="write the merged chaos RunManifest as JSON")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
         "profile",

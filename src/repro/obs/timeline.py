@@ -86,6 +86,17 @@ class TimelineReport:
     recoveries: int = 0
     failovers: int = 0       # crashes that left >= 1 live partner
     span: tuple = (0.0, 0.0)
+    #: (t, kind, cluster) for every self-healing action, in time order:
+    #: ``detect`` / ``false-suspicion`` / ``promote`` / ``rehome``;
+    #: healing links carry the partition-window index instead of a cluster.
+    repairs: list = field(default_factory=list)
+    detections: int = 0
+    false_suspicions: int = 0
+    promotions: int = 0
+    rehomed_clients: int = 0
+    links_healed: int = 0
+    links_restored: int = 0
+    detection_lags: list = field(default_factory=list)
 
     # --- summary statistics ----------------------------------------------------
 
@@ -146,6 +157,13 @@ class TimelineReport:
     def total_outage_seconds(self) -> float:
         return float(sum(w.length for w in self.outages))
 
+    @property
+    def mean_detection_lag(self) -> float:
+        """Mean crash -> confirmed-detection delay over the trace."""
+        if not self.detection_lags:
+            return 0.0
+        return float(np.mean(self.detection_lags))
+
     def to_dict(self) -> dict:
         """A stable, JSON-ready summary (no per-query detail)."""
         return {
@@ -164,6 +182,13 @@ class TimelineReport:
             "failovers": self.failovers,
             "outages": len(self.outages),
             "total_outage_seconds": self.total_outage_seconds,
+            "detections": self.detections,
+            "false_suspicions": self.false_suspicions,
+            "mean_detection_lag": self.mean_detection_lag,
+            "promotions": self.promotions,
+            "rehomed_clients": self.rehomed_clients,
+            "links_healed": self.links_healed,
+            "links_restored": self.links_restored,
         }
 
 
@@ -190,7 +215,11 @@ def build_timeline(source) -> TimelineReport:
     lifecycles: list[QueryLifecycle] = []
     orphans: list[tuple[float, int]] = []
     outages: list[OutageWindow] = []
+    repairs: list[tuple[float, str, int]] = []
+    detection_lags: list[float] = []
     crashes = recoveries = failovers = 0
+    detections = false_suspicions = promotions = rehomed = 0
+    links_healed = links_restored = 0
     # Pending per-(t, source) fragments awaiting their "query" event.
     pending: dict[tuple[float, int], dict] = {}
 
@@ -241,6 +270,25 @@ def build_timeline(source) -> TimelineReport:
                     end=ev.t,
                 )
             )
+        elif ev.kind == "detect":
+            detections += 1
+            detection_lags.append(float(f.get("lag", 0.0)))
+            repairs.append((ev.t, "detect", int(f.get("cluster", -1))))
+        elif ev.kind == "false-suspicion":
+            false_suspicions += 1
+            repairs.append((ev.t, "false-suspicion", int(f.get("cluster", -1))))
+        elif ev.kind == "promote":
+            promotions += 1
+            repairs.append((ev.t, "promote", int(f.get("cluster", -1))))
+        elif ev.kind == "rehome":
+            rehomed += int(f.get("moved", 0))
+            repairs.append((ev.t, "rehome", int(f.get("cluster", -1))))
+        elif ev.kind == "heal":
+            links_healed += len(f.get("links", []))
+            repairs.append((ev.t, "heal", int(f.get("window", -1))))
+        elif ev.kind == "heal-restore":
+            links_restored += int(f.get("links", 0))
+            repairs.append((ev.t, "heal-restore", int(f.get("window", -1))))
 
     span = (events[0].t, events[-1].t) if events else (0.0, 0.0)
     return TimelineReport(
@@ -251,4 +299,12 @@ def build_timeline(source) -> TimelineReport:
         recoveries=recoveries,
         failovers=failovers,
         span=span,
+        repairs=repairs,
+        detections=detections,
+        false_suspicions=false_suspicions,
+        promotions=promotions,
+        rehomed_clients=rehomed,
+        links_healed=links_healed,
+        links_restored=links_restored,
+        detection_lags=detection_lags,
     )

@@ -16,6 +16,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .obs.attribution import LoadAttribution
     from .obs.metrics import MetricsRegistry
     from .obs.timeline import TimelineReport
+    from .sim.chaos import ChaosReport
     from .sim.resilience import ResilienceReport
 
 
@@ -95,6 +96,54 @@ def render_resilience_report(report: "ResilienceReport",
         f"in {inflation['incoming']:+.1%}  out {inflation['outgoing']:+.1%}  "
         f"proc {inflation['processing']:+.1%}"
     )
+    return "\n".join(lines)
+
+
+def render_chaos_report(report: "ChaosReport",
+                        title: str | None = None) -> str:
+    """Render a chaos batch: one row per seeded case, then the verdict.
+
+    Failing cases are expanded below the table with their violated
+    invariants so a CI log shows *what* broke, not just the exit code.
+    """
+    rows = []
+    for case in report.cases:
+        s = case.summary
+        rows.append([
+            case.seed,
+            "pass" if case.passed else f"FAIL({len(case.violations)})",
+            s["crashes"],
+            s["outages"],
+            s["promotions"],
+            s["rehomed_clients"],
+            s["links_healed"],
+            f"{s['success_rate']:.3f}",
+            f"{s['longest_outage']:.1f}",
+            case.digest,
+        ])
+    spec = report.spec
+    lines = [render_table(
+        ["seed", "verdict", "crashes", "outages", "promote", "rehome",
+         "heal", "success", "worst(s)", "digest"],
+        rows,
+        title=title or (
+            f"chaos harness: {spec.cases} cases, "
+            f"{spec.graph_size} peers, {spec.duration:g}s, "
+            f"recovery {'on' if spec.recovery else 'off'}"
+        ),
+    )]
+    for case in report.failures:
+        lines.append("")
+        lines.append(f"seed {case.seed} violated:")
+        for violation in case.violations:
+            lines.append(f"  - {violation}")
+        lines.append(f"  plan:   {case.plan}")
+        lines.append(f"  policy: {case.policy}")
+    lines.append("")
+    verdict = "all invariants held" if report.passed else (
+        f"{len(report.failures)}/{len(report.cases)} cases violated invariants"
+    )
+    lines.append(f"chaos verdict: {verdict}")
     return "\n".join(lines)
 
 
@@ -247,6 +296,16 @@ def render_timeline(report: "TimelineReport",
         ["outages", summary["outages"]],
         ["outage seconds", summary["total_outage_seconds"]],
     ]
+    if report.repairs:
+        rows += [
+            ["detections", summary["detections"]],
+            ["false suspicions", summary["false_suspicions"]],
+            ["mean detection lag (s)", summary["mean_detection_lag"]],
+            ["promotions", summary["promotions"]],
+            ["clients re-homed", summary["rehomed_clients"]],
+            ["links healed / restored",
+             f"{summary['links_healed']} / {summary['links_restored']}"],
+        ]
     sections = [render_table(["metric", "value"], rows, title=title)]
     fanout = report.mean_fanout_by_hop()
     if fanout:

@@ -12,7 +12,7 @@ expectations.
 the event scheduler from scratch (binary heap, cancellable events).
 """
 
-from .engine import Simulator, EventHandle
+from .engine import Simulator, EventHandle, RepeatingEvent
 from .workload import PoissonProcess, exponential_interarrivals
 from .network import SimulationReport, simulate_instance
 from .churn import ChurnResult, simulate_cluster_churn
@@ -26,10 +26,14 @@ from .faults import (
     SlowSpec,
 )
 from .resilience import ResilienceReport, run_resilience
+from .monitor import DetectorSpec, FailureDetector
+from .recovery import RecoveryPolicy, RecoveryRuntime, repair_attribution
+from .chaos import ChaosReport, ChaosSpec, generate_fault_plan, run_chaos
 
 __all__ = [
     "Simulator",
     "EventHandle",
+    "RepeatingEvent",
     "PoissonProcess",
     "exponential_interarrivals",
     "SimulationReport",
@@ -47,4 +51,13 @@ __all__ = [
     "SlowSpec",
     "ResilienceReport",
     "run_resilience",
+    "DetectorSpec",
+    "FailureDetector",
+    "RecoveryPolicy",
+    "RecoveryRuntime",
+    "repair_attribution",
+    "ChaosSpec",
+    "ChaosReport",
+    "generate_fault_plan",
+    "run_chaos",
 ]

@@ -1,0 +1,406 @@
+"""Seeded chaos harness: random fault plans vs the invariant suite.
+
+"Handle as many scenarios as you can imagine" (ROADMAP) is not checkable
+one hand-written scenario at a time.  This module generates *random but
+valid* :class:`~repro.sim.faults.FaultPlan`s from a seed, runs each one
+through :func:`~repro.sim.resilience.run_resilience` with a seeded
+:class:`~repro.sim.recovery.RecoveryPolicy`, and checks a suite of
+invariants that must hold for **every** plan:
+
+* **no client orphaned forever** — once recovery is on, every outage
+  older than one repair cycle has either promoted a replacement partner
+  or re-homed its clients (``permanently_orphaned_clients == 0``);
+* **overlay reconnects** — after all partition windows close, the
+  healing links are torn down and the simulation is back on the
+  pristine overlay object (``overlay_restored``);
+* **message conservation** — every attempted flood message is either
+  delivered or lost, never both, never neither;
+* **bounded time-to-recover** — with promotion enabled (and clients to
+  promote), no blackout outlives detection lag + promotion time;
+* **bit-identical replay** — re-running the degraded simulation from
+  the same seed reproduces the loads and counters exactly.
+
+Cases fan out across seeds the same way :func:`repro.api.run_sweep`
+fans out grid points: a module-level picklable worker, one private
+``MetricsRegistry``/``RunManifest`` fragment per case, merged
+associatively — so ``jobs=N`` equals ``jobs=1`` case for case.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import Configuration
+from ..obs.manifest import RunManifest, manifest_for
+from ..obs.metrics import MetricsRegistry, use_registry
+from ..stats.rng import derive_rng
+from ..topology.builder import build_instance
+from .faults import CrashSpec, FaultPlan, PartitionWindow, RetryPolicy, SlowSpec
+from .monitor import DetectorSpec
+from .recovery import RecoveryPolicy
+from .resilience import ResilienceReport, run_resilience
+
+__all__ = [
+    "ChaosSpec",
+    "ChaosCaseResult",
+    "ChaosReport",
+    "generate_fault_plan",
+    "generate_recovery_policy",
+    "run_chaos",
+    "run_chaos_case",
+]
+
+#: Slack on the time-to-recover bound (event-time comparisons only).
+_TTR_EPS = 1e-6
+
+
+def generate_fault_plan(seed: int, num_clusters: int,
+                        duration: float) -> FaultPlan:
+    """A random, *valid* fault plan, deterministic in ``seed``.
+
+    Windows are laid out sequentially in time (so the construction-time
+    overlap validation can never fire) and every window closes by
+    ``0.85 * duration`` — partitions always end well before the run
+    does, which is what makes the overlay-reconnects invariant
+    checkable.  All draws come from a dedicated ``"chaos"`` stream.
+    """
+    rng = derive_rng(seed, "chaos", "plan")
+    loss = 0.0 if rng.random() < 0.25 else float(rng.uniform(0.005, 0.12))
+    crash = None
+    if rng.random() < 0.75:
+        crash = CrashSpec(
+            mean_recovery=float(rng.uniform(45.0, 240.0)),
+            lifespan_scale=float(rng.uniform(0.5, 1.5)),
+        )
+    partitions: list[PartitionWindow] = []
+    cursor = 0.15 * duration
+    for _ in range(int(rng.integers(0, 3))):
+        start = cursor + float(rng.uniform(0.0, 0.05 * duration))
+        end = start + float(rng.uniform(0.05, 0.2) * duration)
+        if end > 0.85 * duration:
+            break
+        island_size = int(rng.integers(1, max(2, num_clusters // 5)))
+        island = tuple(
+            int(c) for c in rng.choice(num_clusters, size=island_size,
+                                       replace=False)
+        )
+        partitions.append(PartitionWindow(start, end, island))
+        cursor = end + 0.02 * duration
+    slow = None
+    if rng.random() < 0.3:
+        slow = SlowSpec(fraction=float(rng.uniform(0.05, 0.3)),
+                        factor=float(rng.uniform(1.5, 6.0)))
+    retry = RetryPolicy(
+        timeout=float(rng.uniform(2.0, 8.0)),
+        max_retries=int(rng.integers(1, 4)),
+        backoff=float(rng.uniform(1.5, 3.0)),
+        ceiling=120.0,
+    )
+    plan = FaultPlan(message_loss=loss, crash=crash,
+                     partitions=tuple(partitions), slow=slow, retry=retry)
+    if plan.is_null:
+        # Chaos wants chaos: a fully-null draw gets a token loss rate.
+        plan = plan.with_changes(message_loss=0.01)
+    return plan
+
+
+def generate_recovery_policy(seed: int) -> RecoveryPolicy:
+    """A random recovery policy, deterministic in ``seed``.
+
+    Re-homing is always armed — every generated policy has *some*
+    remedy for orphaned clients, which is what entitles the harness to
+    assert ``permanently_orphaned_clients == 0`` unconditionally.
+    """
+    rng = derive_rng(seed, "chaos", "policy")
+    detector = DetectorSpec(
+        heartbeat_interval=float(rng.uniform(2.0, 8.0)),
+        timeout_beats=int(rng.integers(2, 5)),
+        false_positive_rate=(
+            0.0 if rng.random() < 0.5 else float(rng.uniform(0.0005, 0.005))
+        ),
+    )
+    return RecoveryPolicy(
+        detector=detector,
+        promote=bool(rng.random() < 0.8),
+        rehome=True,
+        heal_partitions=True,
+        promotion_time=float(rng.uniform(5.0, 20.0)),
+        rehome_time=float(rng.uniform(1.0, 5.0)),
+    )
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A batch of chaos cases: seeds plus the shared scenario shape."""
+
+    cases: int = 20
+    base_seed: int = 0
+    graph_size: int = 250
+    cluster_size: int = 10
+    redundancy: bool = True
+    duration: float = 400.0
+    recovery: bool = True
+    replay: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cases < 1:
+            raise ValueError("cases must be >= 1")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+
+    @property
+    def seeds(self) -> tuple[int, ...]:
+        return tuple(range(self.base_seed, self.base_seed + self.cases))
+
+    def configuration(self) -> Configuration:
+        return Configuration(
+            graph_size=self.graph_size,
+            cluster_size=self.cluster_size,
+            redundancy=self.redundancy,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "cases": self.cases,
+            "base_seed": self.base_seed,
+            "graph_size": self.graph_size,
+            "cluster_size": self.cluster_size,
+            "redundancy": self.redundancy,
+            "duration": self.duration,
+            "recovery": self.recovery,
+            "replay": self.replay,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ChaosSpec":
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class ChaosCaseResult:
+    """One chaos case: what ran, what it measured, what it violated."""
+
+    seed: int
+    plan: str
+    policy: str
+    digest: str
+    violations: tuple[str, ...]
+    summary: dict
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "plan": self.plan,
+            "policy": self.policy,
+            "digest": self.digest,
+            "violations": list(self.violations),
+            "summary": self.summary,
+            "passed": self.passed,
+        }
+
+
+@dataclass
+class ChaosReport:
+    """Every case of a chaos batch plus the merged observability record."""
+
+    spec: ChaosSpec
+    cases: list[ChaosCaseResult]
+    manifest: RunManifest
+    registry: MetricsRegistry = field(repr=False, default_factory=MetricsRegistry)
+    jobs: int = 1
+
+    @property
+    def passed(self) -> bool:
+        return all(case.passed for case in self.cases)
+
+    @property
+    def failures(self) -> list[ChaosCaseResult]:
+        return [case for case in self.cases if not case.passed]
+
+    def total_violations(self) -> int:
+        return sum(len(case.violations) for case in self.cases)
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "jobs": self.jobs,
+            "passed": self.passed,
+            "cases": [case.to_dict() for case in self.cases],
+        }
+
+
+def _load_digest(report) -> str:
+    """Stable digest of the six load arrays (replay comparisons)."""
+    h = hashlib.sha256()
+    for name in ("superpeer_incoming_bps", "superpeer_outgoing_bps",
+                 "superpeer_processing_hz", "client_incoming_bps",
+                 "client_outgoing_bps", "client_processing_hz"):
+        h.update(np.ascontiguousarray(getattr(report, name)).tobytes())
+    return h.hexdigest()
+
+
+def check_invariants(report: ResilienceReport, instance,
+                     policy: RecoveryPolicy | None) -> list[str]:
+    """The invariant suite for one completed chaos case."""
+    out = report.outcome
+    violations: list[str] = []
+
+    # Message conservation: attempted = delivered + lost, and the
+    # dedicated lost counter agrees with the difference.
+    if out.flood_messages_attempted != (
+        out.flood_messages_delivered + out.flood_messages_lost
+    ):
+        violations.append(
+            "message conservation: attempted "
+            f"{out.flood_messages_attempted} != delivered "
+            f"{out.flood_messages_delivered} + lost {out.flood_messages_lost}"
+        )
+    if out.flood_messages_delivered < 0 or out.flood_messages_lost < 0:
+        violations.append("message conservation: negative delivery counter")
+    if out.queries_failed > out.queries_attempted:
+        violations.append(
+            f"more failed queries ({out.queries_failed}) than attempted "
+            f"({out.queries_attempted})"
+        )
+
+    if policy is not None:
+        if out.permanently_orphaned_clients != 0:
+            violations.append(
+                f"{out.permanently_orphaned_clients} clients orphaned "
+                "past the repair grace window with recovery on"
+            )
+        if not out.overlay_restored:
+            violations.append(
+                "overlay not restored after all partition windows closed"
+            )
+        if out.links_healed != out.links_restored:
+            violations.append(
+                f"healed {out.links_healed} links but restored "
+                f"{out.links_restored}"
+            )
+        # Bounded blackouts: with promotion armed and clients available
+        # in every cluster, no closed outage may outlive one detection
+        # plus one promotion.
+        if (policy.promote and report.plan.crash is not None
+                and int(instance.clients.min()) > 0 and out.recovery_times):
+            bound = policy.detector.max_lag + policy.promotion_time + _TTR_EPS
+            worst = max(out.recovery_times)
+            if worst > bound:
+                violations.append(
+                    f"time-to-recover {worst:.2f}s exceeds detection+repair "
+                    f"bound {bound:.2f}s"
+                )
+    return violations
+
+
+def run_chaos_case(spec: ChaosSpec, seed: int) -> ChaosCaseResult:
+    """Run one seeded chaos case (module-level: process-pool friendly)."""
+    instance = build_instance(spec.configuration(), seed=seed)
+    plan = generate_fault_plan(seed, num_clusters=instance.num_clusters,
+                               duration=spec.duration)
+    policy = generate_recovery_policy(seed) if spec.recovery else None
+    report = run_resilience(
+        instance, plan, duration=spec.duration, rng=seed, recovery=policy,
+    )
+    violations = check_invariants(report, instance, policy)
+    digest = _load_digest(report.degraded)
+    if spec.replay:
+        # Determinism is itself an invariant: the same seed must replay
+        # to the bit.  The baseline is reused — only the degraded
+        # simulation re-runs.
+        replay = run_resilience(
+            instance, plan, duration=spec.duration, rng=seed,
+            baseline=report.baseline, recovery=policy,
+        )
+        if _load_digest(replay.degraded) != digest:
+            violations.append("replay: degraded loads are not bit-identical")
+        first, second = report.outcome, replay.outcome
+        for name in ("queries_attempted", "queries_failed", "partner_crashes",
+                     "promotions", "rehomed_clients", "links_healed",
+                     "repair_messages", "flood_messages_attempted"):
+            if getattr(first, name) != getattr(second, name):
+                violations.append(
+                    f"replay: {name} diverged "
+                    f"({getattr(first, name)} vs {getattr(second, name)})"
+                )
+    out = report.outcome
+    summary = {
+        "queries": out.queries_attempted,
+        "success_rate": round(out.query_success_rate, 4),
+        "crashes": out.partner_crashes,
+        "outages": out.outages,
+        "detections": out.detections,
+        "promotions": out.promotions,
+        "rehomed_clients": out.rehomed_clients,
+        "links_healed": out.links_healed,
+        "repair_messages": out.repair_messages,
+        "repair_bytes": round(out.repair_bytes, 1),
+        "orphaned_client_seconds": round(out.orphaned_client_seconds, 1),
+        "longest_outage": round(out.longest_outage, 2),
+    }
+    return ChaosCaseResult(
+        seed=seed,
+        plan=plan.describe(),
+        policy=policy.describe() if policy is not None else "off",
+        digest=digest[:16],
+        violations=tuple(violations),
+        summary=summary,
+    )
+
+
+def _case_worker(args: tuple) -> tuple:
+    """One case under private collectors (mirrors ``api._evaluate_point``)."""
+    spec, seed = args
+    registry = MetricsRegistry()
+    fragment = RunManifest(name=f"chaos[{seed}]")
+    with use_registry(registry):
+        with fragment.phase(f"chaos[{seed}]"):
+            case = run_chaos_case(spec, seed)
+    fragment.finish()
+    return case, registry, fragment
+
+
+def run_chaos(spec: ChaosSpec, jobs: int = 1) -> ChaosReport:
+    """Run every case of ``spec``, sharded over ``jobs`` processes.
+
+    The same executor discipline as :func:`repro.api.run_sweep`:
+    ``jobs=1`` runs in-process, ``jobs=N`` shards cases across a
+    ``ProcessPoolExecutor``, and both return identical case results in
+    stable seed order with one merged registry/manifest.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    work = [(spec, seed) for seed in spec.seeds]
+    if jobs == 1 or len(work) <= 1:
+        outcomes = [_case_worker(item) for item in work]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
+            outcomes = list(pool.map(_case_worker, work))
+
+    manifest = manifest_for(
+        "chaos",
+        config=spec.configuration(),
+        seed=spec.base_seed,
+        cases=spec.cases,
+        duration=spec.duration,
+        recovery=spec.recovery,
+        replay=spec.replay,
+        jobs=jobs,
+    )
+    registry = MetricsRegistry()
+    cases: list[ChaosCaseResult] = []
+    for case, frag_registry, fragment in outcomes:
+        registry.absorb(frag_registry)
+        manifest = manifest.merge(fragment, name="chaos")
+        cases.append(case)
+    manifest.finish(registry)
+    return ChaosReport(spec=spec, cases=cases, manifest=manifest,
+                       registry=registry, jobs=jobs)

@@ -59,6 +59,44 @@ class EventHandle:
         self._sim._note_cancel()
 
 
+class RepeatingEvent:
+    """Handle for :meth:`Simulator.every`: a self-rescheduling event.
+
+    Each firing schedules the next occurrence, so cancellation must go
+    through this wrapper (cancelling a single underlying
+    :class:`EventHandle` would only skip one occurrence).
+    """
+
+    __slots__ = ("_sim", "_interval", "_callback", "_args", "_handle",
+                 "_cancelled")
+
+    def __init__(self, sim: "Simulator", interval: float,
+                 callback: Callable[..., Any], args: tuple) -> None:
+        self._sim = sim
+        self._interval = interval
+        self._callback = callback
+        self._args = args
+        self._handle: EventHandle | None = None
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Stop the repetition (no-op if already cancelled)."""
+        self._cancelled = True
+        if self._handle is not None:
+            self._handle.cancel()
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self._callback(*self._args)
+        if not self._cancelled:
+            self._handle = self._sim.schedule(self._interval, self._fire)
+
+
 class Simulator:
     """A single-threaded event loop over virtual time."""
 
@@ -92,6 +130,21 @@ class Simulator:
         entry = _Entry(time=time, seq=next(self._seq), callback=callback, args=args)
         heapq.heappush(self._heap, entry)
         return EventHandle(entry, self)
+
+    def every(self, interval: float, callback: Callable[..., Any], *args,
+              first: float | None = None) -> RepeatingEvent:
+        """Fire ``callback(*args)`` every ``interval`` seconds until cancelled.
+
+        The first occurrence is ``first`` seconds from now (defaults to
+        ``interval``).  Used for periodic processes like heartbeat sweeps;
+        the returned :class:`RepeatingEvent` cancels the whole series.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        event = RepeatingEvent(self, interval, callback, args)
+        delay = interval if first is None else first
+        event._handle = self.schedule(delay, event._fire)
+        return event
 
     def _note_cancel(self) -> None:
         """Bookkeeping for one cancellation; compact when >50% dead."""

@@ -29,6 +29,7 @@ seed (the ``derive_rng`` stream-splitting discipline).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, fields, replace
 
 import numpy as np
@@ -61,6 +62,14 @@ class CrashSpec:
         if self.lifespan_scale <= 0:
             raise ValueError("lifespan_scale must be positive")
 
+    def to_dict(self) -> dict:
+        return {"mean_recovery": self.mean_recovery,
+                "lifespan_scale": self.lifespan_scale}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CrashSpec":
+        return cls(**payload)
+
 
 @dataclass(frozen=True)
 class PartitionWindow:
@@ -82,6 +91,21 @@ class PartitionWindow:
             raise ValueError("island must name at least one cluster")
         object.__setattr__(self, "island", tuple(int(c) for c in self.island))
 
+    def overlaps(self, other: "PartitionWindow") -> bool:
+        """True when both windows are active at some instant AND cut a
+        shared cluster boundary (their islands intersect)."""
+        in_time = self.start < other.end and other.start < self.end
+        return in_time and bool(set(self.island) & set(other.island))
+
+    def to_dict(self) -> dict:
+        return {"start": self.start, "end": self.end,
+                "island": list(self.island)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PartitionWindow":
+        return cls(start=payload["start"], end=payload["end"],
+                   island=tuple(payload["island"]))
+
 
 @dataclass(frozen=True)
 class SlowSpec:
@@ -97,6 +121,8 @@ class SlowSpec:
     factor: float = 4.0
 
     def __post_init__(self) -> None:
+        if math.isnan(self.fraction):
+            raise ValueError("slow fraction must not be NaN")
         if not 0.0 <= self.fraction <= 1.0:
             raise ValueError("fraction must be in [0, 1]")
         if self.factor < 1.0:
@@ -106,6 +132,13 @@ class SlowSpec:
     def drop_prob(self) -> float:
         return 1.0 - 1.0 / self.factor
 
+    def to_dict(self) -> dict:
+        return {"fraction": self.fraction, "factor": self.factor}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SlowSpec":
+        return cls(**payload)
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -113,13 +146,15 @@ class RetryPolicy:
 
     When a flood loses messages, the source waits ``timeout`` seconds
     and re-floods, up to ``max_retries`` times with exponential backoff
-    (``timeout * backoff**i`` before retry ``i``).  Each retry pays full
-    flood cost; the client keeps the best (deduplicated) result set.
+    (``timeout * backoff**i`` before retry ``i``, capped at ``ceiling``
+    seconds).  Each retry pays full flood cost; the client keeps the
+    best (deduplicated) result set.
     """
 
     timeout: float = 5.0
     max_retries: int = 2
     backoff: float = 2.0
+    ceiling: float = 300.0
 
     def __post_init__(self) -> None:
         if self.timeout <= 0:
@@ -128,6 +163,39 @@ class RetryPolicy:
             raise ValueError("max_retries must be non-negative")
         if self.backoff < 1.0:
             raise ValueError("backoff must be >= 1")
+        if math.isnan(self.ceiling) or self.ceiling < self.timeout:
+            raise ValueError(
+                f"ceiling must be >= timeout ({self.timeout}), "
+                f"got {self.ceiling}"
+            )
+
+    def wait_before(self, attempt: int) -> float:
+        """Seconds waited before retry ``attempt`` (0-based), capped.
+
+        The naive ``timeout * backoff**attempt`` overflows a float for
+        pathological attempt counts (``2.0**1024`` raises
+        ``OverflowError``), so the exponent is clamped *before*
+        exponentiating: once ``backoff**attempt`` provably exceeds
+        ``ceiling / timeout`` the wait is exactly ``ceiling``.
+        """
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        if self.backoff == 1.0:
+            return min(self.timeout, self.ceiling)
+        max_exponent = (
+            math.log(self.ceiling / self.timeout) / math.log(self.backoff)
+        )
+        if attempt >= max_exponent:
+            return self.ceiling
+        return min(self.timeout * self.backoff ** attempt, self.ceiling)
+
+    def to_dict(self) -> dict:
+        return {"timeout": self.timeout, "max_retries": self.max_retries,
+                "backoff": self.backoff, "ceiling": self.ceiling}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RetryPolicy":
+        return cls(**payload)
 
 
 @dataclass(frozen=True)
@@ -141,9 +209,29 @@ class FaultPlan:
     retry: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
-        if not 0.0 <= self.message_loss < 1.0:
-            raise ValueError("message_loss must be in [0, 1)")
-        object.__setattr__(self, "partitions", tuple(self.partitions))
+        loss = float(self.message_loss)
+        if math.isnan(loss):
+            raise ValueError("message_loss must not be NaN")
+        if loss < 0.0:
+            raise ValueError(f"message_loss must be non-negative, got {loss}")
+        if loss >= 1.0:
+            raise ValueError(
+                f"message_loss must be < 1 (a query must be able to leave "
+                f"its source), got {loss}"
+            )
+        windows = tuple(self.partitions)
+        object.__setattr__(self, "partitions", windows)
+        # Two windows that are simultaneously active on an intersecting
+        # island would double-cut the same edges, which the runtime
+        # cannot attribute; reject at construction with the pair named.
+        for i, a in enumerate(windows):
+            for b in windows[i + 1:]:
+                if a.overlaps(b):
+                    raise ValueError(
+                        f"overlapping partition windows on a shared island: "
+                        f"[{a.start}, {a.end}) x {sorted(set(a.island) & set(b.island))} "
+                        f"collides with [{b.start}, {b.end})"
+                    )
 
     @property
     def is_null(self) -> bool:
@@ -191,6 +279,32 @@ class FaultPlan:
             )
         return " + ".join(parts) if parts else "no faults"
 
+    def to_dict(self) -> dict:
+        """JSON-ready dict; round-trips through :meth:`from_dict`."""
+        return {
+            "message_loss": self.message_loss,
+            "crash": None if self.crash is None else self.crash.to_dict(),
+            "partitions": [w.to_dict() for w in self.partitions],
+            "slow": None if self.slow is None else self.slow.to_dict(),
+            "retry": None if self.retry is None else self.retry.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        crash = payload.get("crash")
+        slow = payload.get("slow")
+        retry = payload.get("retry")
+        return cls(
+            message_loss=payload.get("message_loss", 0.0),
+            crash=None if crash is None else CrashSpec.from_dict(crash),
+            partitions=tuple(
+                PartitionWindow.from_dict(w)
+                for w in payload.get("partitions", ())
+            ),
+            slow=None if slow is None else SlowSpec.from_dict(slow),
+            retry=None if retry is None else RetryPolicy.from_dict(retry),
+        )
+
 
 @dataclass
 class FaultOutcome:
@@ -214,6 +328,25 @@ class FaultOutcome:
     recovery_times: list[float] = field(default_factory=list)
     longest_outage: float = 0.0
     cluster_downtime: np.ndarray | None = None
+    flood_messages_attempted: int = 0
+    flood_messages_delivered: int = 0
+    # --- recovery-subsystem counters (all zero when recovery is off) ---------
+    detections: int = 0           # confirmed partner-failure detections
+    false_suspicions: int = 0     # detector false positives (probe cost only)
+    detection_lags: list[float] = field(default_factory=list)
+    promotions: int = 0           # clients promoted into dead partner slots
+    rehome_events: int = 0        # dark clusters whose clients were re-homed
+    rehomed_clients: int = 0
+    links_healed: int = 0         # redundant overlay links added mid-partition
+    links_restored: int = 0       # heal links torn down after windows closed
+    repair_messages: int = 0
+    repair_bytes: float = 0.0
+    repair_units: float = 0.0
+    permanently_orphaned_clients: int = 0
+    overlay_restored: bool = True
+    repair_cluster_bytes_in: np.ndarray | None = None
+    repair_cluster_bytes_out: np.ndarray | None = None
+    repair_cluster_units: np.ndarray | None = None
 
     @property
     def query_success_rate(self) -> float:
@@ -228,6 +361,37 @@ class FaultOutcome:
         if not self.recovery_times:
             return 0.0
         return float(np.mean(self.recovery_times))
+
+    @property
+    def mean_detection_lag(self) -> float:
+        """Mean crash -> confirmed-detection delay, seconds."""
+        if not self.detection_lags:
+            return 0.0
+        return float(np.mean(self.detection_lags))
+
+    @property
+    def repair_cost(self) -> float:
+        """Total repair traffic in bytes (the headline recovery price)."""
+        return self.repair_bytes
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict; round-trips through :meth:`from_dict`."""
+        payload = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, np.ndarray):
+                value = value.tolist()
+            payload[f.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultOutcome":
+        kwargs = dict(payload)
+        for name in ("cluster_downtime", "repair_cluster_bytes_in",
+                     "repair_cluster_bytes_out", "repair_cluster_units"):
+            if kwargs.get(name) is not None:
+                kwargs[name] = np.asarray(kwargs[name], dtype=float)
+        return cls(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -285,6 +449,17 @@ class FaultRuntime:
         self._downtime = np.zeros(n)
         self.sim = None
         self._on_recovery = None
+        # Mutable per-cluster client population.  Starts as the static
+        # roster; the recovery layer moves counts between clusters when
+        # it re-homes orphans, so orphan-seconds accounting follows the
+        # clients.  With recovery off this never diverges from
+        # ``instance.clients`` and the arithmetic is bit-identical.
+        self.cluster_clients = instance.clients.astype(np.int64).copy()
+        #: Optional crash/recover observer (the failure detector).
+        self.listener = None
+        #: Recovery runtime, when self-healing is enabled.
+        self.recovery = None
+        self._pending_recover: dict[tuple[int, int], object] = {}
 
     # --- crash/recovery schedule ---------------------------------------------
 
@@ -329,10 +504,14 @@ class FaultRuntime:
             # failover itself is free — round-robin simply skips the
             # dead slot from now on.
             self.metrics.failovers += 1
+        if self.listener is not None:
+            self.listener.on_crash(cluster, partner, self.sim.now)
         gap = float(self.rng.exponential(self.plan.crash.mean_recovery))
-        self.sim.schedule(gap, self._recover, cluster, partner)
+        handle = self.sim.schedule(gap, self._recover, cluster, partner)
+        self._pending_recover[(cluster, partner)] = handle
 
     def _recover(self, cluster: int, partner: int) -> None:
+        self._pending_recover.pop((cluster, partner), None)
         if self.live[cluster] == 0:
             self._close_outage(cluster, self.sim.now)
         self.up[cluster, partner] = True
@@ -342,9 +521,32 @@ class FaultRuntime:
         if self.tracer.enabled:
             self.tracer.emit("recover", self.sim.now, cluster=cluster,
                              partner=partner, live=int(self.live[cluster]))
+        if self.listener is not None:
+            self.listener.on_recover(cluster, partner, self.sim.now)
         if self._on_recovery is not None:
             self._on_recovery(cluster, partner)
         self._schedule_crash(cluster, partner)
+
+    def revive(self, cluster: int, partner: int) -> None:
+        """Bring a dead slot up *outside* the natural recovery schedule.
+
+        This is the promotion path: a client has been promoted into the
+        slot, so the pending scripted recovery is cancelled (the slot is
+        no longer waiting for its old host to reboot) and a fresh crash
+        clock starts for the new incumbent.  Cost accounting is the
+        caller's job; this only flips the availability state.
+        """
+        if self.up[cluster, partner]:
+            raise RuntimeError("revive() called on a live partner slot")
+        handle = self._pending_recover.pop((cluster, partner), None)
+        if handle is not None:
+            handle.cancel()
+        if self.live[cluster] == 0:
+            self._close_outage(cluster, self.sim.now)
+        self.up[cluster, partner] = True
+        self.live[cluster] += 1
+        if self.plan.crash is not None:
+            self._schedule_crash(cluster, partner)
 
     def _close_outage(self, cluster: int, end_time: float) -> None:
         started = self._outage_started[cluster]
@@ -357,7 +559,7 @@ class FaultRuntime:
         if self.tracer.enabled:
             self.tracer.emit("outage-end", end_time, cluster=cluster,
                              length=length)
-        clients = int(self.instance.clients[cluster])
+        clients = int(self.cluster_clients[cluster])
         self.metrics.orphaned_client_seconds += clients * length
         self._outage_started[cluster] = -1.0
 
@@ -371,7 +573,7 @@ class FaultRuntime:
             self._downtime[c] += length
             self.metrics.longest_outage = max(self.metrics.longest_outage, length)
             self.metrics.orphaned_client_seconds += (
-                int(self.instance.clients[c]) * length
+                int(self.cluster_clients[c]) * length
             )
             self._outage_started[c] = -1.0
         self.metrics.cluster_downtime = self._downtime.copy()

@@ -30,6 +30,7 @@ measurement harness around this is :mod:`repro.sim.resilience`.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -55,6 +56,7 @@ from .faults import (
     sample_response_edges,
     sampled_propagation,
 )
+from .recovery import RecoveryPolicy, RecoveryRuntime
 
 _QUERY_BYTES = constants.QUERY_MESSAGE_BASE + constants.QUERY_STRING_LENGTH
 _SEND_Q = costs.SEND_QUERY_BASE + costs.SEND_QUERY_PER_BYTE * constants.QUERY_STRING_LENGTH
@@ -93,6 +95,25 @@ class SimulationReport:
         cl = self.client_incoming_bps.sum() + self.client_outgoing_bps.sum()
         return float(sp + cl)
 
+    def to_dict(self) -> dict:
+        """JSON-ready dict; round-trips through :meth:`from_dict`."""
+        payload = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, np.ndarray):
+                value = value.tolist()
+            payload[f.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SimulationReport":
+        kwargs = dict(payload)
+        for name in ("superpeer_incoming_bps", "superpeer_outgoing_bps",
+                     "superpeer_processing_hz", "client_incoming_bps",
+                     "client_outgoing_bps", "client_processing_hz"):
+            kwargs[name] = np.asarray(kwargs[name], dtype=float)
+        return cls(**kwargs)
+
     def relative_error_vs(self, report: LoadReport) -> dict[str, float]:
         """Relative differences of mean super-peer loads vs an MVA report."""
         mva = report.mean_superpeer_load()
@@ -118,6 +139,10 @@ class _State:
         self.client_files = instance.client_files.astype(np.int64).copy()
         self.partner_files = instance.partner_files.astype(np.int64).copy()
         self.cluster_of_client = np.repeat(np.arange(self.n), instance.clients)
+        # The overlay in effect *right now*.  Identical to the instance
+        # graph except while partition healing (sim.recovery) has
+        # redundant links patched in — the one mutable-topology case.
+        self.graph = instance.graph
         self.m_sp = instance.superpeer_connections.astype(float)
         self.m_cl = float(instance.client_connections)
         self.round_robin = np.zeros(self.n, dtype=np.int64)
@@ -364,11 +389,22 @@ def _run_query_faulty(state: _State, rt: FaultRuntime, source_cluster: int,
     st.num_queries += 1
     st.m_queries.add()
     met.queries_attempted += 1
-    ptr = st.instance.client_ptr
-    client_sum = np.add.reduceat(np.append(client_matches, 0), ptr[:-1])
-    client_sum[st.instance.clients == 0] = 0
-    client_hit_count = np.add.reduceat(np.append(client_matches > 0, False), ptr[:-1])
-    client_hit_count[st.instance.clients == 0] = 0
+    if rt.recovery is not None and rt.recovery.rehomed_any:
+        # Clients have moved between clusters: aggregate matches by the
+        # *current* membership instead of the static CSR roster.
+        client_sum = np.bincount(
+            st.cluster_of_client, weights=client_matches, minlength=st.n
+        ).astype(np.int64)
+        client_hit_count = np.bincount(
+            st.cluster_of_client, weights=(client_matches > 0).astype(float),
+            minlength=st.n,
+        ).astype(np.int64)
+    else:
+        ptr = st.instance.client_ptr
+        client_sum = np.add.reduceat(np.append(client_matches, 0), ptr[:-1])
+        client_sum[st.instance.clients == 0] = 0
+        client_hit_count = np.add.reduceat(np.append(client_matches > 0, False), ptr[:-1])
+        client_hit_count[st.instance.clients == 0] = 0
     n_results = client_sum + partner_matches.sum(axis=1)
     k_addr = client_hit_count + (partner_matches > 0).sum(axis=1)
     kv = np.maximum(rt.live, 1).astype(float)
@@ -402,8 +438,9 @@ def _run_query_faulty(state: _State, rt: FaultRuntime, source_cluster: int,
             break
         if attempt + 1 < max_attempts:
             met.retries += 1
-            met.retry_wait_seconds += retry.timeout * retry.backoff ** attempt
-            waited += retry.timeout * retry.backoff ** attempt
+            wait = retry.wait_before(attempt)
+            met.retry_wait_seconds += wait
+            waited += wait
             st.m_retries.add()
             if st.tracer.enabled:
                 st.tracer.emit("retry", st.now, source=s, attempt=attempt + 1)
@@ -440,9 +477,11 @@ def _flood_attempt_faulty(state: _State, rt: FaultRuntime, s: int,
     met = rt.metrics
     now = rt.sim.now if rt.sim is not None else 0.0
     prop, stats = sampled_propagation(
-        st.instance.graph, s, st.instance.config.ttl, rt, now
+        st.graph, s, st.instance.config.ttl, rt, now
     )
     met.flood_messages_lost += stats.lost
+    met.flood_messages_attempted += stats.attempted
+    met.flood_messages_delivered += stats.delivered
     st.m_query_messages.add(float(stats.attempted))
     if stats.lost:
         st.m_flood_drops.add(float(stats.lost))
@@ -642,6 +681,7 @@ def simulate_instance(
     enable_updates: bool = True,
     faults: FaultPlan | None = None,
     fault_metrics: FaultOutcome | None = None,
+    recovery: RecoveryPolicy | None = None,
     tracer: Tracer | None = None,
 ) -> SimulationReport:
     """Simulate ``duration`` seconds of the network's life and measure loads.
@@ -659,6 +699,15 @@ def simulate_instance(
     (or use :func:`repro.sim.resilience.run_resilience`, which wraps
     this with baseline comparison and reporting).
 
+    ``recovery`` (optional, faulty runs only) enables the self-healing
+    layer (:mod:`repro.sim.monitor` + :mod:`repro.sim.recovery`):
+    confirmed failure detections trigger partner promotion, client
+    re-homing and partition healing per the policy, with every repair
+    charged through the cost model.  Recovery randomness lives on its
+    own stream (``derive_rng(seed, "sim", "recovery")``); with
+    ``recovery=None`` no recovery code runs and no stream is consumed,
+    so results are bit-identical to earlier fault-only behaviour.
+
     ``tracer`` (optional) receives ring-buffered
     :class:`~repro.obs.trace.TraceEvent` records — queries, drops,
     retries, crashes/recoveries, outages.  Tracing, like the metrics
@@ -675,6 +724,13 @@ def simulate_instance(
             fault_rng = rng.spawn(1)[0]
         else:
             fault_rng = derive_rng(rng, "sim", "faults")
+        if recovery is not None:
+            # Derived only when enabled: a recovery-off run consumes no
+            # extra spawn/stream and stays bit-identical.
+            if isinstance(rng, np.random.Generator):
+                recovery_rng = rng.spawn(1)[0]
+            else:
+                recovery_rng = derive_rng(rng, "sim", "recovery")
     rng = derive_rng(rng, "sim")
     state = _State(instance, model, rng)
     if tracer is not None:
@@ -691,6 +747,10 @@ def simulate_instance(
         fault_rt.install(
             sim, lambda c, p: _run_partner_churn(state, c, p, rng=fault_rng)
         )
+    recovery_rt: RecoveryRuntime | None = None
+    if fault_rt is not None and recovery is not None:
+        recovery_rt = RecoveryRuntime(recovery, state, fault_rt, recovery_rng)
+        recovery_rt.install(sim)
     config = instance.config
     n = state.n
     users = instance.clients + state.k
@@ -708,7 +768,12 @@ def simulate_instance(
             if fault_rt is None:
                 _run_query(state, cluster, client_index)
             else:
-                _run_query_faulty(state, fault_rt, cluster, client_index)
+                source = cluster
+                if client_index is not None and fault_rt.recovery is not None:
+                    # A re-homed client queries through its current
+                    # super-peer, not its original roster cluster.
+                    source = int(state.cluster_of_client[client_index])
+                _run_query_faulty(state, fault_rt, source, client_index)
         return fire
 
     def schedule_poisson(rate: float, action) -> None:
@@ -733,13 +798,17 @@ def simulate_instance(
                 )
                 if fault_rt is None:
                     _run_update(state, cluster, client_index)
-                elif fault_rt.live[cluster] == 0:
+                    return
+                target = cluster
+                if client_index is not None and fault_rt.recovery is not None:
+                    target = int(state.cluster_of_client[client_index])
+                if fault_rt.live[target] == 0:
                     # Nobody is listening: the delta is lost (the index
                     # is rebuilt wholesale when a partner recovers).
                     fault_rt.metrics.lost_updates += 1
                 else:
-                    _run_update(state, cluster, client_index,
-                                live=int(fault_rt.live[cluster]))
+                    _run_update(state, target, client_index,
+                                live=int(fault_rt.live[target]))
             return fire
 
         for c in range(n):
@@ -800,6 +869,10 @@ def simulate_instance(
                 schedule_partner_leave(c, p)
 
     sim.run_until(duration)
+    if recovery_rt is not None:
+        # Seal recovery fields first: it reads open-outage state that
+        # the fault runtime's finish() consumes.
+        recovery_rt.finish(duration)
     if fault_rt is not None:
         fault_rt.finish(duration)
 

@@ -26,11 +26,19 @@ from ..querymodel.distributions import QueryModel
 from ..topology.builder import NetworkInstance
 from .faults import FaultOutcome, FaultPlan
 from .network import SimulationReport, simulate_instance
+from .recovery import RecoveryPolicy
 
 
 @dataclass(frozen=True)
 class ResilienceReport:
-    """Fault-free baseline vs degraded run of one instance, one plan."""
+    """Fault-free baseline vs degraded run of one instance, one plan.
+
+    When the degraded run carried a :class:`RecoveryPolicy` it is
+    recorded here and the recovery fields (``detection_lag``,
+    ``rehomed_clients``, ``promotions``, ``repair_cost``) are live;
+    without one they are inert zeros and the report reads exactly as it
+    did before the recovery subsystem existed.
+    """
 
     plan: FaultPlan
     duration: float
@@ -38,6 +46,7 @@ class ResilienceReport:
     baseline: SimulationReport
     degraded: SimulationReport
     outcome: FaultOutcome
+    recovery: RecoveryPolicy | None = None
 
     # --- headline degradation metrics ----------------------------------------
 
@@ -78,6 +87,29 @@ class ResilienceReport:
     @property
     def mean_time_to_recover(self) -> float:
         return self.outcome.mean_time_to_recover
+
+    # --- recovery metrics (zero/empty without a RecoveryPolicy) ---------------
+
+    @property
+    def detection_lag(self) -> float:
+        """Mean crash -> confirmed-detection delay, seconds."""
+        return self.outcome.mean_detection_lag
+
+    @property
+    def rehomed_clients(self) -> int:
+        """Orphaned clients moved to surviving super-peers."""
+        return self.outcome.rehomed_clients
+
+    @property
+    def promotions(self) -> int:
+        """Clients promoted into dead partner slots."""
+        return self.outcome.promotions
+
+    @property
+    def repair_cost(self) -> float:
+        """Total repair traffic in bytes (detection + promotion + re-home
+        + healing), also visible per-cluster via ``repair_attribution``."""
+        return self.outcome.repair_cost
 
     @property
     def cluster_availability(self) -> float:
@@ -128,7 +160,59 @@ class ResilienceReport:
             ["deferred joins", out.deferred_joins],
             ["lost updates", out.lost_updates],
         ]
+        if self.recovery is not None:
+            rows.extend([
+                ["recovery policy", self.recovery.describe()],
+                ["failures detected", out.detections],
+                ["false suspicions", out.false_suspicions],
+                ["mean detection lag (s)", f"{self.detection_lag:.1f}"],
+                ["partner promotions", out.promotions],
+                ["clients re-homed", out.rehomed_clients],
+                ["links healed / restored",
+                 f"{out.links_healed} / {out.links_restored}"],
+                ["repair messages", out.repair_messages],
+                ["repair cost (bytes)", f"{self.repair_cost:.0f}"],
+                ["permanently orphaned clients",
+                 out.permanently_orphaned_clients],
+            ])
         return rows
+
+    # --- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict; round-trips through :meth:`from_dict`.
+
+        Everything a chaos/recovery sweep worker needs to ship a report
+        across a process boundary (like manifests do) — plan, policy,
+        both simulation reports, and the full outcome.
+        """
+        return {
+            "plan": self.plan.to_dict(),
+            "duration": self.duration,
+            "partners": self.partners,
+            "baseline": self.baseline.to_dict(),
+            "degraded": self.degraded.to_dict(),
+            "outcome": self.outcome.to_dict(),
+            "recovery": (
+                None if self.recovery is None else self.recovery.to_dict()
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ResilienceReport":
+        recovery = payload.get("recovery")
+        return cls(
+            plan=FaultPlan.from_dict(payload["plan"]),
+            duration=payload["duration"],
+            partners=payload["partners"],
+            baseline=SimulationReport.from_dict(payload["baseline"]),
+            degraded=SimulationReport.from_dict(payload["degraded"]),
+            outcome=FaultOutcome.from_dict(payload["outcome"]),
+            recovery=(
+                None if recovery is None
+                else RecoveryPolicy.from_dict(recovery)
+            ),
+        )
 
 
 def run_resilience(
@@ -140,6 +224,7 @@ def run_resilience(
     baseline: SimulationReport | None = None,
     enable_churn: bool = True,
     enable_updates: bool = True,
+    recovery: RecoveryPolicy | None = None,
     tracer=None,
 ) -> ResilienceReport:
     """Measure an instance's degraded-mode behaviour under ``plan``.
@@ -152,6 +237,10 @@ def run_resilience(
     one instance).  ``tracer`` (a :class:`~repro.obs.trace.Tracer`)
     records the *degraded* run's event stream; the baseline is never
     traced, so the trace reads as "what the faults did".
+
+    ``recovery`` (a :class:`RecoveryPolicy`) arms the self-healing
+    layer for the degraded run only — the baseline never needs it and
+    the comparison then reads as "what the repairs bought".
     """
     if isinstance(rng, np.random.Generator):
         raise TypeError(
@@ -162,7 +251,8 @@ def run_resilience(
     degraded = simulate_instance(
         instance, duration=duration, model=model, rng=rng,
         enable_churn=enable_churn, enable_updates=enable_updates,
-        faults=plan, fault_metrics=outcome, tracer=tracer,
+        faults=plan, fault_metrics=outcome, recovery=recovery,
+        tracer=tracer,
     )
     if tracer is not None and getattr(tracer, "_sink", None) is not None:
         # Streaming tracer: drain the ring so the sink holds the full run
@@ -180,4 +270,5 @@ def run_resilience(
         baseline=baseline,
         degraded=degraded,
         outcome=outcome,
+        recovery=None if plan.is_null else recovery,
     )

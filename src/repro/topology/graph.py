@@ -141,6 +141,51 @@ class OverlayGraph:
         tails = np.repeat(np.arange(self.num_nodes), self.degrees)
         return tails, self.indices
 
+    # --- derived graphs ------------------------------------------------------
+
+    def augment(self, extra_edges: Iterable[tuple[int, int]]) -> "OverlayGraph":
+        """A new graph with ``extra_edges`` added (duplicates collapse).
+
+        The overlay object itself stays immutable; mid-simulation rewiring
+        (partition healing) swaps in an augmented copy and swaps the
+        original back when the repair links are torn down.
+        """
+        edges = list(self.edge_list())
+        edges.extend((int(u), int(v)) for u, v in extra_edges)
+        return OverlayGraph.from_edges(self.num_nodes, edges)
+
+    def subgraph_components(self, mask: np.ndarray) -> list[np.ndarray]:
+        """Connected components of the node-induced subgraph on ``mask``.
+
+        Nodes outside ``mask`` are ignored entirely (as are edges into
+        them).  Returned largest-first, matching
+        :meth:`connected_components`; used by partition healing to find
+        the fragments each side of a cut shatters into.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.num_nodes,):
+            raise ValueError("mask must have one entry per node")
+        label = np.full(self.num_nodes, -1, dtype=np.int64)
+        label[~mask] = -2  # never visit
+        components: list[np.ndarray] = []
+        for start in np.nonzero(mask)[0]:
+            if label[start] != -1:
+                continue
+            comp_id = len(components)
+            frontier = np.array([start], dtype=np.int64)
+            label[start] = comp_id
+            members = [frontier]
+            while frontier.size:
+                spans = [self.neighbors(int(v)) for v in frontier]
+                candidates = np.unique(np.concatenate(spans)) if spans else np.array([], dtype=np.int64)
+                frontier = candidates[label[candidates] == -1]
+                label[frontier] = comp_id
+                if frontier.size:
+                    members.append(frontier)
+            components.append(np.concatenate(members))
+        components.sort(key=len, reverse=True)
+        return components
+
     # --- structure checks ----------------------------------------------------
 
     def validate(self) -> None:

@@ -269,3 +269,86 @@ class TestCrawl:
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+class TestResilienceRecover:
+    def test_recover_flag_prints_recovery_rows(self, capsys):
+        code, out = run_cli(
+            capsys, "--seed", "1", "resilience", "--graph-size", "200",
+            "--cluster-size", "10", "--redundancy", "--duration", "300",
+            "--loss", "0.02", "--recover", "--timeout-beats", "2",
+        )
+        assert code == 0
+        assert "recovery: detect(" in out
+        assert "failures detected" in out
+        assert "partner promotions" in out
+        assert "permanently orphaned clients" in out
+
+    def test_repair_top_prints_hotspots(self, capsys):
+        code, out = run_cli(
+            capsys, "--seed", "1", "resilience", "--graph-size", "200",
+            "--cluster-size", "10", "--redundancy", "--duration", "300",
+            "--loss", "0.02", "--recover", "--timeout-beats", "2",
+            "--repair-top", "3",
+        )
+        assert code == 0
+        assert "load by action class" in out
+        assert "repair" in out
+
+    def test_repair_top_without_recover_explains(self, capsys):
+        code, out = run_cli(
+            capsys, "--seed", "1", "resilience", "--graph-size", "200",
+            "--cluster-size", "10", "--duration", "200", "--loss", "0.02",
+            "--max-retries", "0", "--recovery", "0", "--repair-top", "3",
+        )
+        assert code == 0
+        assert "no repair attribution" in out
+
+    def test_no_recover_omits_recovery_rows(self, capsys):
+        code, out = run_cli(
+            capsys, "--seed", "1", "resilience", "--graph-size", "200",
+            "--cluster-size", "10", "--redundancy", "--duration", "200",
+            "--loss", "0.02",
+        )
+        assert code == 0
+        assert "failures detected" not in out
+
+
+class TestChaos:
+    def test_passing_batch_exits_zero(self, capsys, tmp_path):
+        report_path = tmp_path / "chaos.json"
+        manifest_path = tmp_path / "chaos.manifest.json"
+        code, out = run_cli(
+            capsys, "--seed", "100", "chaos", "--cases", "2",
+            "--duration", "150", "--graph-size", "150",
+            "--report", str(report_path),
+            "--manifest-out", str(manifest_path),
+        )
+        assert code == 0
+        assert "chaos verdict: all invariants held" in out
+        assert report_path.exists() and manifest_path.exists()
+
+        import json
+
+        payload = json.loads(report_path.read_text())
+        assert payload["passed"] is True
+        assert len(payload["cases"]) == 2
+
+    def test_violations_exit_one(self, capsys, monkeypatch):
+        # Force a violation through the invariant checker to prove the
+        # exit code actually wires through.
+        from repro.sim import chaos as chaos_mod
+
+        real = chaos_mod.check_invariants
+
+        def broken(report, instance, policy):
+            return real(report, instance, policy) + ["forced violation"]
+
+        monkeypatch.setattr(chaos_mod, "check_invariants", broken)
+        code, out = run_cli(
+            capsys, "--seed", "100", "chaos", "--cases", "1",
+            "--duration", "120", "--graph-size", "150", "--no-replay",
+        )
+        assert code == 1
+        assert "forced violation" in out
+        assert "violated invariants" in out

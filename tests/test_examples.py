@@ -72,3 +72,12 @@ def test_design_gnutella_scaled(monkeypatch, capsys):
     out = run_example(monkeypatch, capsys, "design_gnutella.py", "1500")
     assert "Figure 11" in out
     assert "improvement" in out
+
+
+@pytest.mark.slow
+def test_self_healing_scaled(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "self_healing.py", "300")
+    assert "fault plan:" in out
+    assert "repair timeline:" in out
+    assert "first repairs:" in out
+    assert "top repair-cost clusters" in out

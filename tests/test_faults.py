@@ -274,3 +274,223 @@ class TestFaultOutcome:
         out = FaultOutcome(recovery_times=[10.0, 30.0])
         assert out.mean_time_to_recover == pytest.approx(20.0)
         assert FaultOutcome().mean_time_to_recover == 0.0
+
+
+class TestFaultPlanValidation:
+    """Construction-time rejection of malformed plans (clear errors)."""
+
+    def test_nan_loss_named_in_error(self):
+        with pytest.raises(ValueError, match="message_loss must not be NaN"):
+            FaultPlan(message_loss=float("nan"))
+
+    def test_negative_loss_named_in_error(self):
+        with pytest.raises(ValueError, match="message_loss"):
+            FaultPlan(message_loss=-0.1)
+
+    def test_slow_nan_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            SlowSpec(fraction=float("nan"))
+
+    def test_overlapping_windows_on_shared_island_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            FaultPlan(partitions=(
+                PartitionWindow(0.0, 100.0, (0, 1)),
+                PartitionWindow(50.0, 150.0, (1, 2)),
+            ))
+
+    def test_overlapping_windows_disjoint_islands_allowed(self):
+        plan = FaultPlan(partitions=(
+            PartitionWindow(0.0, 100.0, (0, 1)),
+            PartitionWindow(50.0, 150.0, (2, 3)),
+        ))
+        assert len(plan.partitions) == 2
+
+    def test_touching_windows_allowed(self):
+        # end == start is not an overlap: the first cut heals exactly
+        # when the second opens.
+        plan = FaultPlan(partitions=(
+            PartitionWindow(0.0, 100.0, (0,)),
+            PartitionWindow(100.0, 150.0, (0,)),
+        ))
+        assert len(plan.partitions) == 2
+
+
+class TestRetryBackoffCeiling:
+    def test_defaults_match_historical_expression(self):
+        # The pre-ceiling code computed timeout * backoff**attempt
+        # inline; the default policy must reproduce it exactly for the
+        # attempt counts the retry loop actually reaches.
+        policy = RetryPolicy(timeout=5.0, max_retries=2)
+        for attempt in range(8):
+            assert policy.wait_before(attempt) == min(
+                5.0 * 2.0 ** attempt, policy.ceiling
+            )
+
+    def test_ceiling_caps_wait(self):
+        policy = RetryPolicy(timeout=10.0, backoff=3.0, ceiling=60.0)
+        waits = [policy.wait_before(a) for a in range(6)]
+        assert waits[0] == 10.0
+        assert waits[1] == 30.0
+        assert all(w <= 60.0 for w in waits)
+        assert waits[3] == 60.0
+
+    def test_huge_attempt_does_not_overflow(self):
+        # 2.0**1100 raises OverflowError if exponentiated naively.
+        policy = RetryPolicy(timeout=5.0)
+        assert policy.wait_before(1100) == policy.ceiling
+        assert policy.wait_before(10**9) == policy.ceiling
+
+    def test_backoff_one_is_flat(self):
+        policy = RetryPolicy(timeout=5.0, backoff=1.0)
+        assert policy.wait_before(0) == 5.0
+        assert policy.wait_before(10**9) == 5.0
+
+    def test_monotone_nondecreasing(self):
+        policy = RetryPolicy(timeout=1.0, backoff=1.7, ceiling=40.0)
+        waits = [policy.wait_before(a) for a in range(20)]
+        assert waits == sorted(waits)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="ceiling"):
+            RetryPolicy(timeout=10.0, ceiling=5.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=5.0, ceiling=float("nan"))
+        with pytest.raises(ValueError):
+            RetryPolicy().wait_before(-1)
+
+
+class TestSerialization:
+    def test_fault_plan_round_trip(self):
+        plan = FaultPlan(
+            message_loss=0.05,
+            crash=CrashSpec(mean_recovery=90.0, lifespan_scale=1.2),
+            partitions=(PartitionWindow(10.0, 50.0, (0, 3)),),
+            slow=SlowSpec(fraction=0.2, factor=3.0),
+            retry=RetryPolicy(timeout=4.0, max_retries=3, backoff=1.5,
+                              ceiling=64.0),
+        )
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone == plan
+        assert clone.to_dict() == plan.to_dict()
+
+    def test_null_plan_round_trip(self):
+        assert FaultPlan.from_dict(FaultPlan().to_dict()).is_null
+
+    def test_fault_outcome_round_trip(self):
+        out = FaultOutcome(
+            queries_attempted=10, queries_failed=2, retries=3,
+            partner_crashes=4, failovers=2, outages=1,
+            recovery_times=[12.5], orphaned_client_seconds=88.0,
+            flood_messages_lost=7, flood_messages_attempted=100,
+            flood_messages_delivered=93, detections=4,
+            detection_lags=[10.0, 12.0], promotions=2,
+            rehomed_clients=3, links_healed=1, links_restored=1,
+            repair_messages=40, repair_bytes=5_000.0,
+            cluster_downtime=np.array([0.0, 12.5]),
+            repair_cluster_units=np.array([1.0, 2.0]),
+        )
+        clone = FaultOutcome.from_dict(out.to_dict())
+        assert clone.to_dict() == out.to_dict()
+        assert clone.queries_attempted == 10
+        assert clone.mean_detection_lag == pytest.approx(11.0)
+        assert np.array_equal(clone.cluster_downtime, out.cluster_downtime)
+        assert np.array_equal(clone.repair_cluster_units,
+                              out.repair_cluster_units)
+        assert clone.repair_cluster_bytes_in is None
+
+
+# --- property-based tests (hypothesis) ---------------------------------------
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@pytest.fixture(scope="module")
+def small_instance():
+    config = Configuration(graph_size=150, cluster_size=10, redundancy=True)
+    return build_instance(config, seed=2)
+
+
+class TestSampledPropagationProperties:
+    """What is provably true of lossy floods, over random plans.
+
+    Note what is *not* claimed: pathwise monotonicity of delivered
+    count between two arbitrary nonzero loss rates.  With ttl > 1 a
+    higher loss rate consumes a different number of uniforms per
+    frontier, so the streams decouple and occasional inversions are
+    real (observed ~0.1% of paired draws).  The couplings below are the
+    ones that hold exactly.
+    """
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        loss=st.floats(min_value=0.0, max_value=0.95, allow_nan=False),
+        ttl=st.integers(min_value=1, max_value=7),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_message_conservation(self, small_instance, loss, ttl, seed):
+        rt = make_runtime(small_instance, FaultPlan(message_loss=loss)
+                          if loss else None, seed=seed)
+        _, stats = sampled_propagation(small_instance.graph, 0, ttl, rt, 0.0)
+        assert stats.attempted == stats.delivered + stats.lost
+        assert stats.delivered >= 0 and stats.lost >= 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        loss=st.floats(min_value=0.001, max_value=0.95, allow_nan=False),
+        ttl=st.integers(min_value=1, max_value=7),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_lossy_never_beats_lossless(self, small_instance, loss, ttl, seed):
+        lossy_rt = make_runtime(
+            small_instance, FaultPlan(message_loss=loss), seed=seed
+        )
+        _, lossy = sampled_propagation(
+            small_instance.graph, 0, ttl, lossy_rt, 0.0
+        )
+        _, free = sampled_propagation(
+            small_instance.graph, 0, ttl, make_runtime(small_instance), 0.0
+        )
+        assert lossy.delivered <= free.delivered
+        assert lossy.attempted <= free.attempted
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        p1=st.floats(min_value=0.0, max_value=0.9, allow_nan=False),
+        delta=st.floats(min_value=0.0, max_value=0.09, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_ttl1_coupling_is_monotone(self, small_instance, p1, delta, seed):
+        # At ttl = 1 both runs sample the identical frontier with the
+        # identical uniforms, so raising the loss rate can only shrink
+        # the delivered set — exact pathwise monotonicity.
+        p2 = p1 + delta
+        delivered = []
+        for p in (p1, p2):
+            plan = FaultPlan(message_loss=p) if p > 0 else None
+            rt = make_runtime(small_instance, plan, seed=seed)
+            _, stats = sampled_propagation(small_instance.graph, 0, 1, rt, 0.0)
+            delivered.append(stats.delivered)
+        assert delivered[1] <= delivered[0]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        source=st.integers(min_value=0, max_value=14),
+        ttl=st.integers(min_value=1, max_value=7),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_zero_loss_bit_identical_to_fault_free(
+        self, small_instance, source, ttl, seed
+    ):
+        # Zero loss must not consume the stream differently from the
+        # deterministic flood — same depths, transmissions, receipts,
+        # regardless of the runtime's seed.
+        rt = make_runtime(small_instance, seed=seed)
+        prop, stats = sampled_propagation(
+            small_instance.graph, source, ttl, rt, 0.0
+        )
+        exact = propagate_query(small_instance.graph, source, ttl)
+        assert np.array_equal(prop.depth, exact.depth)
+        assert np.array_equal(prop.transmissions, exact.transmissions)
+        assert np.array_equal(prop.receipts, exact.receipts)
+        assert stats.lost == 0

@@ -1,0 +1,141 @@
+"""Heartbeat/timeout failure detection (``repro.sim.monitor``)."""
+
+import numpy as np
+import pytest
+
+from repro.config import Configuration
+from repro.sim.engine import Simulator
+from repro.sim.faults import CrashSpec, FaultPlan, FaultRuntime
+from repro.sim.monitor import DetectorSpec, FailureDetector
+from repro.topology.builder import build_instance
+
+
+@pytest.fixture(scope="module")
+def instance():
+    config = Configuration(graph_size=200, cluster_size=10, redundancy=True)
+    return build_instance(config, seed=5)
+
+
+def make_detector(instance, spec=None, seed=0, on_confirmed=None,
+                  on_false_positive=None):
+    sim = Simulator()
+    # A crash spec parked far beyond the test horizon: the runtime has
+    # the machinery armed (so tests can inject crashes by hand) but no
+    # spontaneous crash or scripted recovery ever fires on its own.
+    plan = FaultPlan(crash=CrashSpec(mean_recovery=1e9, lifespan_scale=1e9))
+    rt = FaultRuntime(plan, instance, np.random.default_rng(seed))
+    rt.install(sim, None)
+    detector = FailureDetector(
+        spec or DetectorSpec(), rt, np.random.default_rng(seed + 1),
+        on_confirmed or (lambda c, p: None), on_false_positive,
+    )
+    detector.install(sim)
+    return sim, rt, detector
+
+
+class TestDetectorSpec:
+    def test_lag_window(self):
+        spec = DetectorSpec(heartbeat_interval=4.0, timeout_beats=3)
+        assert spec.min_lag == 12.0
+        assert spec.max_lag == 16.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DetectorSpec(heartbeat_interval=0.0)
+        with pytest.raises(ValueError):
+            DetectorSpec(timeout_beats=0)
+        with pytest.raises(ValueError):
+            DetectorSpec(false_positive_rate=1.0)
+        with pytest.raises(ValueError):
+            DetectorSpec(heartbeat_interval=float("nan"))
+
+    def test_round_trip(self):
+        spec = DetectorSpec(heartbeat_interval=3.0, timeout_beats=2,
+                            false_positive_rate=0.01)
+        assert DetectorSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestFailureDetection:
+    def test_detection_lag_within_window(self, instance):
+        confirmed = []
+        spec = DetectorSpec(heartbeat_interval=5.0, timeout_beats=2)
+        sim, rt, _ = make_detector(
+            instance, spec, on_confirmed=lambda c, p: confirmed.append((c, p))
+        )
+        sim.schedule(10.0, rt._crash, 3, 0)
+        sim.run_until(100.0)
+        assert confirmed == [(3, 0)]
+        assert rt.metrics.detections == 1
+        lag = rt.metrics.detection_lags[0]
+        assert spec.min_lag <= lag < spec.max_lag
+
+    def test_recovery_before_confirmation_cancels(self, instance):
+        confirmed = []
+        spec = DetectorSpec(heartbeat_interval=5.0, timeout_beats=3)
+        sim, rt, _ = make_detector(
+            instance, spec, on_confirmed=lambda c, p: confirmed.append((c, p))
+        )
+        # Crash at t=10, natural recovery at t=12 — inside min_lag, so
+        # the detector must never confirm a partner that already healed.
+        sim.schedule(10.0, rt._crash, 3, 0)
+        sim.schedule(12.0, rt._recover, 3, 0)
+        sim.run_until(60.0)
+        assert confirmed == []
+        assert rt.metrics.detections == 0
+
+    def test_each_crash_detected_once(self, instance):
+        confirmed = []
+        sim, rt, _ = make_detector(
+            instance, DetectorSpec(heartbeat_interval=2.0, timeout_beats=1),
+            on_confirmed=lambda c, p: confirmed.append((c, p)),
+        )
+        sim.schedule(5.0, rt._crash, 0, 0)
+        sim.schedule(5.0, rt._crash, 0, 1)
+        sim.schedule(9.0, rt._crash, 4, 1)
+        sim.run_until(50.0)
+        assert sorted(confirmed) == [(0, 0), (0, 1), (4, 1)]
+        assert rt.metrics.detections == 3
+
+    def test_false_positives_probe_live_partners(self, instance):
+        suspects = []
+        spec = DetectorSpec(heartbeat_interval=1.0, timeout_beats=1,
+                            false_positive_rate=0.05)
+        sim, rt, _ = make_detector(
+            instance, spec, seed=3,
+            on_false_positive=lambda c, p: suspects.append((c, p)),
+        )
+        sim.run_until(200.0)
+        assert rt.metrics.false_suspicions == len(suspects) > 0
+        assert rt.metrics.detections == 0      # nobody actually crashed
+        for cluster, partner in suspects:
+            assert rt.up[cluster, partner]     # only live slots suspected
+
+    def test_no_false_positives_at_zero_rate(self, instance):
+        sim, rt, detector = make_detector(
+            instance, DetectorSpec(false_positive_rate=0.0), seed=3
+        )
+        sim.run_until(200.0)
+        assert rt.metrics.false_suspicions == 0
+        assert detector._sweep is None         # no sweep was scheduled
+
+
+class TestRevive:
+    def test_revive_raises_on_live_slot(self, instance):
+        sim, rt, _ = make_detector(instance)
+        with pytest.raises(RuntimeError):
+            rt.revive(0, 0)
+
+    def test_revive_cancels_natural_recovery(self, instance):
+        sim, rt, _ = make_detector(instance)
+        sim.schedule(1.0, rt._crash, 2, 0)
+        sim.schedule(1.0, rt._crash, 2, 1)
+        sim.run_until(2.0)
+        assert rt.live[2] == 0
+        rt.revive(2, 0)
+        assert rt.up[2, 0] and rt.live[2] == 1
+        assert (2, 0) not in rt._pending_recover
+        # The outage closed at the revive instant.
+        assert rt.metrics.recovery_times
+        sim.run_until(500.0)
+        # The cancelled scripted recovery never fires a second "up".
+        assert rt.live[2] <= 2

@@ -1,0 +1,272 @@
+"""The self-healing layer: promotion, re-homing, partition healing.
+
+Neutrality contract first: with ``recovery=None`` the simulator must be
+bit-identical to the pre-recovery code path.  Then each repair rule is
+exercised in isolation (promote-only, rehome-only, heal-only) and the
+combined policy's bounded-recovery claim is asserted end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import Configuration
+from repro.sim.faults import (
+    CrashSpec,
+    FaultOutcome,
+    FaultPlan,
+    PartitionWindow,
+    RetryPolicy,
+)
+from repro.sim.monitor import DetectorSpec
+from repro.sim.network import simulate_instance
+from repro.sim.recovery import RecoveryPolicy, repair_attribution
+from repro.sim.resilience import run_resilience
+from repro.topology.builder import build_instance
+
+DURATION = 600.0
+SEED = 3
+
+CRASH_PLAN = FaultPlan(
+    message_loss=0.02,
+    crash=CrashSpec(mean_recovery=120.0),
+    retry=RetryPolicy(timeout=5.0, max_retries=2),
+)
+PARTITION_PLAN = FaultPlan(
+    partitions=(PartitionWindow(100.0, 300.0, (0, 1, 2, 3)),),
+)
+DETECTOR = DetectorSpec(heartbeat_interval=5.0, timeout_beats=2)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    config = Configuration(graph_size=300, cluster_size=10, redundancy=True)
+    return build_instance(config, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def k1_instance():
+    config = Configuration(graph_size=300, cluster_size=10, redundancy=False)
+    return build_instance(config, seed=SEED)
+
+
+def loads(report):
+    return [
+        report.superpeer_incoming_bps, report.superpeer_outgoing_bps,
+        report.superpeer_processing_hz, report.client_incoming_bps,
+        report.client_outgoing_bps, report.client_processing_hz,
+    ]
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecoveryPolicy(promotion_time=-1.0)
+        with pytest.raises(ValueError):
+            RecoveryPolicy(rehome_time=float("nan"))
+
+    def test_round_trip(self):
+        policy = RecoveryPolicy(
+            detector=DetectorSpec(heartbeat_interval=3.0, timeout_beats=2,
+                                  false_positive_rate=0.001),
+            promote=False, rehome=True, heal_partitions=False,
+            promotion_time=7.0, rehome_time=1.5,
+        )
+        assert RecoveryPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_describe_names_armed_rules(self):
+        assert "promote" in RecoveryPolicy().describe()
+        text = RecoveryPolicy(promote=False, rehome=False,
+                              heal_partitions=False).describe()
+        assert "detect-only" in text
+
+
+class TestNeutrality:
+    """Recovery is pay-for-what-you-use."""
+
+    def test_recovery_none_is_default_path(self, instance):
+        out_a, out_b = FaultOutcome(), FaultOutcome()
+        a = simulate_instance(instance, duration=DURATION, rng=SEED,
+                              faults=CRASH_PLAN, fault_metrics=out_a)
+        b = simulate_instance(instance, duration=DURATION, rng=SEED,
+                              faults=CRASH_PLAN, fault_metrics=out_b,
+                              recovery=None)
+        for x, y in zip(loads(a), loads(b)):
+            assert np.array_equal(x, y)
+        assert out_a.to_dict() == out_b.to_dict()
+        assert out_a.repair_cluster_units is None
+
+    def test_null_plan_ignores_recovery_policy(self, instance):
+        # Under a null plan there is nothing to recover from: the report
+        # drops the policy and the degraded run is the baseline run.
+        report = run_resilience(instance, FaultPlan(), duration=DURATION,
+                                rng=SEED, recovery=RecoveryPolicy())
+        assert report.recovery is None
+        assert report.outcome.detections == 0
+        for x, y in zip(loads(report.baseline), loads(report.degraded)):
+            assert np.array_equal(x, y)
+
+    def test_deterministic_replay(self, instance):
+        policy = RecoveryPolicy(detector=DETECTOR)
+        a = run_resilience(instance, CRASH_PLAN, duration=DURATION, rng=SEED,
+                           recovery=policy)
+        b = run_resilience(instance, CRASH_PLAN, duration=DURATION, rng=SEED,
+                           baseline=a.baseline, recovery=policy)
+        assert a.outcome.to_dict() == b.outcome.to_dict()
+        for x, y in zip(loads(a.degraded), loads(b.degraded)):
+            assert np.array_equal(x, y)
+
+
+class TestPromotion:
+    @pytest.fixture(scope="class")
+    def healed(self, instance):
+        return run_resilience(
+            instance, CRASH_PLAN, duration=DURATION, rng=SEED,
+            recovery=RecoveryPolicy(detector=DETECTOR, rehome=False),
+        )
+
+    def test_detections_and_promotions_happen(self, healed):
+        out = healed.outcome
+        assert out.detections > 0
+        assert out.promotions > 0
+        assert out.rehomed_clients == 0          # rehome disarmed
+
+    def test_detection_lag_in_window(self, healed):
+        for lag in healed.outcome.detection_lags:
+            assert DETECTOR.min_lag <= lag < DETECTOR.max_lag
+
+    def test_ttr_bounded_by_detect_plus_repair(self, healed):
+        bound = DETECTOR.max_lag + healed.recovery.promotion_time + 1e-6
+        for ttr in healed.outcome.recovery_times:
+            assert ttr <= bound
+
+    def test_no_permanent_orphans(self, healed):
+        assert healed.outcome.permanently_orphaned_clients == 0
+
+    def test_promotions_charge_repair_cost(self, healed):
+        out = healed.outcome
+        assert out.repair_messages > 0
+        assert out.repair_bytes > 0
+        assert out.repair_cluster_units is not None
+        assert float(out.repair_cluster_units.sum()) > 0
+
+    def test_beats_unaided_run(self, healed, instance):
+        unaided = run_resilience(instance, CRASH_PLAN, duration=DURATION,
+                                 rng=SEED, baseline=healed.baseline)
+        assert (healed.orphaned_client_seconds
+                < unaided.orphaned_client_seconds)
+
+
+class TestRehoming:
+    @pytest.fixture(scope="class")
+    def rehomed(self, k1_instance):
+        # k = 1: a single crash darkens the cluster, and with promotion
+        # disarmed the only remedy is moving the orphans out.
+        return run_resilience(
+            k1_instance, CRASH_PLAN, duration=DURATION, rng=SEED,
+            recovery=RecoveryPolicy(detector=DETECTOR, promote=False),
+        )
+
+    def test_clients_move(self, rehomed):
+        out = rehomed.outcome
+        assert out.rehome_events > 0
+        assert out.rehomed_clients > 0
+        assert out.promotions == 0               # promote disarmed
+
+    def test_no_permanent_orphans(self, rehomed):
+        assert rehomed.outcome.permanently_orphaned_clients == 0
+
+    def test_rehoming_charges_join_costs(self, rehomed):
+        assert rehomed.outcome.repair_bytes > 0
+
+    def test_orphan_seconds_below_unaided(self, rehomed, k1_instance):
+        unaided = run_resilience(k1_instance, CRASH_PLAN, duration=DURATION,
+                                 rng=SEED, baseline=rehomed.baseline)
+        assert (rehomed.orphaned_client_seconds
+                < unaided.orphaned_client_seconds)
+
+
+class TestPartitionHealing:
+    @pytest.fixture(scope="class")
+    def healed(self, instance):
+        return run_resilience(
+            instance, PARTITION_PLAN, duration=DURATION, rng=SEED,
+            recovery=RecoveryPolicy(detector=DETECTOR),
+        )
+
+    def test_links_healed_and_restored(self, healed):
+        out = healed.outcome
+        assert out.links_healed > 0
+        assert out.links_restored == out.links_healed
+        assert out.overlay_restored
+
+    def test_healing_disabled_means_no_links(self, instance):
+        report = run_resilience(
+            instance, PARTITION_PLAN, duration=DURATION, rng=SEED,
+            recovery=RecoveryPolicy(detector=DETECTOR,
+                                    heal_partitions=False),
+        )
+        assert report.outcome.links_healed == 0
+        assert report.outcome.overlay_restored
+
+    def test_healing_recovers_cross_cut_queries(self, healed, instance):
+        unaided = run_resilience(instance, PARTITION_PLAN, duration=DURATION,
+                                 rng=SEED, baseline=healed.baseline)
+        # Bridging the cut can only help reachability.
+        assert healed.query_success_rate >= unaided.query_success_rate
+
+
+class TestRepairAttribution:
+    def test_raises_without_repair_tables(self, instance):
+        with pytest.raises(ValueError):
+            repair_attribution(instance, FaultOutcome(), DURATION)
+
+    def test_rates_match_outcome_totals(self, instance):
+        report = run_resilience(
+            instance, CRASH_PLAN, duration=DURATION, rng=SEED,
+            recovery=RecoveryPolicy(detector=DETECTOR),
+        )
+        out = report.outcome
+        attribution = repair_attribution(instance, out, DURATION)
+        by_action = attribution.by_action()
+        assert by_action["repair"]["processing_hz"] > 0
+        for action in ("query", "response", "join", "update"):
+            assert by_action[action]["processing_hz"] == 0
+        # The per-cluster tables meter the super-peer side only (per-
+        # partner means); outcome.repair_bytes additionally counts the
+        # client-side uploads, so the scaled table total must be a
+        # positive lower bound of the outcome total.
+        sp_bytes = float(
+            (out.repair_cluster_bytes_in + out.repair_cluster_bytes_out).sum()
+        ) * instance.partners
+        assert 0 < sp_bytes <= out.repair_bytes
+
+    def test_hotspots_are_rankable(self, instance):
+        report = run_resilience(
+            instance, CRASH_PLAN, duration=DURATION, rng=SEED,
+            recovery=RecoveryPolicy(detector=DETECTOR),
+        )
+        attribution = repair_attribution(instance, report.outcome, DURATION)
+        top = attribution.top_superpeers(top=5)
+        assert top and top[0]["dominant_action"] == "repair"
+
+
+class TestReportSurface:
+    def test_recovery_rows_only_with_policy(self, instance):
+        plain = run_resilience(instance, CRASH_PLAN, duration=DURATION,
+                               rng=SEED)
+        armed = run_resilience(instance, CRASH_PLAN, duration=DURATION,
+                               rng=SEED, baseline=plain.baseline,
+                               recovery=RecoveryPolicy(detector=DETECTOR))
+        plain_labels = [row[0] for row in plain.summary_rows()]
+        armed_labels = [row[0] for row in armed.summary_rows()]
+        assert "recovery policy" not in plain_labels
+        assert "recovery policy" in armed_labels
+        assert plain_labels == armed_labels[: len(plain_labels)]
+
+    def test_recovery_metrics_inert_without_policy(self, instance):
+        report = run_resilience(instance, CRASH_PLAN, duration=DURATION,
+                                rng=SEED)
+        assert report.detection_lag == 0.0
+        assert report.promotions == 0
+        assert report.rehomed_clients == 0
+        assert report.repair_cost == 0.0

@@ -143,3 +143,43 @@ class TestRedundancyDominance:
         assert "failovers absorbed" in text
         assert "super-peer (degraded)" in text
         assert "load inflation" in text
+
+
+class TestSerialization:
+    def test_report_round_trips_through_json(self, crash_reports):
+        import json
+
+        from repro.sim.resilience import ResilienceReport
+
+        report = crash_reports[2]
+        payload = json.loads(json.dumps(report.to_dict()))
+        clone = ResilienceReport.from_dict(payload)
+        assert clone.plan == report.plan
+        assert clone.duration == report.duration
+        assert clone.partners == report.partners
+        assert clone.recovery == report.recovery is None
+        assert clone.outcome.to_dict() == report.outcome.to_dict()
+        for name in LOAD_FIELDS:
+            assert np.array_equal(getattr(clone.degraded, name),
+                                  getattr(report.degraded, name))
+            assert np.array_equal(getattr(clone.baseline, name),
+                                  getattr(report.baseline, name))
+        # Derived metrics survive the trip exactly.
+        assert clone.query_success_rate == report.query_success_rate
+        assert clone.results_lost_fraction == report.results_lost_fraction
+        assert clone.to_dict() == payload
+
+    def test_recovery_policy_survives_round_trip(self, instance):
+        from repro.sim.monitor import DetectorSpec
+        from repro.sim.recovery import RecoveryPolicy
+        from repro.sim.resilience import ResilienceReport
+
+        policy = RecoveryPolicy(
+            detector=DetectorSpec(heartbeat_interval=4.0, timeout_beats=2)
+        )
+        report = run_resilience(instance, CRASH_PLAN, duration=400.0, rng=5,
+                                recovery=policy)
+        clone = ResilienceReport.from_dict(report.to_dict())
+        assert clone.recovery == policy
+        assert clone.promotions == report.promotions
+        assert clone.repair_cost == report.repair_cost
