@@ -24,7 +24,11 @@ from repro.config import Configuration, GraphType
 from repro.core.load import evaluate_instance
 from repro.obs.manifest import manifest_for, peak_rss_bytes
 from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.sim.faults import CrashSpec, FaultPlan
+from repro.sim.monitor import DetectorSpec
 from repro.sim.network import simulate_instance
+from repro.sim.recovery import RecoveryPolicy
+from repro.sim.resilience import run_resilience
 from repro.topology.builder import build_instance
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -35,6 +39,28 @@ HISTORY_FILE = REPO_ROOT / "BENCH_history.jsonl"
 SEED = 0
 SIM_SEED = 1
 SIM_DURATION = 600.0
+
+#: The ``sim_gossip`` phase: a fixed-size faulty run under the gossip
+#: membership detector.  Deliberately independent of ``graph_size`` —
+#: the phase times the gossip control plane (heartbeat sweeps, rumor
+#: piggybacking, corroborated repair), not topology scaling, and its
+#: counters (rumors, suspicions, refutations) are seeded-deterministic.
+GOSSIP_SEED = 2
+GOSSIP_GRAPH_SIZE = 200
+GOSSIP_DURATION = 240.0
+
+
+def gossip_workload():
+    """One gossip-detector resilience run at fixed seeds."""
+    instance = build_instance(
+        Configuration(graph_size=GOSSIP_GRAPH_SIZE, cluster_size=10,
+                      redundancy=True),
+        seed=GOSSIP_SEED,
+    )
+    plan = FaultPlan(message_loss=0.03, crash=CrashSpec(mean_recovery=90.0))
+    policy = RecoveryPolicy(detector=DetectorSpec(mode="gossip"))
+    return run_resilience(instance, plan, duration=GOSSIP_DURATION,
+                          rng=GOSSIP_SEED, recovery=policy)
 
 #: Worker processes for the ``sweep_parallel`` phase.  Fixed (not
 #: cpu_count-derived) so the workload — and its deterministic counters —
@@ -101,6 +127,8 @@ def run_perf_workload(
             sampled = evaluate_instance(instance, max_sources=50, rng=seed)
         with manifest.phase("sim_message_level"):
             sim = simulate_instance(instance, duration=sim_duration, rng=sim_seed)
+        with manifest.phase("sim_gossip"):
+            gossip = gossip_workload()
     # The sweep phases run outside use_registry: run_sweep collects into
     # its own per-point registries and returns the merged result.
     spec = perf_sweep_spec(graph_size)
@@ -139,6 +167,11 @@ def run_perf_workload(
         "sim_virtual_seconds_per_wall_second": (
             sim_duration / sim_seconds if sim_seconds > 0 else None
         ),
+        # Gossip control-plane counters: seeded-deterministic, gated
+        # strictly like every other count (bench_gate._COUNT_FIELDS).
+        "gossip_rumors": gossip.outcome.gossip_rumors_sent,
+        "gossip_suspicions": gossip.outcome.gossip_suspicions,
+        "gossip_refutations": gossip.outcome.gossip_refutations,
         "sweep_points": len(sweep_serial.points),
         "sweep_jobs": SWEEP_JOBS,
         "sweep_parallel_speedup": (
@@ -156,6 +189,7 @@ def run_perf_workload(
         "exact": exact,
         "sampled": sampled,
         "sim": sim,
+        "gossip": gossip,
         "sweep_serial": sweep_serial,
         "sweep_parallel": sweep_parallel,
     }

@@ -46,7 +46,8 @@ DEFAULT_COUNT_RTOL = 1e-6
 HISTORY_LIMIT = 200
 
 #: Scalar payload fields that must match the baseline like counters do.
-_COUNT_FIELDS = ("num_clusters", "sim_events", "sim_queries", "sweep_points")
+_COUNT_FIELDS = ("num_clusters", "sim_events", "sim_queries", "sweep_points",
+                 "gossip_rumors", "gossip_suspicions", "gossip_refutations")
 
 #: Payload fields that must be identical for the comparison to be valid.
 _IDENTITY_FIELDS = ("schema", "seed", "sim_seed", "scale", "graph_size",

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Oracle vs gossip failure detection under churn and message loss.
+
+The oracle detector observes every crash the instant its heartbeats
+time out and never pays a byte for the privilege — exactly the global
+observer a decentralized overlay does not have.  The gossip membership
+layer replaces it: super-peers learn about failures from heartbeat
+probes, piggybacked rumor digests and anti-entropy exchanges, and only
+repair a partner after m-of-n monitors corroborate the suspicion.
+
+This walkthrough sweeps churn (partner lifespan scale: lower = faster
+churn) against per-hop message loss, running every cell once under each
+detector on the same instance from the same seed, and tabulates what
+decentralization actually costs:
+
+* detection lag — gossip pays suspicion timeout + corroboration on top
+  of the heartbeat phase;
+* false suspicions — loss and partitions fabricate missed heartbeats;
+  every one must be refuted (incarnation bump), never repaired;
+* control-plane cost — repair bytes plus, for gossip, the membership
+  traffic itself (probes, reports, digests, refutations).
+
+Run:  python examples/gossip_membership.py [graph_size]
+"""
+
+import sys
+
+from repro import Configuration, DetectorSpec, FaultPlan, RecoveryPolicy, run_resilience
+from repro.sim.faults import CrashSpec
+from repro.sim.gossip import GossipSpec
+from repro.topology.builder import build_instance
+
+
+def main() -> None:
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    duration = 600.0
+    seed = 11
+
+    config = Configuration(graph_size=size, cluster_size=10, redundancy=True)
+    instance = build_instance(config, seed=seed)
+    print(instance.describe())
+    print(f"simulating {duration:.0f}s per cell, seed {seed}")
+
+    detectors = {
+        "oracle": DetectorSpec(heartbeat_interval=2.0, timeout_beats=2),
+        "gossip": DetectorSpec(
+            mode="gossip",
+            gossip=GossipSpec(probe_interval=2.0, suspect_timeout=6.0,
+                              corroboration_m=2, monitors_n=4,
+                              corroboration_timeout=6.0),
+        ),
+    }
+    churn_levels = {"slow churn": 1.5, "fast churn": 0.6}
+    loss_levels = {"clean": 0.0, "lossy": 0.08}
+
+    header = (f"{'cell':<24} {'detector':<8} {'lag p50':>8} {'lag p90':>8} "
+              f"{'false susp':>10} {'refuted':>8} {'repair KB':>10} "
+              f"{'gossip KB':>10}")
+    print()
+    print(header)
+    print("-" * len(header))
+
+    for churn_label, lifespan_scale in churn_levels.items():
+        for loss_label, loss in loss_levels.items():
+            plan = FaultPlan(
+                message_loss=loss,
+                crash=CrashSpec(mean_recovery=90.0,
+                                lifespan_scale=lifespan_scale),
+            )
+            cell = f"{churn_label} + {loss_label} (loss={loss:g})"
+            baseline = None
+            for name, detector in detectors.items():
+                report = run_resilience(
+                    instance, plan, duration=duration, rng=seed,
+                    baseline=baseline,
+                    recovery=RecoveryPolicy(detector=detector),
+                )
+                baseline = report.baseline
+                out = report.outcome
+                dist = report.detection_lag_distribution()
+                print(f"{cell:<24} {name:<8} "
+                      f"{dist.get('p50', 0.0):>8.1f} "
+                      f"{dist.get('p90', 0.0):>8.1f} "
+                      f"{out.false_suspicions:>10d} "
+                      f"{out.gossip_refutations:>8d} "
+                      f"{out.repair_bytes / 1e3:>10.0f} "
+                      f"{out.gossip_bytes / 1e3:>10.0f}")
+        print()
+
+    print("reading the table:")
+    print("  - gossip detection lag sits above the oracle's by roughly the")
+    print("    suspicion timeout plus the m-of-n corroboration window;")
+    print("  - loss fabricates false suspicions under gossip; the refuted")
+    print("    column shows every one dying by incarnation bump — repairs")
+    print("    (and their cost) only ever follow corroborated declarations;")
+    print("  - the gossip KB column is the price of decentralization: the")
+    print("    membership control plane itself, charged through the same")
+    print("    Eq. 1-4 cost model as queries, joins and repairs.")
+
+
+if __name__ == "__main__":
+    main()

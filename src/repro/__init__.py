@@ -59,11 +59,13 @@ from .sim import (
     CrashSpec,
     DetectorSpec,
     FaultPlan,
+    GossipSpec,
     PartitionWindow,
     RecoveryPolicy,
     ResilienceReport,
     RetryPolicy,
     SlowSpec,
+    gossip_attribution,
     repair_attribution,
     run_chaos,
     run_resilience,
@@ -145,7 +147,9 @@ __all__ = [
     "ChaosSpec",
     "ChaosReport",
     "DetectorSpec",
+    "GossipSpec",
     "RecoveryPolicy",
+    "gossip_attribution",
     "repair_attribution",
     "run_chaos",
     "run_resilience",

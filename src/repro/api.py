@@ -55,6 +55,7 @@ from .core.analysis import ConfigurationSummary, evaluate_configuration
 from .obs.manifest import RunManifest, manifest_for
 from .obs.metrics import MetricsRegistry, use_registry
 from .sim.chaos import ChaosReport, ChaosSpec, run_chaos  # noqa: F401 - facade
+from .sim.gossip import GossipSpec  # noqa: F401 - facade
 from .stats.rng import derive_seed
 
 __all__ = [
@@ -65,6 +66,7 @@ __all__ = [
     "run_sweep",
     "ChaosSpec",
     "ChaosReport",
+    "GossipSpec",
     "run_chaos",
 ]
 

@@ -305,6 +305,7 @@ def cmd_resilience(args: argparse.Namespace) -> int:
                 heartbeat_interval=args.heartbeat,
                 timeout_beats=args.timeout_beats,
                 false_positive_rate=args.false_positive_rate,
+                mode=args.detector,
             ),
             promote=not args.no_promote,
             rehome=not args.no_rehome,
@@ -330,11 +331,18 @@ def cmd_resilience(args: argparse.Namespace) -> int:
             print("\nno repair attribution: recovery never ran "
                   "(pass --recover with a non-null fault plan)")
         else:
+            attribution = repair_attribution(
+                instance, report.outcome, args.duration
+            )
+            if report.outcome.gossip_cluster_units is not None:
+                from .sim.gossip import gossip_attribution
+
+                attribution = gossip_attribution(
+                    instance, report.outcome, args.duration,
+                    attribution=attribution,
+                )
             print()
-            print(render_attribution(
-                repair_attribution(instance, report.outcome, args.duration),
-                top=args.repair_top,
-            ))
+            print(render_attribution(attribution, top=args.repair_top))
     return 0
 
 
@@ -352,6 +360,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         duration=args.duration,
         recovery=not args.no_recovery,
         replay=not args.no_replay,
+        detector=args.detector,
     )
     result = run_chaos(spec, jobs=args.jobs)
     get_registry().absorb(result.registry)
@@ -527,8 +536,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="arm the self-healing layer (failure detection, "
                         "partner promotion, client re-homing, partition "
                         "healing) for the degraded run")
+    p.add_argument("--detector", choices=("oracle", "gossip"), default="oracle",
+                   help="failure-detection mode: 'oracle' observes crashes "
+                        "directly; 'gossip' learns them from in-band "
+                        "membership rumors with m-of-n corroboration")
     p.add_argument("--heartbeat", type=float, default=5.0,
-                   help="failure-detector heartbeat interval in seconds")
+                   help="failure-detector heartbeat interval in seconds "
+                        "(oracle mode)")
     p.add_argument("--timeout-beats", type=int, default=3,
                    help="missed heartbeats before a partner is declared dead")
     p.add_argument("--false-positive-rate", type=float, default=0.0,
@@ -566,6 +580,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-recovery", action="store_true",
                    help="run the plans without a recovery policy (skips the "
                         "recovery invariants)")
+    p.add_argument("--detector", choices=("oracle", "gossip"), default="oracle",
+                   help="failure-detection mode for the generated recovery "
+                        "policies")
     p.add_argument("--no-replay", action="store_true",
                    help="skip the bit-identical replay check (faster)")
     p.add_argument("--report", metavar="PATH", default=None,

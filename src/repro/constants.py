@@ -65,6 +65,25 @@ RESPONSE_ADDRESS_SIZE = 28
 #: Size of an Update message (fixed; carries one file's metadata delta).
 UPDATE_MESSAGE_SIZE = 152
 
+# --- Gossip membership control plane -----------------------------------------
+# Message sizes of the decentralized failure detector (``repro.sim.gossip``).
+# Sized like the other Table 2 control messages: a transport header plus a
+# few fixed fields (peer id, incarnation, state).
+
+#: One heartbeat ping (or its ack) between a monitor and a partner slot.
+GOSSIP_PROBE_BYTES = 24
+
+#: Fixed header of a rumor digest piggybacked on an overlay message.
+GOSSIP_DIGEST_BASE = 16
+
+#: One membership rumor entry inside a digest: (cluster, partner,
+#: incarnation, state) plus framing.
+GOSSIP_RUMOR_SIZE = 24
+
+#: A dead-node suspicion report unicast between monitors (carries the
+#: suspected slot, incarnation, and the reporting monitor's evidence).
+GOSSIP_REPORT_BYTES = 48
+
 # --- Derived sanity values ---------------------------------------------------
 
 #: Average total size of a query message (82 + 12), quoted in Section 4.1

@@ -38,7 +38,7 @@ from .. import constants
 from ..units import bytes_per_second_to_bps, units_per_second_to_hz
 
 #: Attribution dimensions (fixed vocabulary; exports rely on the order).
-ACTIONS = ("query", "response", "join", "update", "repair")
+ACTIONS = ("query", "response", "join", "update", "repair", "gossip")
 RESOURCES = ("in_bw", "out_bw", "proc")
 
 _QUERY_BYTES = constants.QUERY_MESSAGE_BASE + constants.QUERY_STRING_LENGTH

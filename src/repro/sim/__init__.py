@@ -27,8 +27,15 @@ from .faults import (
 )
 from .resilience import ResilienceReport, run_resilience
 from .monitor import DetectorSpec, FailureDetector
+from .gossip import GossipDetector, GossipSpec, gossip_attribution
 from .recovery import RecoveryPolicy, RecoveryRuntime, repair_attribution
-from .chaos import ChaosReport, ChaosSpec, generate_fault_plan, run_chaos
+from .chaos import (
+    ChaosCaseError,
+    ChaosReport,
+    ChaosSpec,
+    generate_fault_plan,
+    run_chaos,
+)
 
 __all__ = [
     "Simulator",
@@ -53,10 +60,14 @@ __all__ = [
     "run_resilience",
     "DetectorSpec",
     "FailureDetector",
+    "GossipDetector",
+    "GossipSpec",
+    "gossip_attribution",
     "RecoveryPolicy",
     "RecoveryRuntime",
     "repair_attribution",
     "ChaosSpec",
+    "ChaosCaseError",
     "ChaosReport",
     "generate_fault_plan",
     "run_chaos",

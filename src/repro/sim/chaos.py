@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import hashlib
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -40,12 +40,14 @@ from ..obs.metrics import MetricsRegistry, use_registry
 from ..stats.rng import derive_rng
 from ..topology.builder import build_instance
 from .faults import CrashSpec, FaultPlan, PartitionWindow, RetryPolicy, SlowSpec
+from .gossip import GossipSpec
 from .monitor import DetectorSpec
 from .recovery import RecoveryPolicy
 from .resilience import ResilienceReport, run_resilience
 
 __all__ = [
     "ChaosSpec",
+    "ChaosCaseError",
     "ChaosCaseResult",
     "ChaosReport",
     "generate_fault_plan",
@@ -53,6 +55,16 @@ __all__ = [
     "run_chaos",
     "run_chaos_case",
 ]
+
+
+class ChaosCaseError(RuntimeError):
+    """A chaos case crashed; carries the failing seed and spec.
+
+    Raised by the pool worker instead of letting the original exception
+    propagate as a bare pickled traceback: whoever reads the failure
+    (CI logs, a sweep driver) gets the seed and full spec needed to
+    reproduce the case with ``run_chaos_case``.
+    """
 
 #: Slack on the time-to-recover bound (event-time comparisons only).
 _TTR_EPS = 1e-6
@@ -108,29 +120,53 @@ def generate_fault_plan(seed: int, num_clusters: int,
     return plan
 
 
-def generate_recovery_policy(seed: int) -> RecoveryPolicy:
+def generate_recovery_policy(seed: int,
+                             detector: str = "oracle") -> RecoveryPolicy:
     """A random recovery policy, deterministic in ``seed``.
 
     Re-homing is always armed — every generated policy has *some*
     remedy for orphaned clients, which is what entitles the harness to
     assert ``permanently_orphaned_clients == 0`` unconditionally.
+
+    ``detector="gossip"`` additionally draws a random
+    :class:`~repro.sim.gossip.GossipSpec` (from draws *after* the oracle
+    fields, so the oracle policy for a seed is unchanged by the switch)
+    and flips the detector into gossip mode.
     """
     rng = derive_rng(seed, "chaos", "policy")
-    detector = DetectorSpec(
+    spec = DetectorSpec(
         heartbeat_interval=float(rng.uniform(2.0, 8.0)),
         timeout_beats=int(rng.integers(2, 5)),
         false_positive_rate=(
             0.0 if rng.random() < 0.5 else float(rng.uniform(0.0005, 0.005))
         ),
     )
-    return RecoveryPolicy(
-        detector=detector,
+    policy = RecoveryPolicy(
+        detector=spec,
         promote=bool(rng.random() < 0.8),
         rehome=True,
         heal_partitions=True,
         promotion_time=float(rng.uniform(5.0, 20.0)),
         rehome_time=float(rng.uniform(1.0, 5.0)),
     )
+    if detector == "gossip":
+        gossip = GossipSpec(
+            probe_interval=float(rng.uniform(1.0, 4.0)),
+            suspect_timeout=float(rng.uniform(4.0, 10.0)),
+            fanout=int(rng.integers(1, 4)),
+            anti_entropy_interval=float(rng.uniform(6.0, 20.0)),
+            corroboration_m=int(rng.integers(1, 4)),
+            monitors_n=int(rng.integers(4, 7)),
+            corroboration_timeout=float(rng.uniform(4.0, 10.0)),
+        )
+        policy = replace(
+            policy, detector=replace(spec, mode="gossip", gossip=gossip)
+        )
+    elif detector != "oracle":
+        raise ValueError(
+            f"detector must be 'oracle' or 'gossip', got {detector!r}"
+        )
+    return policy
 
 
 @dataclass(frozen=True)
@@ -145,12 +181,17 @@ class ChaosSpec:
     duration: float = 400.0
     recovery: bool = True
     replay: bool = True
+    detector: str = "oracle"
 
     def __post_init__(self) -> None:
         if self.cases < 1:
             raise ValueError("cases must be >= 1")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
+        if self.detector not in ("oracle", "gossip"):
+            raise ValueError(
+                f"detector must be 'oracle' or 'gossip', got {self.detector!r}"
+            )
 
     @property
     def seeds(self) -> tuple[int, ...]:
@@ -173,6 +214,7 @@ class ChaosSpec:
             "duration": self.duration,
             "recovery": self.recovery,
             "replay": self.replay,
+            "detector": self.detector,
         }
 
     @classmethod
@@ -298,6 +340,36 @@ def check_invariants(report: ResilienceReport, instance,
                     f"time-to-recover {worst:.2f}s exceeds detection+repair "
                     f"bound {bound:.2f}s"
                 )
+        # Repairs only ever follow confirmed detections.
+        if out.promotions > out.detections:
+            violations.append(
+                f"{out.promotions} promotions exceed {out.detections} "
+                "confirmed detections"
+            )
+        if policy.detector.mode == "gossip":
+            # The scalar gossip bill must re-sum from the per-cluster
+            # tables (both are sealed from the same meters).
+            if out.gossip_cluster_bytes_in is not None:
+                resum = float(
+                    (out.gossip_cluster_bytes_in.sum()
+                     + out.gossip_cluster_bytes_out.sum())
+                    * report.partners
+                )
+                if abs(resum - out.gossip_bytes) > 1e-6 * max(1.0, resum):
+                    violations.append(
+                        f"gossip bytes {out.gossip_bytes:.3f} do not re-sum "
+                        f"from cluster tables ({resum:.3f})"
+                    )
+            # Every false suspicion must have been refuted (or still be
+            # in flight is impossible after finish: refutation episodes
+            # close before declarations, so refutations >= the false
+            # suspicions that were declared on).  The cheap invariant:
+            # declared deaths never exceed raised suspicions.
+            if out.gossip_declarations > out.gossip_suspicions:
+                violations.append(
+                    f"{out.gossip_declarations} dead declarations exceed "
+                    f"{out.gossip_suspicions} suspicions"
+                )
     return violations
 
 
@@ -306,7 +378,10 @@ def run_chaos_case(spec: ChaosSpec, seed: int) -> ChaosCaseResult:
     instance = build_instance(spec.configuration(), seed=seed)
     plan = generate_fault_plan(seed, num_clusters=instance.num_clusters,
                                duration=spec.duration)
-    policy = generate_recovery_policy(seed) if spec.recovery else None
+    policy = (
+        generate_recovery_policy(seed, detector=spec.detector)
+        if spec.recovery else None
+    )
     report = run_resilience(
         instance, plan, duration=spec.duration, rng=seed, recovery=policy,
     )
@@ -346,6 +421,13 @@ def run_chaos_case(spec: ChaosSpec, seed: int) -> ChaosCaseResult:
         "orphaned_client_seconds": round(out.orphaned_client_seconds, 1),
         "longest_outage": round(out.longest_outage, 2),
     }
+    if policy is not None and policy.detector.mode == "gossip":
+        summary.update({
+            "false_suspicions": out.false_suspicions,
+            "gossip_rumors_sent": out.gossip_rumors_sent,
+            "gossip_refutations": out.gossip_refutations,
+            "gossip_bytes": round(out.gossip_bytes, 1),
+        })
     return ChaosCaseResult(
         seed=seed,
         plan=plan.describe(),
@@ -361,9 +443,17 @@ def _case_worker(args: tuple) -> tuple:
     spec, seed = args
     registry = MetricsRegistry()
     fragment = RunManifest(name=f"chaos[{seed}]")
-    with use_registry(registry):
-        with fragment.phase(f"chaos[{seed}]"):
-            case = run_chaos_case(spec, seed)
+    try:
+        with use_registry(registry):
+            with fragment.phase(f"chaos[{seed}]"):
+                case = run_chaos_case(spec, seed)
+    except Exception as exc:
+        # Surface the reproduction recipe instead of a bare pickled
+        # traceback from inside the pool.
+        raise ChaosCaseError(
+            f"chaos case seed={seed} failed "
+            f"({type(exc).__name__}: {exc}); spec={spec.to_dict()}"
+        ) from exc
     fragment.finish()
     return case, registry, fragment
 
@@ -393,6 +483,7 @@ def run_chaos(spec: ChaosSpec, jobs: int = 1) -> ChaosReport:
         duration=spec.duration,
         recovery=spec.recovery,
         replay=spec.replay,
+        detector=spec.detector,
         jobs=jobs,
     )
     registry = MetricsRegistry()

@@ -347,6 +347,18 @@ class FaultOutcome:
     repair_cluster_bytes_in: np.ndarray | None = None
     repair_cluster_bytes_out: np.ndarray | None = None
     repair_cluster_units: np.ndarray | None = None
+    # --- gossip-membership counters (all zero under the oracle detector) -----
+    gossip_rumors_sent: int = 0   # reports + refutations + digests sent
+    gossip_suspicions: int = 0    # suspicion timers that fired (true + false)
+    gossip_refutations: int = 0   # live slots cleared by incarnation bump
+    gossip_declarations: int = 0  # dead declarations (m-of-n or escalation)
+    gossip_messages: int = 0      # discrete control messages (excl. digests)
+    gossip_bytes: float = 0.0     # total membership-protocol bytes
+    gossip_units: float = 0.0     # total membership-protocol processing
+    stale_view_entries: int = 0   # live slots wrongly non-ALIVE at end of run
+    gossip_cluster_bytes_in: np.ndarray | None = None
+    gossip_cluster_bytes_out: np.ndarray | None = None
+    gossip_cluster_units: np.ndarray | None = None
 
     @property
     def query_success_rate(self) -> float:
@@ -388,7 +400,9 @@ class FaultOutcome:
     def from_dict(cls, payload: dict) -> "FaultOutcome":
         kwargs = dict(payload)
         for name in ("cluster_downtime", "repair_cluster_bytes_in",
-                     "repair_cluster_bytes_out", "repair_cluster_units"):
+                     "repair_cluster_bytes_out", "repair_cluster_units",
+                     "gossip_cluster_bytes_in", "gossip_cluster_bytes_out",
+                     "gossip_cluster_units"):
             if kwargs.get(name) is not None:
                 kwargs[name] = np.asarray(kwargs[name], dtype=float)
         return cls(**kwargs)
@@ -459,6 +473,9 @@ class FaultRuntime:
         self.listener = None
         #: Recovery runtime, when self-healing is enabled.
         self.recovery = None
+        #: Gossip membership detector, when the control plane is
+        #: decentralized (the network layer piggybacks digests on it).
+        self.gossip = None
         self._pending_recover: dict[tuple[int, int], object] = {}
 
     # --- crash/recovery schedule ---------------------------------------------
@@ -545,6 +562,12 @@ class FaultRuntime:
             self._close_outage(cluster, self.sim.now)
         self.up[cluster, partner] = True
         self.live[cluster] += 1
+        if self.listener is not None:
+            # The detector closes its books on the slot (the oracle's
+            # pending confirmation was already consumed; the gossip
+            # detector bumps the incarnation so stale DEAD rumors about
+            # the slot are out-versioned).
+            self.listener.on_recover(cluster, partner, self.sim.now)
         if self.plan.crash is not None:
             self._schedule_crash(cluster, partner)
 

@@ -1,0 +1,813 @@
+"""Gossip membership: decentralized failure detection over the overlay.
+
+The oracle detector in :mod:`repro.sim.monitor` sees every missed beat
+instantly and perfectly — exactly the global observer Section 5.3's
+local repair rules were designed to avoid.  This module replaces it with
+a peer-to-peer control plane in the SWIM/gossip family:
+
+* every super-peer cluster keeps a **versioned membership view** of all
+  partner slots — an incarnation number plus an alive/suspect/dead state
+  per slot.  Views merge as a join-semilattice (higher incarnation wins;
+  at equal incarnation the stronger claim wins), so rumor delivery in
+  any order converges to one view;
+* **rumor digests piggyback** on existing overlay traffic (every flood
+  tree edge and surviving reverse-path response edge also carries a
+  digest) plus a low-rate **anti-entropy** push-pull exchange between
+  random overlay neighbours — both charged through the Eq. 1-4 cost
+  model and exposed to :mod:`repro.obs.attribution` as the ``gossip``
+  action class;
+* each cluster is watched by a small set of **monitors** (itself plus
+  its lowest-id overlay neighbours).  A monitor that misses heartbeats
+  raises a *suspicion* and unicasts dead-node reports to the other
+  monitors; a slot is declared **dead only after m-of-n independent
+  suspicion reports corroborate it** (or, when corroboration cannot
+  arrive — monitors dark or cut off — after a corroboration timeout),
+  and only then does the :class:`~repro.sim.recovery.RecoveryPolicy`
+  act;
+* message loss and partitions therefore corrupt views, delay detection,
+  and cause **recoverable false suspicions**: a wrongly-suspected slot
+  is refuted by bumping its incarnation, which out-versions every stale
+  rumor — at the cost of real (charged) refutation traffic but never a
+  spurious repair.
+
+All randomness draws from the recovery stream (``derive_rng(seed,
+"sim", "recovery")``), never the workload stream, so runs are
+deterministic per seed and the oracle/no-detector paths are untouched
+bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import constants
+from ..core import costs
+from ..core.load import (
+    _HANDSHAKE_BYTES,
+    _HANDSHAKE_RECV_UNITS,
+    _HANDSHAKE_SEND_UNITS,
+)
+from ..obs.metrics import get_registry
+from ..topology.strong import CompleteGraph
+
+__all__ = [
+    "ALIVE",
+    "SUSPECT",
+    "DEAD",
+    "GossipSpec",
+    "GossipDetector",
+    "gossip_attribution",
+    "pack_entry",
+    "entry_inc",
+    "entry_state",
+    "merge_views",
+]
+
+#: Membership states, ordered by claim strength: at equal incarnation a
+#: stronger claim (suspect over alive, dead over suspect) wins the merge.
+ALIVE, SUSPECT, DEAD = 0, 1, 2
+
+_STATE_BITS = 2  # states fit in the low bits of a packed entry
+_STATE_MASK = (1 << _STATE_BITS) - 1
+
+
+def pack_entry(inc, state):
+    """Pack (incarnation, state) into one integer view entry.
+
+    The packing is order-preserving for the gossip merge rule: comparing
+    packed entries compares ``(inc, state)`` lexicographically, so the
+    semilattice join is a plain elementwise ``max``.
+    """
+    return (np.asarray(inc, dtype=np.int64) << _STATE_BITS) | state
+
+
+def entry_inc(entry):
+    """Incarnation number of a packed entry (array-safe)."""
+    return np.asarray(entry, dtype=np.int64) >> _STATE_BITS
+
+
+def entry_state(entry):
+    """Membership state of a packed entry (array-safe)."""
+    return np.asarray(entry, dtype=np.int64) & _STATE_MASK
+
+
+def merge_views(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Join of two membership views (elementwise, returns a new array).
+
+    Higher incarnation wins; at equal incarnation the stronger state
+    wins.  Because entries are packed order-preservingly this is an
+    elementwise max — commutative, associative, idempotent, and
+    monotone, which is what lets rumors arrive in any order.
+    """
+    return np.maximum(a, b)
+
+
+@dataclass(frozen=True)
+class GossipSpec:
+    """Protocol parameters of the gossip membership layer.
+
+    ``suspect_timeout`` missed-heartbeat seconds raise a suspicion (plus
+    the phase of the ``probe_interval`` heartbeat schedule); a suspicion
+    is escalated to a dead declaration once ``corroboration_m`` of the
+    (up to) ``monitors_n`` monitors independently report it, or — when
+    corroboration cannot arrive — after ``corroboration_timeout`` more
+    seconds.  ``fanout`` neighbours per cluster take part in the
+    anti-entropy exchange every ``anti_entropy_interval`` seconds.
+    """
+
+    probe_interval: float = 2.0
+    suspect_timeout: float = 6.0
+    fanout: int = 2
+    anti_entropy_interval: float = 12.0
+    corroboration_m: int = 2
+    monitors_n: int = 4
+    corroboration_timeout: float = 6.0
+
+    def __post_init__(self) -> None:
+        for name in ("probe_interval", "suspect_timeout",
+                     "anti_entropy_interval", "corroboration_timeout"):
+            value = getattr(self, name)
+            if math.isnan(value) or value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if self.fanout < 1:
+            raise ValueError(f"fanout must be >= 1, got {self.fanout}")
+        if self.corroboration_m < 1:
+            raise ValueError(
+                f"corroboration_m must be >= 1, got {self.corroboration_m}"
+            )
+        if self.corroboration_m > self.monitors_n:
+            raise ValueError(
+                f"corroboration_m ({self.corroboration_m}) cannot exceed "
+                f"monitors_n ({self.monitors_n})"
+            )
+
+    @property
+    def detection_bound(self) -> float:
+        """Worst-case crash -> declared-dead delay with a live monitor.
+
+        One suspicion timeout, at most one heartbeat phase plus one
+        sweep round of re-arming slack, and one corroboration window
+        (the escalation path declares even when m-of-n never
+        corroborates).
+        """
+        return (self.suspect_timeout + 2.0 * self.probe_interval
+                + self.corroboration_timeout)
+
+    def describe(self) -> str:
+        return (
+            f"gossip(m={self.corroboration_m}/{self.monitors_n}, "
+            f"suspect {self.suspect_timeout:g}s, probe {self.probe_interval:g}s)"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "probe_interval": self.probe_interval,
+            "suspect_timeout": self.suspect_timeout,
+            "fanout": self.fanout,
+            "anti_entropy_interval": self.anti_entropy_interval,
+            "corroboration_m": self.corroboration_m,
+            "monitors_n": self.monitors_n,
+            "corroboration_timeout": self.corroboration_timeout,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GossipSpec":
+        return cls(**payload)
+
+
+class GossipDetector:
+    """The decentralized failure detector bound to one simulation run.
+
+    Implements the :class:`~repro.sim.faults.FaultRuntime` listener
+    protocol (``on_crash`` / ``on_recover``) like the oracle
+    :class:`~repro.sim.monitor.FailureDetector`, so
+    :class:`~repro.sim.recovery.RecoveryRuntime` can swap either in by
+    ``DetectorSpec.mode``.  Unlike the oracle it only *learns* about a
+    crash through missed heartbeats, reports, and rumors — and it pays
+    for every message it sends.
+
+    ``state`` (the simulator's ``_State``) may be ``None`` in unit
+    harnesses: gossip traffic is then tallied in the per-cluster outcome
+    arrays but not charged onto simulation meters.
+    """
+
+    def __init__(self, spec, state, runtime, rng, on_confirmed) -> None:
+        self.spec = spec
+        self.gspec = spec.gossip
+        self.st = state
+        self.rt = runtime
+        self.rng = rng
+        self.on_confirmed = on_confirmed
+        self.sim = None
+        self.tracer = runtime.tracer
+        n, k = runtime.n, runtime.k
+        self.n, self.k = n, k
+        #: Ground-truth incarnation per slot; bumped on every up
+        #: transition and refutation so fresh ALIVE claims out-version
+        #: every stale rumor.
+        self.inc = np.zeros((n, k), dtype=np.int64)
+        #: Per-cluster membership views, packed (cluster u's belief
+        #: about slot (c, p) lives at ``view[u, c * k + p]``).
+        self.view = np.zeros((n, n * k), dtype=np.int64)
+        #: Non-ALIVE entries per view row (sizes the row's rumor digest).
+        self._active = np.zeros(n, dtype=np.int64)
+        #: Latched False at the first suspicion episode: while quiet,
+        #: every view is all-zeros, digests would be empty, and the
+        #: piggyback path costs nothing at all.
+        self._quiet = True
+        self._records: dict[tuple[int, int], dict] = {}
+        self._crashed: dict[tuple[int, int], float] = {}
+        self._cut_raised: dict[int, set] = {}
+        # Deterministic gossip counters (also exported via the metrics
+        # registry for the perf gate).
+        registry = get_registry()
+        self._m_rumors = registry.counter("sim.gossip_rumors")
+        self._m_suspicions = registry.counter("sim.gossip_suspicions")
+        self._m_refutations = registry.counter("sim.gossip_refutations")
+        self.rumors_sent = 0
+        self.suspicions = 0
+        self.refutations = 0
+        self.declarations = 0
+        self.messages = 0
+        self._gos_in = np.zeros(n)
+        self._gos_out = np.zeros(n)
+        self._gos_units = np.zeros(n)
+        graph = runtime.instance.graph
+        if isinstance(graph, CompleteGraph):
+            graph = graph.materialize()
+        self._graph = graph
+        self._monitors = self._build_monitors()
+        # Static (monitor, target-cluster, target-partner) triples for
+        # the vectorized heartbeat sweep.
+        mu, mc, mp = [], [], []
+        for c in range(n):
+            for u in self._monitors[c]:
+                for p in range(k):
+                    mu.append(int(u))
+                    mc.append(c)
+                    mp.append(p)
+        self._pair_u = np.asarray(mu, dtype=np.int64)
+        self._pair_c = np.asarray(mc, dtype=np.int64)
+        self._pair_p = np.asarray(mp, dtype=np.int64)
+
+    # --- wiring ---------------------------------------------------------------
+
+    def install(self, sim) -> None:
+        """Bind to the simulator and start observing the fault runtime."""
+        self.sim = sim
+        self.rt.listener = self
+        self.rt.gossip = self
+        self._sweep = sim.every(self.gspec.probe_interval, self._sweep_round)
+        self._anti = sim.every(self.gspec.anti_entropy_interval,
+                               self._anti_entropy)
+
+    def _build_monitors(self) -> list[np.ndarray]:
+        """Monitor sets: the cluster itself plus lowest-id neighbours.
+
+        A cluster's fellow partners hear each other's heartbeats first
+        (they share the virtual super-peer), so the cluster is always
+        its own first monitor; overlay neighbours fill the remaining
+        ``monitors_n - 1`` seats in id order (deterministic).
+        """
+        cap = self.gspec.monitors_n
+        out = []
+        for c in range(self.n):
+            neighbours = np.sort(
+                np.asarray(self._graph.neighbors(c), dtype=np.int64)
+            )
+            out.append(np.concatenate(([c], neighbours[: max(0, cap - 1)])))
+        return out
+
+    # --- FaultRuntime listener hooks ------------------------------------------
+
+    def on_crash(self, cluster: int, partner: int, now: float) -> None:
+        self._crashed[(cluster, partner)] = now
+        rec = self._open_record(cluster, partner)
+        self._arm_monitors(cluster, partner, rec)
+
+    def on_recover(self, cluster: int, partner: int, now: float) -> None:
+        # The slot came back (natural recovery or promotion): close the
+        # suspicion episode and out-version every rumor about it.
+        self._crashed.pop((cluster, partner), None)
+        self._records.pop((cluster, partner), None)
+        self.inc[cluster, partner] += 1
+        self._set_entry(cluster, cluster, partner,
+                        pack_entry(self.inc[cluster, partner], ALIVE))
+
+    # --- view bookkeeping -----------------------------------------------------
+
+    def _set_entry(self, row: int, cluster: int, partner: int,
+                   packed) -> None:
+        """Merge one packed entry into a view row, keeping counts fresh."""
+        slot = cluster * self.k + partner
+        merged = max(int(self.view[row, slot]), int(packed))
+        if merged != self.view[row, slot]:
+            self.view[row, slot] = merged
+            self._active[row] = int(np.count_nonzero(
+                self.view[row] & _STATE_MASK
+            ))
+
+    # --- suspicion lifecycle --------------------------------------------------
+
+    def _open_record(self, cluster: int, partner: int) -> dict:
+        rec = self._records.get((cluster, partner))
+        if rec is None:
+            self._quiet = False
+            rec = {
+                "inc": int(self.inc[cluster, partner]),
+                "suspected": set(),      # monitors whose timer fired
+                "scheduled": set(),      # monitors with a pending timer
+                "tally": {},             # monitor -> set of report origins
+                "pending": [],           # reports blocked by an active cut
+                "declared": False,
+                "false_declared": set(),  # monitors that marked DEAD wrongly
+                "opened_at": self.sim.now if self.sim is not None else 0.0,
+            }
+            self._records[(cluster, partner)] = rec
+        return rec
+
+    def _arm_monitors(self, cluster: int, partner: int, rec: dict) -> None:
+        """Schedule a suspicion timer on every live, unarmed monitor."""
+        for u in self._monitors[cluster]:
+            u = int(u)
+            if (self.rt.live[u] <= 0 or u in rec["scheduled"]
+                    or u in rec["suspected"]):
+                continue
+            delay = self.gspec.suspect_timeout + float(
+                self.rng.uniform(0.0, self.gspec.probe_interval)
+            )
+            rec["scheduled"].add(u)
+            self.sim.schedule(delay, self._suspect, u, cluster, partner,
+                              rec["inc"])
+
+    def _suspect(self, u: int, cluster: int, partner: int, inc: int) -> None:
+        rec = self._records.get((cluster, partner))
+        if rec is not None:
+            rec["scheduled"].discard(u)
+        if (rec is None or rec["inc"] != inc or rec["declared"]
+                or self.rt.up[cluster, partner] or self.rt.live[u] <= 0):
+            return
+        self._mark_suspected(u, cluster, partner, rec)
+
+    def _mark_suspected(self, u: int, cluster: int, partner: int,
+                        rec: dict) -> None:
+        """Monitor ``u`` starts suspecting the slot: rumor + reports."""
+        if u in rec["suspected"] or rec["declared"]:
+            return
+        rec["suspected"].add(u)
+        self.suspicions += 1
+        self._m_suspicions.add()
+        if self.rt.up[cluster, partner]:
+            # A suspicion of a live slot is by definition false — it was
+            # injected by loss or a partition, and must end in refutation.
+            self.rt.metrics.false_suspicions += 1
+            if self.tracer.enabled:
+                self.tracer.emit("false-suspicion", self.sim.now,
+                                 cluster=cluster, partner=partner, monitor=u)
+        elif self.tracer.enabled:
+            self.tracer.emit("suspect", self.sim.now, cluster=cluster,
+                             partner=partner, monitor=u)
+        self._set_entry(u, cluster, partner, pack_entry(rec["inc"], SUSPECT))
+        # Unicast dead-node reports to the other monitors; a report
+        # blocked by an active cut is retried every sweep round.
+        for w in self._monitors[cluster]:
+            w = int(w)
+            if w == u or self.rt.live[w] <= 0:
+                continue
+            self._charge(u, out_bytes=constants.GOSSIP_REPORT_BYTES / self.k,
+                         units=costs.SEND_UPDATE_UNITS / self.k, messages=1)
+            self.rumors_sent += 1
+            self._m_rumors.add()
+            if self._reachable(u, w):
+                self._deliver_report(w, cluster, partner, u, rec["inc"])
+            else:
+                rec["pending"].append((u, w))
+        # The monitor's own suspicion seeds its tally toward m-of-n.
+        self._tally(u, cluster, partner, u, rec)
+        if not rec["declared"]:
+            self.sim.schedule(self.gspec.corroboration_timeout,
+                              self._escalate, u, cluster, partner, rec["inc"])
+
+    def _deliver_report(self, w: int, cluster: int, partner: int,
+                        origin: int, inc: int) -> None:
+        rec = self._records.get((cluster, partner))
+        if rec is None or rec["inc"] != inc or rec["declared"]:
+            return
+        self._charge(w, in_bytes=constants.GOSSIP_REPORT_BYTES / self.k,
+                     units=costs.RECV_UPDATE_UNITS / self.k)
+        if w == cluster and self.rt.up[cluster, partner]:
+            # The cluster itself heard a report about its own live
+            # partner: it refutes immediately with a higher incarnation.
+            self._refute(cluster, partner, rec, refuter=w)
+            return
+        self._set_entry(w, cluster, partner, pack_entry(inc, SUSPECT))
+        self._tally(w, cluster, partner, origin, rec)
+
+    def _tally(self, w: int, cluster: int, partner: int, origin: int,
+               rec: dict) -> None:
+        origins = rec["tally"].setdefault(w, set())
+        origins.add(origin)
+        if len(origins) >= self._needed(cluster):
+            self._declare(w, cluster, partner, rec)
+
+    def _needed(self, cluster: int) -> int:
+        """Corroboration quorum: m, capped by the monitors still alive."""
+        alive = sum(1 for u in self._monitors[cluster]
+                    if self.rt.live[int(u)] > 0)
+        return max(1, min(self.gspec.corroboration_m, alive))
+
+    def _escalate(self, u: int, cluster: int, partner: int, inc: int) -> None:
+        """Corroboration never arrived: the suspecting monitor decides alone."""
+        rec = self._records.get((cluster, partner))
+        if (rec is None or rec["inc"] != inc or rec["declared"]
+                or u not in rec["suspected"] or self.rt.live[u] <= 0):
+            return
+        self._declare(u, cluster, partner, rec)
+
+    def _declare(self, w: int, cluster: int, partner: int, rec: dict) -> None:
+        """Monitor ``w`` declares the slot dead (after a verification probe)."""
+        if rec["declared"]:
+            return
+        # Verification probe before acting on the rumor mass.
+        self._charge(w, out_bytes=_HANDSHAKE_BYTES / self.k,
+                     units=_HANDSHAKE_SEND_UNITS / self.k, messages=1)
+        if self.rt.up[cluster, partner]:
+            if self._reachable(w, cluster):
+                # The probe answers: the slot is alive — refute.
+                self._charge(w, in_bytes=_HANDSHAKE_BYTES / self.k,
+                             units=_HANDSHAKE_RECV_UNITS / self.k, messages=1)
+                self._refute(cluster, partner, rec, refuter=w)
+            else:
+                # The probe is severed by the cut: w wrongly concludes
+                # dead.  Its view is now corrupted until the partition
+                # heals and the stale-record sweep refutes it.
+                rec["false_declared"].add(w)
+                self._set_entry(w, cluster, partner,
+                                pack_entry(rec["inc"], DEAD))
+            return
+        rec["declared"] = True
+        self.declarations += 1
+        self._set_entry(w, cluster, partner, pack_entry(rec["inc"], DEAD))
+        out = self.rt.metrics
+        out.detections += 1
+        crashed_at = self._crashed.get((cluster, partner))
+        lag = self.sim.now - crashed_at if crashed_at is not None else 0.0
+        out.detection_lags.append(lag)
+        if self.tracer.enabled:
+            self.tracer.emit("detect", self.sim.now, cluster=cluster,
+                             partner=partner, lag=lag, monitor=w,
+                             corroborated=len(rec["tally"].get(w, ())))
+        self.on_confirmed(cluster, partner)
+
+    def _refute(self, cluster: int, partner: int, rec: dict,
+                refuter: int) -> None:
+        """A live slot was suspected: out-version the rumor, repair views."""
+        self.refutations += 1
+        self._m_refutations.add()
+        self.inc[cluster, partner] += 1
+        fresh = pack_entry(self.inc[cluster, partner], ALIVE)
+        self._set_entry(cluster, cluster, partner, fresh)
+        self._set_entry(refuter, cluster, partner, fresh)
+        # The refutation rumor is unicast back to every monitor that
+        # took part in the episode (the epidemic paths spread it wider).
+        involved = (set(rec["suspected"]) | set(rec["tally"])
+                    | rec["false_declared"])
+        involved.discard(refuter)
+        involved.discard(cluster)
+        for w in sorted(involved):
+            if self.rt.live[w] <= 0:
+                continue
+            self._charge(refuter,
+                         out_bytes=constants.GOSSIP_RUMOR_SIZE / self.k,
+                         units=costs.SEND_UPDATE_UNITS / self.k, messages=1)
+            self.rumors_sent += 1
+            self._m_rumors.add()
+            if self._reachable(refuter, w):
+                self._charge(w, in_bytes=constants.GOSSIP_RUMOR_SIZE / self.k,
+                             units=costs.RECV_UPDATE_UNITS / self.k)
+                self._set_entry(w, cluster, partner, fresh)
+        self._records.pop((cluster, partner), None)
+        if self.tracer.enabled:
+            self.tracer.emit("refute", self.sim.now, cluster=cluster,
+                             partner=partner, refuter=refuter,
+                             incarnation=int(self.inc[cluster, partner]))
+
+    # --- periodic machinery ---------------------------------------------------
+
+    def _sweep_round(self) -> None:
+        """One heartbeat round: probes, loss/partition suspicions, retries."""
+        now = self.sim.now
+        self._charge_heartbeats(now)
+        loss = self.rt.plan.message_loss
+        if loss > 0.0:
+            self._loss_suspicions(now, loss)
+        self._partition_suspicions(now)
+        # Re-arm: down slots whose monitors were dark (or revived since)
+        # get fresh suspicion timers, so detection is never wedged.
+        for (c, p) in sorted(self._crashed):
+            if self.rt.up[c, p]:
+                continue
+            rec = self._open_record(c, p)
+            if not rec["declared"]:
+                self._arm_monitors(c, p, rec)
+        self._retry_pending(now)
+        self._refute_stale(now)
+
+    def _charge_heartbeats(self, now: float) -> None:
+        """Charge one round of monitor->slot pings (and acks from live slots)."""
+        u, c, p = self._pair_u, self._pair_c, self._pair_p
+        sending = self.rt.live[u] > 0
+        cut = self.rt.edge_cut(u, c, now)
+        if cut is not None:
+            sending = sending & ~cut
+        if not sending.any():
+            return
+        answering = sending & self.rt.up[c, p]
+        probe = constants.GOSSIP_PROBE_BYTES / self.k
+        send_u = costs.SEND_UPDATE_UNITS / self.k
+        recv_u = costs.RECV_UPDATE_UNITS / self.k
+        if self.st is not None:
+            np.add.at(self.st.sp_out, u[sending], probe)
+            np.add.at(self.st.sp_proc, u[sending], send_u)
+            np.add.at(self.st.sp_in, c[answering], probe)
+            np.add.at(self.st.sp_proc, c[answering], recv_u + send_u)
+            np.add.at(self.st.sp_out, c[answering], probe)
+            np.add.at(self.st.sp_in, u[answering], probe)
+            np.add.at(self.st.sp_proc, u[answering], recv_u)
+        np.add.at(self._gos_out, u[sending], probe)
+        np.add.at(self._gos_units, u[sending], send_u)
+        np.add.at(self._gos_in, c[answering], probe)
+        np.add.at(self._gos_units, c[answering], recv_u + send_u)
+        np.add.at(self._gos_out, c[answering], probe)
+        np.add.at(self._gos_in, u[answering], probe)
+        np.add.at(self._gos_units, u[answering], recv_u)
+        self.messages += int(np.count_nonzero(sending)) \
+            + int(np.count_nonzero(answering))
+
+    def _loss_suspicions(self, now: float, loss: float) -> None:
+        """Aggregate draw of heartbeat streaks broken by message loss.
+
+        A beat is missed when the ping or its ack drops; a suspicion
+        fires after ``suspect_timeout`` worth of consecutive misses.
+        Sampled binomially over all monitored live pairs (mirroring the
+        oracle detector's aggregate false-positive sweep) so the
+        per-round cost is one draw.
+        """
+        miss = 1.0 - (1.0 - loss) ** 2
+        beats = max(1, int(round(self.gspec.suspect_timeout
+                                 / self.gspec.probe_interval)))
+        p_streak = (miss ** beats) * (1.0 - miss)
+        if p_streak <= 0.0:
+            return
+        u, c, p = self._pair_u, self._pair_c, self._pair_p
+        eligible = (self.rt.live[u] > 0) & self.rt.up[c, p]
+        cut = self.rt.edge_cut(u, c, now)
+        if cut is not None:
+            eligible &= ~cut
+        idx = np.nonzero(eligible)[0]
+        if idx.size == 0:
+            return
+        hits = int(self.rng.binomial(idx.size, p_streak))
+        if hits == 0:
+            return
+        chosen = self.rng.choice(idx, size=min(hits, idx.size), replace=False)
+        for i in np.sort(np.atleast_1d(chosen)):
+            ui, ci, pi = int(u[i]), int(c[i]), int(p[i])
+            rec = self._open_record(ci, pi)
+            self._mark_suspected(ui, ci, pi, rec)
+
+    def _partition_suspicions(self, now: float) -> None:
+        """Monitors cut off from their target suspect it deterministically."""
+        for index, (start, end, island) in enumerate(self.rt._islands):
+            if not (start <= now < end):
+                self._cut_raised.pop(index, None)
+                continue
+            if now - start < self.gspec.suspect_timeout:
+                continue
+            raised = self._cut_raised.setdefault(index, set())
+            u, c, p = self._pair_u, self._pair_c, self._pair_p
+            crossing = ((island[u] != island[c]) & (self.rt.live[u] > 0)
+                        & self.rt.up[c, p])
+            for i in np.nonzero(crossing)[0]:
+                i = int(i)
+                if i in raised:
+                    continue
+                raised.add(i)
+                rec = self._open_record(int(c[i]), int(p[i]))
+                self._mark_suspected(int(u[i]), int(c[i]), int(p[i]), rec)
+
+    def _retry_pending(self, now: float) -> None:
+        """Re-send suspicion reports that a partition blocked."""
+        for (c, p), rec in sorted(self._records.items()):
+            if not rec["pending"]:
+                continue
+            still = []
+            for origin, w in rec["pending"]:
+                if rec["declared"] or self.rt.live[w] <= 0:
+                    continue
+                if self._reachable(origin, w):
+                    self._deliver_report(w, c, p, origin, rec["inc"])
+                else:
+                    still.append((origin, w))
+            rec["pending"] = still
+
+    def _refute_stale(self, now: float) -> None:
+        """Refute lingering suspicions of live slots once reachable again."""
+        for (c, p), rec in sorted(self._records.items()):
+            if not self.rt.up[c, p] or rec["declared"]:
+                continue
+            age = now - rec["opened_at"]
+            if age <= (self.gspec.corroboration_timeout
+                       + self.gspec.probe_interval):
+                continue
+            for w in sorted(rec["suspected"] | rec["false_declared"]):
+                if self.rt.live[w] > 0 and self._reachable(w, c):
+                    # Verification probe round-trip, then refutation.
+                    self._charge(w, out_bytes=_HANDSHAKE_BYTES / self.k,
+                                 in_bytes=_HANDSHAKE_BYTES / self.k,
+                                 units=(_HANDSHAKE_SEND_UNITS
+                                        + _HANDSHAKE_RECV_UNITS) / self.k,
+                                 messages=2)
+                    self._refute(c, p, rec, refuter=w)
+                    break
+
+    def _anti_entropy(self) -> None:
+        """Low-rate push-pull view exchange with random overlay neighbours."""
+        for u in range(self.n):
+            if self.rt.live[u] <= 0:
+                continue
+            peers = [int(v) for v in self._graph.neighbors(u)
+                     if self.rt.live[int(v)] > 0 and self._reachable(u, int(v))]
+            if not peers:
+                continue
+            take = min(self.gspec.fanout, len(peers))
+            chosen = self.rng.choice(np.asarray(peers, dtype=np.int64),
+                                     size=take, replace=False)
+            for v in np.sort(np.atleast_1d(chosen)):
+                self._exchange(u, int(v))
+
+    def _exchange(self, u: int, v: int) -> None:
+        """One push-pull digest exchange: both views converge, both pay."""
+        for a, b in ((u, v), (v, u)):
+            size = (constants.GOSSIP_DIGEST_BASE
+                    + constants.GOSSIP_RUMOR_SIZE * int(self._active[a]))
+            self._charge(a, out_bytes=size / self.k,
+                         units=costs.SEND_UPDATE_UNITS / self.k, messages=1)
+            self._charge(b, in_bytes=size / self.k,
+                         units=(costs.RECV_UPDATE_UNITS
+                                + costs.PROCESS_UPDATE_UNITS) / self.k)
+            self.rumors_sent += 1
+            self._m_rumors.add()
+        if not self._quiet:
+            merged = np.maximum(self.view[u], self.view[v])
+            self.view[u] = merged
+            self.view[v] = merged
+            active = int(np.count_nonzero(merged & _STATE_MASK))
+            self._active[u] = active
+            self._active[v] = active
+
+    # --- piggyback on overlay traffic -----------------------------------------
+
+    def on_flood(self, prop, edge_pass: np.ndarray) -> None:
+        """Ride a sampled query flood: digests travel every tree edge.
+
+        Down the flood tree each reached node merges its predecessor's
+        view (in depth order, so rumors relay multiple hops within one
+        flood); up the reverse path each surviving response edge carries
+        the child's view back.  Both directions are charged as digest
+        bytes on top of the messages they ride.  While the run is quiet
+        (no suspicion episode has ever opened) every digest would be
+        empty, so nothing is attached and nothing is charged.
+        """
+        if self._quiet:
+            return
+        nodes = np.nonzero(prop.reached)[0]
+        nodes = nodes[nodes != prop.source]
+        if nodes.size == 0:
+            return
+        preds = prop.pred[nodes]
+        depths = prop.depth[nodes]
+        for d in np.unique(depths):
+            at = depths == d
+            self._merge_rows(preds[at], nodes[at])
+        passing = edge_pass[nodes]
+        for d in np.unique(depths[passing])[::-1]:
+            at = passing & (depths == d)
+            self._merge_rows(nodes[at], preds[at])
+
+    def _merge_rows(self, senders: np.ndarray, receivers: np.ndarray) -> None:
+        """Vectorized digest transfer: charge per edge, merge per row."""
+        if senders.size == 0:
+            return
+        sizes = (constants.GOSSIP_DIGEST_BASE
+                 + constants.GOSSIP_RUMOR_SIZE * self._active[senders]) / self.k
+        send_u = costs.SEND_UPDATE_UNITS / self.k
+        recv_u = (costs.RECV_UPDATE_UNITS + costs.PROCESS_UPDATE_UNITS) / self.k
+        if self.st is not None:
+            np.add.at(self.st.sp_out, senders, sizes)
+            np.add.at(self.st.sp_proc, senders, send_u)
+            np.add.at(self.st.sp_in, receivers, sizes)
+            np.add.at(self.st.sp_proc, receivers, recv_u)
+        np.add.at(self._gos_out, senders, sizes)
+        np.add.at(self._gos_units, senders, send_u)
+        np.add.at(self._gos_in, receivers, sizes)
+        np.add.at(self._gos_units, receivers, recv_u)
+        # ufunc.at handles duplicate receiver rows (several children
+        # sharing one response-path parent) without buffering races.
+        np.maximum.at(self.view, receivers, self.view[senders])
+        uniq = np.unique(receivers)
+        self._active[uniq] = np.count_nonzero(
+            self.view[uniq] & _STATE_MASK, axis=1
+        )
+        self.rumors_sent += int(senders.size)
+        self._m_rumors.add(float(senders.size))
+
+    # --- helpers --------------------------------------------------------------
+
+    def _reachable(self, a: int, b: int) -> bool:
+        """False while an active partition separates clusters a and b."""
+        now = self.sim.now if self.sim is not None else 0.0
+        for start, end, island in self.rt._islands:
+            if start <= now < end and island[a] != island[b]:
+                return False
+        return True
+
+    def _charge(self, cluster: int, in_bytes: float = 0.0,
+                out_bytes: float = 0.0, units: float = 0.0,
+                messages: int = 0) -> None:
+        """Charge gossip traffic to a cluster's per-partner meters.
+
+        Amounts follow the meter convention (per-partner means, like the
+        repair layer); the sealed outcome totals scale back to
+        whole-cluster units.
+        """
+        if self.st is not None:
+            self.st.sp_in[cluster] += in_bytes
+            self.st.sp_out[cluster] += out_bytes
+            self.st.sp_proc[cluster] += units
+        self._gos_in[cluster] += in_bytes
+        self._gos_out[cluster] += out_bytes
+        self._gos_units[cluster] += units
+        self.messages += messages
+
+    # --- end of run -----------------------------------------------------------
+
+    def stale_view_entries(self) -> int:
+        """View entries of live clusters that wrongly mark a live slot."""
+        up = self.rt.up.ravel()
+        states = self.view & _STATE_MASK
+        wrong = (states != ALIVE) & up[np.newaxis, :]
+        return int(np.count_nonzero(wrong[self.rt.live > 0]))
+
+    def finish(self, duration: float) -> None:
+        """Seal the gossip fields of the outcome.
+
+        Byte/unit totals are re-derived from the per-cluster tables
+        (scaled back from per-partner meter units), so the scalar and
+        array fields agree exactly.
+        """
+        out = self.rt.metrics
+        out.gossip_rumors_sent = self.rumors_sent
+        out.gossip_suspicions = self.suspicions
+        out.gossip_refutations = self.refutations
+        out.gossip_declarations = self.declarations
+        out.gossip_messages = self.messages
+        out.gossip_bytes = float(
+            (self._gos_in.sum() + self._gos_out.sum()) * self.k
+        )
+        out.gossip_units = float(self._gos_units.sum() * self.k)
+        out.stale_view_entries = self.stale_view_entries()
+        out.gossip_cluster_bytes_in = self._gos_in.copy()
+        out.gossip_cluster_bytes_out = self._gos_out.copy()
+        out.gossip_cluster_units = self._gos_units.copy()
+
+
+def gossip_attribution(instance, outcome, duration: float, attribution=None):
+    """Expose an outcome's gossip traffic as a ``LoadAttribution``.
+
+    Mirrors :func:`repro.sim.recovery.repair_attribution`: the
+    ``"gossip"`` action carries the per-partner membership-protocol
+    rates (heartbeats, reports, digests, refutations), so control-plane
+    load shows up in the same hotspot reports as the
+    query/response/join/update/repair classes.  Pass an existing bound
+    ``attribution`` to add onto it.
+    """
+    from ..obs.attribution import LoadAttribution
+
+    if outcome.gossip_cluster_bytes_in is None:
+        raise ValueError(
+            "outcome has no gossip tables; run with a gossip-mode "
+            "RecoveryPolicy first"
+        )
+    if attribution is None:
+        attribution = LoadAttribution().bind(instance)
+    attribution.add_p("gossip", "in_bw",
+                      outcome.gossip_cluster_bytes_in / duration)
+    attribution.add_p("gossip", "out_bw",
+                      outcome.gossip_cluster_bytes_out / duration)
+    attribution.add_p("gossip", "proc",
+                      outcome.gossip_cluster_units / duration)
+    return attribution

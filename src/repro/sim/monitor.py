@@ -31,16 +31,30 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .gossip import GossipSpec
+
 __all__ = ["DetectorSpec", "FailureDetector"]
 
 
 @dataclass(frozen=True)
 class DetectorSpec:
-    """Heartbeat/timeout parameters of the failure detector."""
+    """Failure-detector parameters: the oracle's heartbeat/timeout pair,
+    plus the control-plane ``mode`` switch.
+
+    ``mode="oracle"`` is the centralized detector of this module: crashes
+    are confirmed after ``timeout_beats`` missed heartbeats, for free.
+    ``mode="gossip"`` swaps in :class:`repro.sim.gossip.GossipDetector`:
+    detection emerges from (charged) heartbeats, m-of-n corroborated
+    dead-node reports, and epidemic rumor spread, parameterized by the
+    attached :class:`~repro.sim.gossip.GossipSpec` (defaulted when not
+    given).  The oracle's fields are ignored in gossip mode.
+    """
 
     heartbeat_interval: float = 5.0
     timeout_beats: int = 3
     false_positive_rate: float = 0.0
+    mode: str = "oracle"
+    gossip: GossipSpec | None = None
 
     def __post_init__(self) -> None:
         if math.isnan(self.heartbeat_interval) or self.heartbeat_interval <= 0:
@@ -51,26 +65,57 @@ class DetectorSpec:
             raise ValueError("false_positive_rate must not be NaN")
         if not 0.0 <= self.false_positive_rate < 1.0:
             raise ValueError("false_positive_rate must be in [0, 1)")
+        if self.mode not in ("oracle", "gossip"):
+            raise ValueError(
+                f"mode must be 'oracle' or 'gossip', got {self.mode!r}"
+            )
+        if self.mode == "gossip" and self.gossip is None:
+            object.__setattr__(self, "gossip", GossipSpec())
 
     @property
     def min_lag(self) -> float:
         """Fastest possible crash -> confirmation delay."""
+        if self.mode == "gossip":
+            return self.gossip.suspect_timeout
         return self.heartbeat_interval * self.timeout_beats
 
     @property
     def max_lag(self) -> float:
-        """Slowest possible crash -> confirmation delay."""
+        """Slowest possible crash -> confirmation delay.
+
+        In gossip mode this folds in the corroboration window: a dead
+        declaration needs a suspicion timeout, a probe phase, and either
+        m-of-n reports or the corroboration timeout, so the TTR bound of
+        the chaos invariants widens by exactly that delay.
+        """
+        if self.mode == "gossip":
+            return self.gossip.detection_bound
         return self.heartbeat_interval * (self.timeout_beats + 1)
 
+    @property
+    def probe_period(self) -> float:
+        """Period of the detector's probing schedule (phase jitter unit)."""
+        if self.mode == "gossip":
+            return self.gossip.probe_interval
+        return self.heartbeat_interval
+
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "heartbeat_interval": self.heartbeat_interval,
             "timeout_beats": self.timeout_beats,
             "false_positive_rate": self.false_positive_rate,
+            "mode": self.mode,
         }
+        if self.gossip is not None:
+            payload["gossip"] = self.gossip.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "DetectorSpec":
+        payload = dict(payload)
+        gossip = payload.pop("gossip", None)
+        if gossip is not None:
+            payload["gossip"] = GossipSpec.from_dict(gossip)
         return cls(**payload)
 
 

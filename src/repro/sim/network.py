@@ -565,6 +565,11 @@ def _flood_attempt_faulty(state: _State, rt: FaultRuntime, s: int,
             + costs.RECV_RESPONSE_PER_ADDRESS * to_a
             + costs.RECV_RESPONSE_PER_RESULT * to_r
         )
+    # Membership digests ride the flood tree and the surviving response
+    # edges (decentralized failure detection; free while nothing is
+    # rumored, charged per digest once a suspicion episode opens).
+    if rt.gossip is not None:
+        rt.gossip.on_flood(prop, edge_pass)
     fanout = _fanout_per_hop(prop) if st.tracer.enabled else []
     return delivered, float(prop.reach), stats.lost, fanout
 

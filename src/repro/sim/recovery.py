@@ -50,6 +50,7 @@ from ..core.load import (
 )
 from ..querymodel.files import default_file_distribution
 from ..topology.strong import CompleteGraph
+from .gossip import GossipDetector
 from .monitor import DetectorSpec, FailureDetector
 
 _MUX = costs.MULTIPLEX_PER_CONNECTION
@@ -141,11 +142,17 @@ class RecoveryRuntime:
         self._rep_units = np.zeros(n)
         self._base_graph = None
         self._heal_edges: dict[int, list[tuple[int, int]]] = {}
-        self.detector = FailureDetector(
-            policy.detector, runtime, rng,
-            on_confirmed=self._on_confirmed,
-            on_false_positive=self._on_false_positive,
-        )
+        if policy.detector.mode == "gossip":
+            self.detector = GossipDetector(
+                policy.detector, state, runtime, rng,
+                on_confirmed=self._on_confirmed,
+            )
+        else:
+            self.detector = FailureDetector(
+                policy.detector, runtime, rng,
+                on_confirmed=self._on_confirmed,
+                on_false_positive=self._on_false_positive,
+            )
         runtime.recovery = self
 
     def install(self, sim) -> None:
@@ -158,7 +165,7 @@ class RecoveryRuntime:
                 # A partition is detected like a crash: the boundary
                 # neighbours time out, one heartbeat phase later.
                 lag = spec.min_lag + float(
-                    self.rng.uniform(0.0, spec.heartbeat_interval)
+                    self.rng.uniform(0.0, spec.probe_period)
                 )
                 if start + lag < end:
                     sim.schedule_at(start + lag, self._heal_partition, index)
@@ -295,7 +302,7 @@ class RecoveryRuntime:
         if candidates.size == 0:
             # Everything reachable is dark too; keep probing each beat
             # until a target appears or the cluster recovers.
-            self.sim.schedule(self.policy.detector.heartbeat_interval,
+            self.sim.schedule(self.policy.detector.probe_period,
                               self._rehome, cluster)
             return
         # Rules of thumb (Section 5.3): fill the smallest surviving
@@ -516,7 +523,7 @@ class RecoveryRuntime:
         grace = (
             policy.detector.max_lag
             + max(policy.promotion_time, policy.rehome_time)
-            + policy.detector.heartbeat_interval
+            + policy.detector.probe_period
         )
         dark = np.nonzero(~rt.alive_mask())[0]
         for c in dark:
@@ -531,6 +538,8 @@ class RecoveryRuntime:
         out.repair_cluster_bytes_in = self._rep_in.copy()
         out.repair_cluster_bytes_out = self._rep_out.copy()
         out.repair_cluster_units = self._rep_units.copy()
+        if isinstance(self.detector, GossipDetector):
+            self.detector.finish(duration)
 
 
 def repair_attribution(instance, outcome, duration: float, attribution=None):

@@ -18,7 +18,7 @@ run *is* the baseline run (bit-identical loads), which
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -94,6 +94,38 @@ class ResilienceReport:
     def detection_lag(self) -> float:
         """Mean crash -> confirmed-detection delay, seconds."""
         return self.outcome.mean_detection_lag
+
+    @property
+    def false_suspicion_count(self) -> int:
+        """Live partners wrongly suspected by the failure detector."""
+        return self.outcome.false_suspicions
+
+    @property
+    def gossip_overhead(self) -> float:
+        """Total membership-protocol traffic in bytes (zero under the
+        oracle detector, which learns about crashes for free)."""
+        return self.outcome.gossip_bytes
+
+    def detection_lag_distribution(self) -> dict[str, float]:
+        """Summary of the crash -> confirmed-detection delays.
+
+        Returns ``{count, min, mean, p50, p90, max}`` (an empty dict when
+        nothing was detected).  Under the oracle the spread is one
+        heartbeat interval wide; under gossip it also carries suspicion
+        timers, corroboration, and partition-induced stragglers.
+        """
+        lags = self.outcome.detection_lags
+        if not lags:
+            return {}
+        arr = np.asarray(lags, dtype=float)
+        return {
+            "count": int(arr.size),
+            "min": float(arr.min()),
+            "mean": float(arr.mean()),
+            "p50": float(np.percentile(arr, 50)),
+            "p90": float(np.percentile(arr, 90)),
+            "max": float(arr.max()),
+        }
 
     @property
     def rehomed_clients(self) -> int:
@@ -175,6 +207,19 @@ class ResilienceReport:
                 ["permanently orphaned clients",
                  out.permanently_orphaned_clients],
             ])
+            if self.recovery.detector.mode == "gossip":
+                lag = self.detection_lag_distribution()
+                rows.extend([
+                    ["gossip rumors sent", out.gossip_rumors_sent],
+                    ["gossip suspicions / refutations",
+                     f"{out.gossip_suspicions} / {out.gossip_refutations}"],
+                    ["gossip dead declarations", out.gossip_declarations],
+                    ["gossip control messages", out.gossip_messages],
+                    ["gossip overhead (bytes)", f"{self.gossip_overhead:.0f}"],
+                    ["detection lag p50 / p90 (s)",
+                     f"{lag.get('p50', 0.0):.1f} / {lag.get('p90', 0.0):.1f}"],
+                    ["stale view entries at end", out.stale_view_entries],
+                ])
         return rows
 
     # --- serialization --------------------------------------------------------
@@ -226,6 +271,7 @@ def run_resilience(
     enable_updates: bool = True,
     recovery: RecoveryPolicy | None = None,
     tracer=None,
+    detector: str | None = None,
 ) -> ResilienceReport:
     """Measure an instance's degraded-mode behaviour under ``plan``.
 
@@ -241,12 +287,29 @@ def run_resilience(
     ``recovery`` (a :class:`RecoveryPolicy`) arms the self-healing
     layer for the degraded run only — the baseline never needs it and
     the comparison then reads as "what the repairs bought".
+
+    ``detector`` ("oracle" or "gossip") overrides the policy's failure
+    detector mode in place — the convenient switch for comparing control
+    planes under one policy.  Without a ``recovery`` policy it is inert:
+    detection exists only as part of the self-healing layer, so the run
+    stays bit-identical to the no-detector baseline.
     """
     if isinstance(rng, np.random.Generator):
         raise TypeError(
             "run_resilience needs a seed (int or None), not a Generator: "
             "the baseline and degraded runs must replay the same stream"
         )
+    if detector is not None:
+        if detector not in ("oracle", "gossip"):
+            raise ValueError(
+                f"detector must be 'oracle' or 'gossip', got {detector!r}"
+            )
+        if recovery is not None and recovery.detector.mode != detector:
+            recovery = replace(
+                recovery,
+                detector=replace(recovery.detector, mode=detector,
+                                 gossip=None),
+            )
     outcome = FaultOutcome()
     degraded = simulate_instance(
         instance, duration=duration, model=model, rng=rng,

@@ -81,3 +81,12 @@ def test_self_healing_scaled(monkeypatch, capsys):
     assert "repair timeline:" in out
     assert "first repairs:" in out
     assert "top repair-cost clusters" in out
+
+
+@pytest.mark.slow
+def test_gossip_membership_scaled(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "gossip_membership.py", "200")
+    assert "oracle" in out
+    assert "gossip" in out
+    assert "false susp" in out
+    assert "price of decentralization" in out

@@ -1,0 +1,125 @@
+"""Property-based tests for the gossip view lattice and the neutrality
+of the ``detector`` switch.
+
+The membership view merge must be a join-semilattice operation — that is
+the whole correctness argument for "rumors may arrive in any order, any
+number of times, over any path, and every view still converges".
+Hypothesis drives the packed-entry arrays directly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import Configuration
+from repro.sim.faults import CrashSpec, FaultPlan
+from repro.sim.gossip import (
+    ALIVE,
+    DEAD,
+    SUSPECT,
+    entry_inc,
+    entry_state,
+    merge_views,
+    pack_entry,
+)
+from repro.sim.resilience import run_resilience
+from repro.topology.builder import build_instance
+
+entries = st.builds(
+    pack_entry,
+    st.integers(min_value=0, max_value=2**40),
+    st.sampled_from((ALIVE, SUSPECT, DEAD)),
+)
+
+
+def views(size: int = 8):
+    return st.lists(entries, min_size=size, max_size=size).map(
+        lambda xs: np.asarray(xs, dtype=np.int64)
+    )
+
+
+class TestMergeSemilattice:
+    @given(views(), views())
+    @settings(max_examples=200, deadline=None)
+    def test_commutative(self, a, b):
+        np.testing.assert_array_equal(merge_views(a, b), merge_views(b, a))
+
+    @given(views())
+    @settings(max_examples=100, deadline=None)
+    def test_idempotent(self, a):
+        np.testing.assert_array_equal(merge_views(a, a), a)
+
+    @given(views(), views(), views())
+    @settings(max_examples=200, deadline=None)
+    def test_associative(self, a, b, c):
+        np.testing.assert_array_equal(
+            merge_views(merge_views(a, b), c),
+            merge_views(a, merge_views(b, c)),
+        )
+
+    @given(views(), views())
+    @settings(max_examples=200, deadline=None)
+    def test_incarnation_monotone(self, a, b):
+        # Merging never loses incarnation progress: the joined view's
+        # incarnations dominate both inputs', and where an input already
+        # holds the winning incarnation its claim is never weakened.
+        merged = merge_views(a, b)
+        assert (entry_inc(merged) >= entry_inc(a)).all()
+        assert (entry_inc(merged) >= entry_inc(b)).all()
+        for source in (a, b):
+            at = (entry_inc(merged) == entry_inc(source))
+            assert (entry_state(merged)[at] >= entry_state(source)[at]).all()
+
+    @given(views(), views())
+    @settings(max_examples=200, deadline=None)
+    def test_fresh_alive_beats_stale_rumors(self, a, b):
+        # The refutation rule: an ALIVE claim at a strictly higher
+        # incarnation out-versions every SUSPECT/DEAD rumor below it.
+        refuted = pack_entry(entry_inc(np.maximum(a, b)) + 1, ALIVE)
+        merged = merge_views(merge_views(a, b), refuted)
+        assert (entry_state(merged) == ALIVE).all()
+
+    @given(st.lists(views(), min_size=1, max_size=6), st.randoms())
+    @settings(max_examples=100, deadline=None)
+    def test_any_rumor_order_converges(self, rumor_sets, rnd):
+        # Fold the same rumor sets in two shuffled orders (with a
+        # duplicated delivery thrown in): both folds must converge to
+        # the same view — the property piggybacking relies on.
+        def fold(sets):
+            acc = np.zeros_like(sets[0])
+            for s in sets:
+                acc = merge_views(acc, s)
+            return acc
+
+        once = fold(rumor_sets)
+        shuffled = list(rumor_sets) + [rnd.choice(rumor_sets)]
+        rnd.shuffle(shuffled)
+        np.testing.assert_array_equal(once, fold(shuffled))
+
+
+class TestDetectorNeutrality:
+    """``detector=`` without a recovery policy must change nothing."""
+
+    @pytest.mark.slow
+    def test_gossip_switch_is_bit_identical_without_recovery(self):
+        instance = build_instance(
+            Configuration(graph_size=150, cluster_size=10, redundancy=True),
+            seed=5,
+        )
+        plan = FaultPlan(message_loss=0.04,
+                         crash=CrashSpec(mean_recovery=90.0))
+        base = run_resilience(instance, plan, duration=300.0, rng=7)
+        switched = run_resilience(instance, plan, duration=300.0, rng=7,
+                                  baseline=base.baseline, detector="gossip")
+        for name in ("superpeer_incoming_bps", "superpeer_outgoing_bps",
+                     "superpeer_processing_hz", "client_incoming_bps",
+                     "client_outgoing_bps", "client_processing_hz"):
+            np.testing.assert_array_equal(getattr(base.degraded, name),
+                                          getattr(switched.degraded, name))
+        for name in ("queries_attempted", "queries_failed",
+                     "flood_messages_attempted", "partner_crashes",
+                     "gossip_rumors_sent", "gossip_bytes"):
+            assert (getattr(base.outcome, name)
+                    == getattr(switched.outcome, name))
+        assert switched.outcome.gossip_rumors_sent == 0
