@@ -2,7 +2,8 @@
 
 One function, :func:`run_perf_workload`, executes the hot paths —
 ``build_instance``, ``evaluate_instance`` (exact and sampled), one
-message-level simulation, and the ``repro.api`` sweep executor both
+message-level simulation plus the same run on the vectorized array
+engine (``sim_array``), and the ``repro.api`` sweep executor both
 serially (``sweep_serial``) and sharded over :data:`SWEEP_JOBS` worker
 processes (``sweep_parallel``) — at fixed seeds under a private metrics
 registry, and packages the result as the ``BENCH_perf.json`` payload:
@@ -127,6 +128,10 @@ def run_perf_workload(
             sampled = evaluate_instance(instance, max_sources=50, rng=seed)
         with manifest.phase("sim_message_level"):
             sim = simulate_instance(instance, duration=sim_duration, rng=sim_seed)
+        with manifest.phase("sim_array"):
+            sim_array = simulate_instance(
+                instance, duration=sim_duration, rng=sim_seed, engine="array"
+            )
         with manifest.phase("sim_gossip"):
             gossip = gossip_workload()
     # The sweep phases run outside use_registry: run_sweep collects into
@@ -146,9 +151,17 @@ def run_perf_workload(
     registry.absorb(sweep_serial.registry)
     manifest.finish(registry)
 
+    # Shared-schedule determinism: both engines must replay the same
+    # arrivals (the differential harness owns the full contract).
+    if sim_array.num_queries != sim.num_queries:
+        raise AssertionError(
+            f"array engine replayed {sim_array.num_queries} queries, "
+            f"event engine {sim.num_queries}"
+        )
     snapshot = registry.snapshot()
     events = snapshot["counters"].get("sim.engine.events", 0.0)
     sim_seconds = manifest.phases["sim_message_level"]
+    array_seconds = manifest.phases["sim_array"]
     payload = {
         "schema": 1,
         "created_unix": time.time(),
@@ -166,6 +179,10 @@ def run_perf_workload(
         "sim_queries": sim.num_queries,
         "sim_virtual_seconds_per_wall_second": (
             sim_duration / sim_seconds if sim_seconds > 0 else None
+        ),
+        "sim_array_queries": sim_array.num_queries,
+        "sim_array_speedup": (
+            sim_seconds / array_seconds if array_seconds > 0 else None
         ),
         # Gossip control-plane counters: seeded-deterministic, gated
         # strictly like every other count (bench_gate._COUNT_FIELDS).
@@ -189,6 +206,7 @@ def run_perf_workload(
         "exact": exact,
         "sampled": sampled,
         "sim": sim,
+        "sim_array": sim_array,
         "gossip": gossip,
         "sweep_serial": sweep_serial,
         "sweep_parallel": sweep_parallel,

@@ -45,8 +45,15 @@ DEFAULT_TIME_SLACK = 0.25
 DEFAULT_COUNT_RTOL = 1e-6
 HISTORY_LIMIT = 200
 
+#: The array engine must stay at least this much faster than the
+#: message-level engine on the identical workload — the floor the
+#: vectorized backend was built to clear (compared within one run, so
+#: machine speed cancels out).
+ARRAY_MIN_SPEEDUP = 5.0
+
 #: Scalar payload fields that must match the baseline like counters do.
 _COUNT_FIELDS = ("num_clusters", "sim_events", "sim_queries", "sweep_points",
+                 "sim_array_queries",
                  "gossip_rumors", "gossip_suspicions", "gossip_refutations")
 
 #: Payload fields that must be identical for the comparison to be valid.
@@ -108,6 +115,19 @@ def compare(
                 f"phase {phase} regressed: {cur_s:.3f}s > allowed "
                 f"{allowed:.3f}s (baseline {base_s:.3f}s x {time_factor:g} "
                 f"+ {time_slack:g}s slack)"
+            )
+
+    # The array engine's speedup floor is compared within the *current*
+    # run (same machine for both phases), so it is immune to host speed.
+    cur_phases = current.get("phases_seconds", {})
+    event_s = cur_phases.get("sim_message_level")
+    array_s = cur_phases.get("sim_array")
+    if "sim_array" in baseline.get("phases_seconds", {}) and event_s and array_s:
+        speedup = event_s / array_s
+        if speedup < ARRAY_MIN_SPEEDUP:
+            failures.append(
+                f"sim_array speedup fell to {speedup:.2f}x over "
+                f"sim_message_level (floor {ARRAY_MIN_SPEEDUP:g}x)"
             )
     return failures
 

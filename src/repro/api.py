@@ -86,6 +86,17 @@ class ExperimentSpec:
     max_sources: int | None = 400
     keep_reports: bool = False
     label: str = ""
+    #: Simulation backend for :meth:`simulate` — "event" (the message
+    #: -level oracle) or "array" (the vectorized core, sim.fastcore).
+    #: The analytical :meth:`run` path never simulates, so the field is
+    #: inert there.
+    engine: str = "event"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("event", "array"):
+            raise ValueError(
+                f"engine must be 'event' or 'array', got {self.engine!r}"
+            )
 
     def run(self) -> ConfigurationSummary:
         """Evaluate this point (Section 4.1 steps 1-4) and summarize it."""
@@ -95,6 +106,24 @@ class ExperimentSpec:
             seed=self.seed,
             max_sources=self.max_sources,
             keep_reports=self.keep_reports,
+        )
+
+    def simulate(self, duration: float = 3600.0, **kwargs):
+        """Simulate one instance of this point's configuration.
+
+        Builds the trial-0 instance from the spec's seed and runs
+        :func:`repro.sim.network.simulate_instance` on the spec's
+        ``engine``.  ``kwargs`` pass through (faults, recovery, tracer,
+        ...), so the spec is the one place an experiment's backend
+        choice lives.
+        """
+        from .sim.network import simulate_instance
+        from .topology.builder import build_instance
+
+        instance = build_instance(self.config, seed=self.seed)
+        return simulate_instance(
+            instance, duration=duration, rng=self.seed,
+            engine=self.engine, **kwargs,
         )
 
 
@@ -289,6 +318,27 @@ def _evaluate_point(spec: ExperimentSpec):
     return summary, registry, fragment
 
 
+def _warm_instance_cache(specs: Sequence[ExperimentSpec]) -> None:
+    """Build every distinct instance a sweep will touch, once, pre-fork.
+
+    Keyed by :func:`repro.topology.builder.instance_fingerprint`, so
+    points that differ only in non-generative fields (TTL, rates) share
+    one build, and no two pool workers ever regenerate the same
+    topology.
+    """
+    from .core.analysis import _trial_seed
+    from .topology.builder import build_instance_cached, instance_fingerprint
+
+    seen: set[tuple] = set()
+    for point_spec in specs:
+        for trial in range(point_spec.trials):
+            trial_seed = _trial_seed(point_spec.seed, trial)
+            key = instance_fingerprint(point_spec.config, trial_seed)
+            if key not in seen:
+                seen.add(key)
+                build_instance_cached(point_spec.config, trial_seed)
+
+
 def run_sweep(spec: SweepSpec, jobs: int = 1) -> SweepResult:
     """Evaluate every point of ``spec``, sharded over ``jobs`` processes.
 
@@ -303,6 +353,13 @@ def run_sweep(spec: SweepSpec, jobs: int = 1) -> SweepResult:
     :class:`~repro.obs.metrics.MetricsRegistry` and
     :class:`~repro.obs.manifest.RunManifest` (per-point phases keyed by
     point label), folded associatively from the per-point fragments.
+
+    Parallel runs pre-warm the fingerprint-keyed instance cache
+    (:func:`repro.topology.builder.build_instance_cached`) in the parent
+    before the pool forks, so workers inherit every distinct topology
+    through copy-on-write memory instead of regenerating it per point,
+    and points are handed out in per-worker chunks rather than one IPC
+    round-trip each.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -311,8 +368,11 @@ def run_sweep(spec: SweepSpec, jobs: int = 1) -> SweepResult:
     if jobs == 1 or len(specs) <= 1:
         outcomes = [_evaluate_point(s) for s in specs]
     else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
-            outcomes = list(pool.map(_evaluate_point, specs))
+        _warm_instance_cache(specs)
+        workers = min(jobs, len(specs))
+        chunk = -(-len(specs) // workers)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(_evaluate_point, specs, chunksize=chunk))
 
     manifest = manifest_for(
         spec.name,

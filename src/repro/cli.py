@@ -266,7 +266,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     instance = build_instance(config, seed=args.seed)
     print(instance.describe())
     report = simulate_instance(instance, duration=args.duration, rng=args.seed,
-                               tracer=args.tracer)
+                               tracer=args.tracer, engine=args.engine)
     sp_in, sp_out, sp_proc = report.mean_superpeer_load()
     print(f"simulated {args.duration:.0f}s: {report.num_queries} queries, "
           f"{report.num_joins} joins, {report.num_updates} updates")
@@ -319,7 +319,7 @@ def cmd_resilience(args: argparse.Namespace) -> int:
         print(f"recovery: {policy.describe()}")
     report = run_resilience(
         instance, plan, duration=args.duration, rng=args.seed,
-        recovery=policy, tracer=args.tracer,
+        recovery=policy, tracer=args.tracer, engine=args.engine,
     )
     print(render_resilience_report(
         report, title=f"resilience over {args.duration:.0f}s"
@@ -361,6 +361,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         recovery=not args.no_recovery,
         replay=not args.no_replay,
         detector=args.detector,
+        engine=args.engine,
     )
     result = run_chaos(spec, jobs=args.jobs)
     get_registry().absorb(result.registry)
@@ -506,10 +507,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-connections", type=int, default=None)
     p.set_defaults(func=cmd_capacity)
 
-    p = sub.add_parser("simulate", help="run the event-driven simulator")
+    p = sub.add_parser("simulate", help="run the message-level simulator")
     _add_config_arguments(p)
     p.add_argument("--duration", type=float, default=3600.0,
                    help="virtual seconds to simulate")
+    p.add_argument("--engine", choices=("event", "array"), default="event",
+                   help="simulation backend: 'event' (message-level "
+                        "oracle) or 'array' (vectorized fastcore)")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser(
@@ -560,6 +564,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable partition healing links")
     p.add_argument("--repair-top", type=int, default=0,
                    help="also print the top-N repair-cost hotspot clusters")
+    p.add_argument("--engine", choices=("event", "array"), default="event",
+                   help="simulation backend for both runs")
     p.set_defaults(func=cmd_resilience)
 
     p = sub.add_parser(
@@ -589,6 +595,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write per-case results as JSON")
     p.add_argument("--manifest-out", metavar="PATH", default=None,
                    help="write the merged chaos RunManifest as JSON")
+    p.add_argument("--engine", choices=("event", "array"), default="event",
+                   help="simulation backend for every case")
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(

@@ -14,7 +14,7 @@ from typing import Callable
 from ..config import Configuration
 from ..querymodel.distributions import QueryModel
 from ..stats.confidence import ConfidenceInterval, mean_confidence_interval
-from ..topology.builder import build_instance
+from ..topology.builder import build_instance_cached
 from .load import LoadReport, LoadVector, evaluate_instance
 
 #: The scalar statistics extracted from every trial's LoadReport.
@@ -117,7 +117,7 @@ def evaluate_configuration(
     samples: dict[str, list[float]] = {name: [] for name in _METRICS}
     reports: list[LoadReport] = []
     for trial in range(trials):
-        instance = build_instance(config, seed=_trial_seed(seed, trial))
+        instance = build_instance_cached(config, seed=_trial_seed(seed, trial))
         report = evaluate_instance(
             instance, model=model, max_sources=max_sources, rng=_trial_seed(seed, trial)
         )

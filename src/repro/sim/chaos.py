@@ -182,6 +182,7 @@ class ChaosSpec:
     recovery: bool = True
     replay: bool = True
     detector: str = "oracle"
+    engine: str = "event"
 
     def __post_init__(self) -> None:
         if self.cases < 1:
@@ -191,6 +192,10 @@ class ChaosSpec:
         if self.detector not in ("oracle", "gossip"):
             raise ValueError(
                 f"detector must be 'oracle' or 'gossip', got {self.detector!r}"
+            )
+        if self.engine not in ("event", "array"):
+            raise ValueError(
+                f"engine must be 'event' or 'array', got {self.engine!r}"
             )
 
     @property
@@ -215,10 +220,12 @@ class ChaosSpec:
             "recovery": self.recovery,
             "replay": self.replay,
             "detector": self.detector,
+            "engine": self.engine,
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ChaosSpec":
+        payload = {"engine": "event", **payload}
         return cls(**payload)
 
 
@@ -384,6 +391,7 @@ def run_chaos_case(spec: ChaosSpec, seed: int) -> ChaosCaseResult:
     )
     report = run_resilience(
         instance, plan, duration=spec.duration, rng=seed, recovery=policy,
+        engine=spec.engine,
     )
     violations = check_invariants(report, instance, policy)
     digest = _load_digest(report.degraded)
@@ -393,7 +401,7 @@ def run_chaos_case(spec: ChaosSpec, seed: int) -> ChaosCaseResult:
         # simulation re-runs.
         replay = run_resilience(
             instance, plan, duration=spec.duration, rng=seed,
-            baseline=report.baseline, recovery=policy,
+            baseline=report.baseline, recovery=policy, engine=spec.engine,
         )
         if _load_digest(replay.degraded) != digest:
             violations.append("replay: degraded loads are not bit-identical")
@@ -484,6 +492,7 @@ def run_chaos(spec: ChaosSpec, jobs: int = 1) -> ChaosReport:
         recovery=spec.recovery,
         replay=spec.replay,
         detector=spec.detector,
+        engine=spec.engine,
         jobs=jobs,
     )
     registry = MetricsRegistry()

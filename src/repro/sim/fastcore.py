@@ -1,0 +1,708 @@
+"""Array-native simulation backend (``engine="array"``).
+
+The event engine (:mod:`repro.sim.network`) pushes every query through a
+Python-level BFS and samples per-collection Binomial matches — faithful,
+but ~24M message accountings per benchmark run.  This module reproduces
+the same measured loads with structure-of-arrays kernels:
+
+* **Shared schedule** — both engines replay one pre-generated
+  :class:`~repro.sim.schedule.WorkloadSchedule`, so query / join /
+  update counts are bit-equal across engines by construction.
+* **Batched floods** — :func:`flood_block` runs blocks of BFS floods as
+  ``(block, nodes)`` numpy arrays over the CSR overlay, bit-identical to
+  :func:`repro.core.routing.propagate_query` per source (the
+  property-test contract in ``tests/test_fastcore.py``).  Since the
+  fault-free flood depends only on the source, per-source results are
+  weighted by that source's query count instead of being recomputed per
+  query — flood transmissions, receipts and reach are then *exactly* the
+  event engine's totals (integer-valued sums, exact under reordering).
+* **Mean-field responses** — per-query response weights are replaced by
+  their conditional expectations given the query-class mix and
+  per-window cluster index sizes (the paper's Eq. 5/6 expectations,
+  ``querymodel.distributions``), accumulated up each source's reverse
+  path in one batched pass.  Per-node response loads therefore agree in
+  expectation and concentrate over thousands of queries; the
+  differential harness (``tests/test_differential.py``) pre-registers
+  the tolerances.
+* **Sampled deliveries** — what each querying client actually receives
+  (results per query, delivery bytes) is still genuinely sampled, as
+  vectorized end-of-run draws, so result-count distributions stay
+  realistic.
+
+Under a :class:`~repro.sim.faults.FaultPlan` the array engine reuses the
+event engine's entire control plane — ``_State``, ``FaultRuntime``,
+``RecoveryRuntime``, gossip detection, retries — and swaps only the
+match sampler: per-cluster hits are drawn from the cluster-level hit
+probability (``n`` uniforms per query) instead of per-collection
+Binomials (``total_clients`` draws per query).  Fault semantics are
+therefore shared by code, not by reimplementation.
+
+The fault-free array path is aggregate-only: it cannot emit per-query
+trace events, so a ``tracer`` is accepted but stays silent (faulty runs
+trace normally through the shared event core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import constants
+from ..core import costs
+from ..core.load import _HANDSHAKE_BYTES, _HANDSHAKE_RECV_UNITS, _HANDSHAKE_SEND_UNITS
+from ..obs.metrics import get_registry
+from ..querymodel.distributions import QueryModel, default_query_model
+from ..stats.rng import derive_rng
+from ..topology.builder import NetworkInstance
+from ..topology.strong import CompleteGraph
+from ..units import bytes_per_second_to_bps, units_per_second_to_hz
+from .faults import FaultOutcome, FaultPlan
+from .schedule import WorkloadSchedule, generate_workload
+
+__all__ = ["FloodBlock", "flood_block", "simulate_instance_array"]
+
+#: Number of index-size snapshots taken across a run.  Churn drifts the
+#: per-cluster file totals slowly (a few percent per window at default
+#: rates), so piecewise-constant snapshots capture the drift the
+#: event engine's per-query index reads see.
+DEFAULT_WINDOWS = 8
+
+#: Sources per batched BFS block: large enough to amortize numpy call
+#: overhead, small enough that the (block, nodes, 3) response buffers
+#: stay cache- and memory-friendly at 50k-node scale.
+DEFAULT_BLOCK = 64
+
+
+@dataclass(frozen=True)
+class FloodBlock:
+    """A block of BFS floods over one overlay, one row per source.
+
+    Row ``i`` is exactly ``propagate_query(graph, sources[i], ttl)``:
+    same depths, same first-sender predecessors (the minimum-id frontier
+    neighbor — frontiers are ascending, so "first writer" is "lowest
+    sender"), same per-node transmissions and receipts.
+    """
+
+    sources: np.ndarray        # (b,)
+    ttl: int
+    depth: np.ndarray          # (b, n) BFS depth; -1 if not reached
+    pred: np.ndarray           # (b, n) first-sender predecessor; -1 at source/unreached
+    transmissions: np.ndarray  # (b, n) query messages sent by each node
+    receipts: np.ndarray       # (b, n) query messages received by each node
+
+    @property
+    def reached(self) -> np.ndarray:
+        return self.depth >= 0
+
+    def reach(self) -> np.ndarray:
+        """Clusters reached per source (the paper's *reach*), (b,)."""
+        return np.count_nonzero(self.reached, axis=1)
+
+
+def flood_block(graph, sources, ttl: int) -> FloodBlock:
+    """Batched BFS floods from ``sources``, equivalent to per-source
+    :func:`~repro.core.routing.propagate_query`.
+
+    Per step the whole block advances at once over the directed edge
+    arrays: a ``(block, edges)`` activity mask selects edges whose tail
+    is on that row's frontier and whose head is unreached, and a
+    head-segmented ``minimum.reduceat`` picks each new node's
+    predecessor (the lowest-id frontier neighbor, matching the scalar
+    kernel's first-writer-wins on ascending frontiers).  Transmissions
+    and receipts then follow from depths and predecessors in closed form,
+    exactly as the scalar kernel computes them.
+    """
+    if isinstance(graph, CompleteGraph):
+        graph = graph.materialize()
+    n = graph.num_nodes
+    if ttl < 1:
+        raise ValueError("ttl must be >= 1")
+    sources = np.asarray(sources, dtype=np.int64)
+    if sources.size and (sources.min() < 0 or sources.max() >= n):
+        raise IndexError(f"sources out of range [0, {n})")
+    b = sources.size
+    rows = np.arange(b)
+
+    tails, heads = graph.directed_edge_arrays()
+    head_order = np.argsort(heads, kind="stable")
+    heads_sorted = heads[head_order]
+    tails_sorted = tails[head_order]
+    uniq_heads, seg_starts = np.unique(heads_sorted, return_index=True)
+
+    depth = np.full((b, n), -1, dtype=np.int64)
+    pred = np.full((b, n), -1, dtype=np.int64)
+    depth[rows, sources] = 0
+    frontier = np.zeros((b, n), dtype=bool)
+    frontier[rows, sources] = True
+    for d in range(ttl):
+        active = frontier[:, tails_sorted] & (depth[:, heads_sorted] == -1)
+        if not active.any():
+            break
+        # Min tail per (row, head) segment; n is the "no sender" sentinel.
+        cand = np.where(active, tails_sorted[np.newaxis, :], n)
+        best = np.minimum.reduceat(cand, seg_starts, axis=1)
+        new_rows, new_cols = np.nonzero(best < n)
+        if new_rows.size == 0:
+            break
+        nodes = uniq_heads[new_cols]
+        depth[new_rows, nodes] = d + 1
+        pred[new_rows, nodes] = best[new_rows, new_cols]
+        frontier = np.zeros((b, n), dtype=bool)
+        frontier[new_rows, nodes] = True
+
+    degrees = graph.degrees.astype(np.float64)
+    reached = depth >= 0
+    forwarder = reached & (depth < ttl)
+    transmissions = np.where(forwarder, degrees[np.newaxis, :] - 1.0, 0.0)
+    transmissions[rows, sources] = np.where(
+        forwarder[rows, sources], degrees[sources], 0.0
+    )
+    live = forwarder[:, tails_sorted] & (pred[:, tails_sorted] != heads_sorted[np.newaxis, :])
+    receipts = np.zeros((b, n))
+    if uniq_heads.size:
+        receipts[:, uniq_heads] = np.add.reduceat(
+            live.astype(np.float64), seg_starts, axis=1
+        )
+    return FloodBlock(
+        sources=sources, ttl=int(ttl), depth=depth, pred=pred,
+        transmissions=transmissions, receipts=receipts,
+    )
+
+
+def _complete_block(n: int, sources: np.ndarray, ttl: int) -> FloodBlock:
+    """Closed-form :class:`FloodBlock` on K_n (mirrors
+    :func:`~repro.core.routing.complete_graph_propagation`)."""
+    sources = np.asarray(sources, dtype=np.int64)
+    b = sources.size
+    rows = np.arange(b)
+    depth = np.ones((b, n), dtype=np.int64)
+    depth[rows, sources] = 0
+    pred = np.broadcast_to(sources[:, np.newaxis], (b, n)).copy()
+    pred[rows, sources] = -1
+    transmissions = np.zeros((b, n))
+    receipts = np.zeros((b, n))
+    if n > 1:
+        transmissions[rows, sources] = n - 1.0
+        receipts[:] = 1.0
+        receipts[rows, sources] = 0.0
+        if ttl >= 2 and n > 2:
+            transmissions[:] = n - 2.0
+            transmissions[rows, sources] = n - 1.0
+            receipts[:] = n - 1.0
+            receipts[rows, sources] = 0.0
+    return FloodBlock(
+        sources=sources, ttl=int(ttl), depth=depth, pred=pred,
+        transmissions=transmissions, receipts=receipts,
+    )
+
+
+def _prop_block(graph, sources: np.ndarray, ttl: int) -> FloodBlock:
+    if isinstance(graph, CompleteGraph):
+        return _complete_block(graph.num_nodes, sources, ttl)
+    return flood_block(graph, sources, ttl)
+
+
+def _miss_power_table(log_miss: np.ndarray, collections: np.ndarray) -> np.ndarray:
+    """phi[j] = mean over collections x of (1 - f_j)^x, class-chunk safe.
+
+    The empirical per-collection miss probability of each query class
+    (Appendix B), computed blocked over collections so the intermediate
+    never materializes a (collections, classes) matrix at 50k-node scale.
+    """
+    total = np.zeros(log_miss.size)
+    x = collections.astype(float)
+    step = 16384
+    for start in range(0, x.size, step):
+        chunk = x[start:start + step]
+        total += np.exp(np.multiply.outer(chunk, log_miss)).sum(axis=0)
+    return total / max(1, x.size)
+
+
+def simulate_instance_array(
+    instance: NetworkInstance,
+    duration: float = 3600.0,
+    model: QueryModel | None = None,
+    rng: np.random.Generator | int | None = None,
+    enable_churn: bool = True,
+    enable_updates: bool = True,
+    faults: FaultPlan | None = None,
+    fault_metrics: FaultOutcome | None = None,
+    recovery=None,
+    tracer=None,
+    schedule: WorkloadSchedule | None = None,
+    windows: int = DEFAULT_WINDOWS,
+    block: int = DEFAULT_BLOCK,
+):
+    """Array-engine counterpart of
+    :func:`repro.sim.network.simulate_instance` (same signature, same
+    :class:`~repro.sim.network.SimulationReport`).
+
+    Fault-free runs take the fully vectorized aggregate path below;
+    faulty runs delegate to the event core with the mean-field match
+    sampler swapped in (see module docstring).  Counters that are
+    deterministic given the shared schedule — queries, joins, updates,
+    flood transmissions, reach — equal the event engine's bit for bit;
+    sampled quantities agree statistically (``tests/test_differential.py``).
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    model = model or default_query_model()
+    if faults is not None and faults.is_null:
+        faults = None
+    if schedule is None:
+        schedule = generate_workload(
+            instance, duration, rng,
+            enable_churn=enable_churn, enable_updates=enable_updates,
+            model=model,
+        )
+    elif schedule.duration != duration:
+        raise ValueError(
+            f"schedule covers {schedule.duration}s, run wants {duration}s"
+        )
+    if faults is not None:
+        return _simulate_faulty_array(
+            instance, duration, model, rng, schedule, faults,
+            fault_metrics, recovery, tracer,
+        )
+    return _simulate_fault_free_array(
+        instance, duration, model, rng, schedule,
+        windows=windows, block=block,
+    )
+
+
+# --- fault-free aggregate path ------------------------------------------------
+
+
+def _simulate_fault_free_array(
+    instance: NetworkInstance,
+    duration: float,
+    model: QueryModel,
+    rng,
+    schedule: WorkloadSchedule,
+    windows: int,
+    block: int,
+):
+    from .network import (  # deferred: network lazily imports this module
+        _MUX, _QUERY_BYTES, _RECV_Q, _SEND_Q, SimulationReport,
+    )
+
+    n = instance.num_clusters
+    k = instance.partners
+    ttl = instance.config.ttl
+    graph = instance.graph
+    clients = instance.clients
+    ptr = instance.client_ptr
+    m_sp = instance.superpeer_connections.astype(float)
+    m_cl = float(instance.client_connections)
+    rng_a = derive_rng(rng, "sim", "array")
+
+    registry = get_registry()
+    m_queries = registry.counter("sim.queries")
+    m_joins = registry.counter("sim.joins")
+    m_updates = registry.counter("sim.updates")
+    m_query_messages = registry.counter("sim.query_messages")
+    m_response_messages = registry.counter("sim.response_messages")
+    m_results = registry.histogram("sim.results_per_query")
+
+    sp_in = np.zeros(n)
+    sp_out = np.zeros(n)
+    sp_proc = np.zeros(n)
+    total_clients = instance.total_clients
+    cl_in = np.zeros(total_clients)
+    cl_out = np.zeros(total_clients)
+    cl_proc = np.zeros(total_clients)
+
+    Q = schedule.num_queries
+    U = schedule.num_updates
+    W = max(1, int(windows))
+    deltas = np.zeros((W, n))
+    cluster_of_client = np.repeat(np.arange(n), clients)
+
+    def window_of(times: np.ndarray) -> np.ndarray:
+        return np.minimum((times / duration * W).astype(np.int64), W - 1)
+
+    # Query classes and replacement collections come pre-drawn from the
+    # shared schedule — identical to what the event engine consumes, so
+    # the heavy-tailed workload attributes never diverge across engines.
+    j_q = schedule.q_class
+
+    # --- client churn: exact per-event accounting, vectorized ---------------
+    C = schedule.num_client_churn
+    if C:
+        order = np.lexsort((schedule.c_time, schedule.c_client))
+        cc = schedule.c_client[order]
+        ct = schedule.c_time[order]
+        new_files = schedule.c_files[order]
+        first = np.ones(C, dtype=bool)
+        first[1:] = cc[1:] != cc[:-1]
+        prev = np.empty(C, dtype=np.int64)
+        prev[first] = instance.client_files[cc[first]]
+        idx_nf = np.nonzero(~first)[0]
+        prev[idx_nf] = new_files[idx_nf - 1]
+        cl_cluster = cluster_of_client[cc]
+        join_bytes = (
+            constants.JOIN_MESSAGE_BASE + constants.FILE_METADATA_SIZE * new_files
+        ).astype(float)
+        np.add.at(sp_proc, cl_cluster,
+                  costs.PROCESS_JOIN_BASE + costs.PROCESS_JOIN_PER_FILE * prev)
+        np.add.at(cl_out, cc, k * join_bytes)
+        np.add.at(cl_proc, cc, k * (
+            costs.SEND_JOIN_BASE + costs.SEND_JOIN_PER_FILE * new_files
+            + _MUX * m_cl
+        ))
+        np.add.at(sp_in, cl_cluster, join_bytes)
+        np.add.at(sp_proc, cl_cluster, (
+            costs.RECV_JOIN_BASE + costs.RECV_JOIN_PER_FILE * new_files
+            + _MUX * m_sp[cl_cluster]
+            + costs.PROCESS_JOIN_BASE + costs.PROCESS_JOIN_PER_FILE * new_files
+        ))
+        np.add.at(deltas, (window_of(ct), cl_cluster),
+                  (new_files - prev).astype(float))
+
+    # --- partner churn ------------------------------------------------------
+    P = schedule.num_partner_churn
+    if P:
+        flat = schedule.p_cluster * k + schedule.p_slot
+        order = np.lexsort((schedule.p_time, flat))
+        pf = flat[order]
+        pt = schedule.p_time[order]
+        pcl = pf // k
+        new_p = schedule.p_files[order]
+        first = np.ones(P, dtype=bool)
+        first[1:] = pf[1:] != pf[:-1]
+        prev_p = np.empty(P, dtype=np.int64)
+        prev_p[first] = instance.partner_files.ravel()[pf[first]]
+        idx_nf = np.nonzero(~first)[0]
+        prev_p[idx_nf] = new_p[idx_nf - 1]
+        m_here = m_sp[pcl]
+        np.add.at(sp_out, pcl, _HANDSHAKE_BYTES * m_here / k)
+        np.add.at(sp_in, pcl, _HANDSHAKE_BYTES * m_here / k)
+        np.add.at(sp_proc, pcl, m_here * (
+            _HANDSHAKE_SEND_UNITS + _HANDSHAKE_RECV_UNITS + 2 * _MUX * m_here
+        ) / k)
+        if k > 1:
+            jb = (
+                constants.JOIN_MESSAGE_BASE
+                + constants.FILE_METADATA_SIZE * new_p
+            ).astype(float)
+            np.add.at(sp_out, pcl, (k - 1) * jb / k)
+            np.add.at(sp_in, pcl, (k - 1) * jb / k)
+            np.add.at(sp_proc, pcl, (k - 1) * (
+                costs.SEND_JOIN_BASE + costs.SEND_JOIN_PER_FILE * new_p
+                + costs.RECV_JOIN_BASE + costs.RECV_JOIN_PER_FILE * new_p
+                + 2 * _MUX * m_here
+                + costs.PROCESS_JOIN_BASE + costs.PROCESS_JOIN_PER_FILE * new_p
+                + costs.PROCESS_JOIN_BASE + costs.PROCESS_JOIN_PER_FILE * prev_p
+            ) / k)
+        np.add.at(deltas, (window_of(pt), pcl),
+                  (new_p - prev_p).astype(float))
+    num_joins = C + P
+
+    # --- updates: exact per-event accounting --------------------------------
+    if U:
+        u_cluster = schedule.u_cluster
+        is_client_u = schedule.u_pick < clients[u_cluster]
+        upd = float(constants.UPDATE_MESSAGE_SIZE)
+        uc = u_cluster[is_client_u]
+        uc_client = ptr[uc] + schedule.u_pick[is_client_u]
+        np.add.at(cl_out, uc_client, k * upd)
+        np.add.at(cl_proc, uc_client,
+                  k * (costs.SEND_UPDATE_UNITS + _MUX * m_cl))
+        np.add.at(sp_in, uc, upd)
+        np.add.at(sp_proc, uc,
+                  costs.RECV_UPDATE_UNITS + _MUX * m_sp[uc]
+                  + costs.PROCESS_UPDATE_UNITS)
+        up = u_cluster[~is_client_u]
+        np.add.at(sp_proc, up, costs.PROCESS_UPDATE_UNITS / k)
+        if k > 1:
+            np.add.at(sp_out, up, (k - 1) * upd / k)
+            np.add.at(sp_in, up, (k - 1) * upd / k)
+            np.add.at(sp_proc, up, (k - 1) * (
+                costs.SEND_UPDATE_UNITS + costs.RECV_UPDATE_UNITS
+                + 2 * _MUX * m_sp[up] + costs.PROCESS_UPDATE_UNITS
+            ) / k)
+
+    # --- per-window index sizes and response-weight channels ----------------
+    F0 = instance.index_sizes.astype(float)
+    F_wins = F0[np.newaxis, :] + np.vstack(
+        [np.zeros((1, n)), np.cumsum(deltas, axis=0)[:-1]]
+    )
+    F_wins = np.maximum(F_wins, 0.0)
+
+    M = max(1, Q)
+    log_miss = np.log1p(-model.f)
+    J = model.num_classes
+    mwj = np.zeros((W, J))
+    w_q = window_of(schedule.q_time) if Q else np.zeros(0, dtype=np.int64)
+    if Q:
+        np.add.at(mwj, (w_q, j_q), 1.0)
+    m_w = mwj.sum(axis=1)
+    m_j = mwj.sum(axis=0)
+
+    collections = np.concatenate(
+        [instance.client_files, instance.partner_files.ravel()]
+    )
+    phi = _miss_power_table(log_miss, collections)
+
+    # Per-cluster expected response weights, summed over all queries:
+    #   msg:  P(cluster answers)     = 1 - (1 - f_j)^F_c
+    #   res:  E[results per cluster] = f_j * F_c                    (Eq. 5)
+    #   addr: E[responding colls]    = Np_c * (1 - phi_j)           (Eq. 6)
+    W_msg = np.zeros(n)
+    W_res = np.zeros(n)
+    sum_mf = mwj @ model.f
+    for w in range(W):
+        active = np.nonzero(mwj[w])[0]
+        if active.size == 0:
+            continue
+        pw = np.exp(np.multiply.outer(F_wins[w], log_miss[active]))
+        W_msg += m_w[w] - pw @ mwj[w, active]
+        W_res += sum_mf[w] * F_wins[w]
+    np_c = (clients + k).astype(float)
+    W_addr = np_c * float(m_j @ (1.0 - phi))
+    W3 = np.stack([W_msg, W_addr, W_res], axis=1)
+
+    # Cluster-level hit probability and addresses-per-result ratio used by
+    # the per-query delivery draws (global mean-field constants).
+    pbar = 1.0 - np.exp(np.multiply.outer(F0, log_miss)).mean(axis=0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        a_frac = np.where(
+            model.f > 0,
+            np.clip(
+                collections.size * (1.0 - phi)
+                / np.maximum(model.f * float(collections.sum()), 1e-300),
+                0.0, 1.0,
+            ),
+            0.0,
+        )
+
+    # --- per-source flood + reverse-path response pass ----------------------
+    RESP = np.array([
+        float(constants.RESPONSE_MESSAGE_BASE),
+        float(constants.RESPONSE_ADDRESS_SIZE),
+        float(constants.RESULT_RECORD_SIZE),
+    ])
+    m_s = np.bincount(schedule.q_cluster, minlength=n).astype(float) if Q \
+        else np.zeros(n)
+    q_sources = np.nonzero(m_s)[0]
+    total_flood = 0.0
+    total_reach = 0.0
+    resp_msgs = 0.0
+    reach_count = np.zeros(n)
+    F_reach = np.zeros((n, W))
+    for start in range(0, q_sources.size, max(1, block)):
+        src = q_sources[start:start + max(1, block)]
+        fb = _prop_block(graph, src, ttl)
+        b = src.size
+        rows = np.arange(b)
+        mb = m_s[src]
+        reached = fb.reached
+
+        tw = mb @ fb.transmissions
+        rw = mb @ fb.receipts
+        sp_out += tw * _QUERY_BYTES / k
+        sp_proc += tw * (_SEND_Q + _MUX * m_sp) / k
+        sp_in += rw * _QUERY_BYTES / k
+        sp_proc += rw * (_RECV_Q + _MUX * m_sp) / k
+        total_flood += float(fb.transmissions.sum(axis=1) @ mb)
+        reach_s = fb.reach()
+        total_reach += float(reach_s @ mb)
+        reach_count[src] = reach_s
+        F_reach[src] = reached @ F_wins.T
+
+        # Index probe at every reached cluster (base + per-result).
+        cnt = mb @ reached
+        sp_proc += (
+            costs.PROCESS_QUERY_BASE * cnt
+            + costs.PROCESS_QUERY_PER_RESULT * (cnt / M) * W_res
+        ) / k
+
+        # Response channels: each source carries its share of the global
+        # expected weights, masked to its reached set, zero at itself.
+        Wb = (mb / M)[:, np.newaxis, np.newaxis] * W3[np.newaxis, :, :]
+        Wb[~reached] = 0.0
+        Wb[rows, src] = 0.0
+        fw = Wb.reshape(b * n, 3).copy()
+        flat_pred = (fb.pred + rows[:, np.newaxis] * n).reshape(-1)
+        flat_depth = fb.depth.reshape(-1)
+        for d in range(int(fb.depth.max(initial=0)), 0, -1):
+            idx = np.nonzero(flat_depth == d)[0]
+            if idx.size:
+                np.add.at(fw, flat_pred[idx], fw[idx])
+        fw3 = fw.reshape(b, n, 3)
+        fw_sum = fw3.sum(axis=0)
+        inc = fw_sum - Wb.sum(axis=0)
+        sender_sum = fw_sum.copy()
+        np.subtract.at(sender_sum, src, fw3[rows, src])
+
+        sp_out += sender_sum @ RESP / k
+        sp_proc += (
+            (costs.SEND_RESPONSE_BASE + _MUX * m_sp) * sender_sum[:, 0]
+            + costs.SEND_RESPONSE_PER_ADDRESS * sender_sum[:, 1]
+            + costs.SEND_RESPONSE_PER_RESULT * sender_sum[:, 2]
+        ) / k
+        sp_in += inc @ RESP / k
+        sp_proc += (
+            (costs.RECV_RESPONSE_BASE + _MUX * m_sp) * inc[:, 0]
+            + costs.RECV_RESPONSE_PER_ADDRESS * inc[:, 1]
+            + costs.RECV_RESPONSE_PER_RESULT * inc[:, 2]
+        ) / k
+        resp_msgs += float(sender_sum[:, 0].sum())
+
+    # --- per-query client submit (exact) and sampled deliveries -------------
+    total_results = 0.0
+    if Q:
+        q_src = schedule.q_cluster
+        is_client_q = schedule.q_pick < clients[q_src]
+        cq_src = q_src[is_client_q]
+        cq_client = ptr[cq_src] + schedule.q_pick[is_client_q]
+        np.add.at(cl_out, cq_client, float(_QUERY_BYTES))
+        np.add.at(cl_proc, cq_client, _SEND_Q + _MUX * m_cl)
+        np.add.at(sp_in, cq_src, _QUERY_BYTES / k)
+        np.add.at(sp_proc, cq_src, (_RECV_Q + _MUX * m_sp[cq_src]) / k)
+
+        f_q = model.f[j_q]
+        Fq_src = F_wins[w_q, q_src]
+        Fq_reach = F_reach[q_src, w_q]
+        own = rng_a.binomial(np.maximum(Fq_src, 0.0).astype(np.int64), f_q)
+        remote = rng_a.binomial(
+            np.maximum(Fq_reach - Fq_src, 0.0).astype(np.int64), f_q
+        )
+        to_r = (own + remote).astype(float)
+        total_results = float(to_r.sum())
+        reach_q = reach_count[q_src]
+        mm = rng_a.binomial(
+            np.maximum(reach_q - 1, 0).astype(np.int64), pbar[j_q]
+        )
+        mm = np.where(
+            remote > 0,
+            np.clip(mm, 1, np.maximum(np.minimum(remote, reach_q - 1), 1)),
+            0,
+        )
+        to_m = (own > 0).astype(float) + mm
+        to_a = np.where(
+            to_m > 0,
+            np.clip(np.rint(to_r * a_frac[j_q]), to_m, to_r),
+            0.0,
+        )
+
+        deliver = is_client_q & (to_m > 0)
+        ds = q_src[deliver]
+        dc = ptr[ds] + schedule.q_pick[deliver]
+        dm, da, dr = to_m[deliver], to_a[deliver], to_r[deliver]
+        bytes_to_client = RESP[0] * dm + RESP[1] * da + RESP[2] * dr
+        np.add.at(sp_out, ds, bytes_to_client / k)
+        np.add.at(sp_proc, ds, (
+            (costs.SEND_RESPONSE_BASE + _MUX * m_sp[ds]) * dm
+            + costs.SEND_RESPONSE_PER_ADDRESS * da
+            + costs.SEND_RESPONSE_PER_RESULT * dr
+        ) / k)
+        np.add.at(cl_in, dc, bytes_to_client)
+        np.add.at(cl_proc, dc, (
+            (costs.RECV_RESPONSE_BASE + _MUX * m_cl) * dm
+            + costs.RECV_RESPONSE_PER_ADDRESS * da
+            + costs.RECV_RESPONSE_PER_RESULT * dr
+        ))
+        for v in to_r:
+            m_results.observe(float(v))
+
+    m_queries.add(float(Q))
+    m_joins.add(float(num_joins))
+    m_updates.add(float(U))
+    m_query_messages.add(total_flood)
+    m_response_messages.add(resp_msgs)
+
+    return SimulationReport(
+        duration=duration,
+        num_queries=Q,
+        num_joins=num_joins,
+        num_updates=U,
+        superpeer_incoming_bps=bytes_per_second_to_bps(sp_in / duration),
+        superpeer_outgoing_bps=bytes_per_second_to_bps(sp_out / duration),
+        superpeer_processing_hz=units_per_second_to_hz(sp_proc / duration),
+        client_incoming_bps=bytes_per_second_to_bps(cl_in / duration),
+        client_outgoing_bps=bytes_per_second_to_bps(cl_out / duration),
+        client_processing_hz=units_per_second_to_hz(cl_proc / duration),
+        mean_results_per_query=total_results / M,
+        mean_reach_clusters=total_reach / M,
+    )
+
+
+# --- faulty path: shared event core, mean-field match sampler ----------------
+
+
+def _make_meanfield_sampler(instance: NetworkInstance, model: QueryModel):
+    """Build the array engine's faulty-run query function.
+
+    Drop-in for ``network._run_query_faulty`` (the class ``j`` arrives
+    pre-drawn from the shared schedule): replaces per-collection
+    Binomial matches with cluster-level draws — hit ~
+    Bernoulli(1 - (1-f_j)^F_c), with result and responder counts set to
+    their conditional expectations given a hit — and hands off to the
+    shared ``_process_query_faulty`` so retry, failover, response-loss
+    and gossip semantics are the event engine's own code.
+    """
+    from .network import _orphan_query, _process_query_faulty
+
+    n = instance.num_clusters
+    k = instance.partners
+    log_miss = np.log1p(-model.f)
+    collections = np.concatenate(
+        [instance.client_files, instance.partner_files.ravel()]
+    )
+    phi = _miss_power_table(log_miss, collections)
+    np_static = (instance.clients + k).astype(float)
+
+    def run_query(state, rt, source, client_index, j) -> None:
+        rng = state.rng
+        f_j = float(state.model.f[j])
+        if rt.live[source] == 0:
+            _orphan_query(state, rt, source, client_index)
+            return
+        if rt.recovery is not None and rt.recovery.rehomed_any:
+            F = (
+                np.bincount(state.cluster_of_client,
+                            weights=state.client_files, minlength=n)
+                + state.partner_files.sum(axis=1)
+            )
+            np_c = (
+                np.bincount(state.cluster_of_client, minlength=n).astype(float)
+                + k
+            )
+        else:
+            F = state.index_sizes().astype(float)
+            np_c = np_static
+        if f_j <= 0.0:
+            n_results = np.zeros(n, dtype=np.int64)
+            k_addr = np.zeros(n, dtype=np.int64)
+        else:
+            p_hit = -np.expm1(F * log_miss[j])
+            hit = rng.random(n) < p_hit
+            safe = np.where(p_hit > 0.0, p_hit, 1.0)
+            n_results = np.where(
+                hit, np.maximum(1, np.rint(f_j * F / safe)), 0
+            ).astype(np.int64)
+            k_addr = np.where(
+                hit,
+                np.clip(np.rint(np_c * (1.0 - phi[j]) / safe), 1, n_results),
+                0,
+            ).astype(np.int64)
+        _process_query_faulty(state, rt, source, client_index,
+                              n_results, k_addr)
+
+    return run_query
+
+
+def _simulate_faulty_array(
+    instance, duration, model, rng, schedule, faults,
+    fault_metrics, recovery, tracer,
+):
+    from .network import simulate_instance
+
+    return simulate_instance(
+        instance, duration=duration, model=model, rng=rng,
+        faults=faults, fault_metrics=fault_metrics, recovery=recovery,
+        tracer=tracer, engine="event", schedule=schedule,
+        _faulty_query=_make_meanfield_sampler(instance, model),
+    )

@@ -57,6 +57,14 @@ from .faults import (
     sampled_propagation,
 )
 from .recovery import RecoveryPolicy, RecoveryRuntime
+from .schedule import (
+    KIND_CLIENT_CHURN,
+    KIND_PARTNER_CHURN,
+    KIND_QUERY,
+    KIND_UPDATE,
+    WorkloadSchedule,
+    generate_workload,
+)
 
 _QUERY_BYTES = constants.QUERY_MESSAGE_BASE + constants.QUERY_STRING_LENGTH
 _SEND_Q = costs.SEND_QUERY_BASE + costs.SEND_QUERY_PER_BYTE * constants.QUERY_STRING_LENGTH
@@ -218,20 +226,20 @@ def _fanout_per_hop(prop) -> list[float]:
     return [float(x) for x in counts]
 
 
-def _run_query(state: _State, source_cluster: int, client_index: int | None) -> None:
+def _run_query(state: _State, source_cluster: int, client_index: int | None,
+               j: int) -> None:
     """Account one full query: flood, sampled matches, reverse-path responses.
 
     ``client_index`` is the flat client id when client-sourced, else None
-    (the super-peer itself is the source).
+    (the super-peer itself is the source).  ``j`` is the query's class,
+    pre-drawn into the shared schedule so both engines see the same
+    class sequence; its selection power drives every match below.
     """
     st = state
     s = source_cluster
     ttl = st.instance.config.ttl
     rng = st.rng
     st.num_queries += 1
-
-    # Sample the query class; its selection power drives every match below.
-    j = int(rng.choice(st.model.num_classes, p=st.model.g))
     f_j = float(st.model.f[j])
 
     if client_index is not None:
@@ -344,7 +352,7 @@ def _run_query(state: _State, source_cluster: int, client_index: int | None) -> 
 
 
 def _run_query_faulty(state: _State, rt: FaultRuntime, source_cluster: int,
-                      client_index: int | None) -> None:
+                      client_index: int | None, j: int) -> None:
     """One query under a fault plan: sampled delivery, retries, failover.
 
     Mirrors :func:`_run_query` with three degradations: the flood and
@@ -359,15 +367,14 @@ def _run_query_faulty(state: _State, rt: FaultRuntime, source_cluster: int,
     load.
     """
     st = state
-    met = rt.metrics
     s = source_cluster
     rng = st.rng
-    # Draw the query class and per-collection matches exactly as the
-    # fault-free path does — same stream, same order, once per query —
-    # so a degraded run and its baseline see the *same* workload
-    # (common random numbers) and differ only in delivery.  Retries
-    # reuse the draws: the indexes don't change between attempts.
-    j = int(rng.choice(st.model.num_classes, p=st.model.g))
+    # The class ``j`` comes pre-drawn from the shared schedule; the
+    # per-collection matches are drawn exactly as the fault-free path
+    # draws them — same stream, same order, once per query — so a
+    # degraded run and its baseline see the *same* workload (common
+    # random numbers) and differ only in delivery.  Retries reuse the
+    # draws: the indexes don't change between attempts.
     f_j = float(st.model.f[j])
     client_matches = (
         rng.binomial(st.client_files, f_j) if f_j > 0 else np.zeros_like(st.client_files)
@@ -376,19 +383,8 @@ def _run_query_faulty(state: _State, rt: FaultRuntime, source_cluster: int,
         rng.binomial(st.partner_files, f_j) if f_j > 0 else np.zeros_like(st.partner_files)
     )
     if rt.live[s] == 0:
-        # The cluster is dark.  A client query dies on a dead socket; a
-        # super-peer-sourced query has no live originator at all.
-        if client_index is not None:
-            met.queries_attempted += 1
-            met.queries_failed += 1
-            met.orphaned_queries += 1
-            st.m_orphans.add()
-            if st.tracer.enabled:
-                st.tracer.emit("orphan", st.now, source=s)
+        _orphan_query(st, rt, s, client_index)
         return
-    st.num_queries += 1
-    st.m_queries.add()
-    met.queries_attempted += 1
     if rt.recovery is not None and rt.recovery.rehomed_any:
         # Clients have moved between clusters: aggregate matches by the
         # *current* membership instead of the static CSR roster.
@@ -407,6 +403,42 @@ def _run_query_faulty(state: _State, rt: FaultRuntime, source_cluster: int,
         client_hit_count[st.instance.clients == 0] = 0
     n_results = client_sum + partner_matches.sum(axis=1)
     k_addr = client_hit_count + (partner_matches > 0).sum(axis=1)
+    _process_query_faulty(st, rt, s, client_index, n_results, k_addr)
+
+
+def _orphan_query(state: _State, rt: FaultRuntime, s: int,
+                  client_index: int | None) -> None:
+    """Account a query arriving at a fully dark cluster.
+
+    A client query dies on a dead socket; a super-peer-sourced query has
+    no live originator at all and vanishes without accounting.
+    """
+    if client_index is not None:
+        met = rt.metrics
+        met.queries_attempted += 1
+        met.queries_failed += 1
+        met.orphaned_queries += 1
+        state.m_orphans.add()
+        if state.tracer.enabled:
+            state.tracer.emit("orphan", state.now, source=s)
+
+
+def _process_query_faulty(state: _State, rt: FaultRuntime, s: int,
+                          client_index: int | None, n_results: np.ndarray,
+                          k_addr: np.ndarray) -> None:
+    """Run one live query's flood/retry/response cycle from given matches.
+
+    Split out of :func:`_run_query_faulty` so alternative match samplers
+    (the array engine's mean-field draws, ``sim.fastcore``) share the
+    exact retry, failover, response and gossip semantics.  ``n_results``
+    and ``k_addr`` are per-cluster result and responder counts; the
+    caller has already verified ``rt.live[s] > 0``.
+    """
+    st = state
+    met = rt.metrics
+    st.num_queries += 1
+    st.m_queries.add()
+    met.queries_attempted += 1
     kv = np.maximum(rt.live, 1).astype(float)
 
     if client_index is not None:
@@ -575,12 +607,15 @@ def _flood_attempt_faulty(state: _State, rt: FaultRuntime, s: int,
 
 
 def _run_client_churn(state: _State, client_index: int,
-                      live: int | None = None) -> None:
+                      live: int | None = None,
+                      new_files: int | None = None) -> None:
     """One client leaves and its replacement joins (metadata to each partner).
 
     ``live`` (fault runs only) is the number of partners currently up:
     the replacement uploads its metadata to those partners alone; a
     recovering partner rebuilds its index separately at recovery time.
+    ``new_files`` is the replacement's collection size, pre-drawn into
+    the shared schedule (drawn from the main stream only when absent).
     """
     st = state
     st.num_joins += 1
@@ -593,7 +628,8 @@ def _run_client_churn(state: _State, client_index: int,
         costs.PROCESS_JOIN_BASE + costs.PROCESS_JOIN_PER_FILE * old_files
     )
     # Replacement joins with a fresh collection.
-    new_files = int(default_file_distribution().sample(st.rng, 1)[0])
+    if new_files is None:
+        new_files = int(default_file_distribution().sample(st.rng, 1)[0])
     st.client_files[client_index] = new_files
     join_bytes = constants.JOIN_MESSAGE_BASE + constants.FILE_METADATA_SIZE * new_files
     st.cl_out[client_index] += partners * join_bytes
@@ -609,11 +645,13 @@ def _run_client_churn(state: _State, client_index: int,
 
 
 def _run_partner_churn(state: _State, cluster: int, partner: int,
-                       rng: np.random.Generator | None = None) -> None:
+                       rng: np.random.Generator | None = None,
+                       new_files: int | None = None) -> None:
     """One super-peer partner is replaced: handshakes + (k>1) index exchange.
 
-    ``rng`` (fault runs only) supplies the replacement's collection from
-    the fault stream so a crash-driven recovery never perturbs the
+    ``new_files`` is the replacement's collection size, pre-drawn into
+    the shared schedule.  ``rng`` (fault runs only) supplies it from the
+    fault stream instead, so a crash-driven recovery never perturbs the
     workload stream the baseline shares.
     """
     st = state
@@ -628,8 +666,9 @@ def _run_partner_churn(state: _State, cluster: int, partner: int,
     st.sp_proc[cluster] += m * (
         _HANDSHAKE_SEND_UNITS + _HANDSHAKE_RECV_UNITS + 2 * _MUX * m
     ) / st.k
-    new_files = int(default_file_distribution().sample(
-        st.rng if rng is None else rng, 1)[0])
+    if new_files is None:
+        new_files = int(default_file_distribution().sample(
+            st.rng if rng is None else rng, 1)[0])
     old_files = int(st.partner_files[cluster, partner])
     st.partner_files[cluster, partner] = new_files
     if st.k > 1:
@@ -688,6 +727,9 @@ def simulate_instance(
     fault_metrics: FaultOutcome | None = None,
     recovery: RecoveryPolicy | None = None,
     tracer: Tracer | None = None,
+    engine: str = "event",
+    schedule: WorkloadSchedule | None = None,
+    _faulty_query=None,
 ) -> SimulationReport:
     """Simulate ``duration`` seconds of the network's life and measure loads.
 
@@ -718,12 +760,45 @@ def simulate_instance(
     retries, crashes/recoveries, outages.  Tracing, like the metrics
     registry, is observation-only: it never touches an RNG stream, so
     traced and untraced runs produce bit-identical loads.
+
+    ``engine`` selects the backend: ``"event"`` (this module — the
+    reference oracle) or ``"array"`` (:mod:`repro.sim.fastcore`, the
+    vectorized backend).  Both consume the same pre-generated
+    :class:`~repro.sim.schedule.WorkloadSchedule`, so query / join /
+    update counts agree bit-for-bit across engines by construction
+    (``tests/test_differential.py`` holds the full contract).  Pass
+    ``schedule`` to reuse an already-generated schedule; by default one
+    is derived from the same seed either engine would derive it from.
     """
+    if engine not in ("event", "array"):
+        raise ValueError(f"engine must be 'event' or 'array', got {engine!r}")
+    if engine == "array":
+        from .fastcore import simulate_instance_array
+
+        return simulate_instance_array(
+            instance, duration=duration, model=model, rng=rng,
+            enable_churn=enable_churn, enable_updates=enable_updates,
+            faults=faults, fault_metrics=fault_metrics, recovery=recovery,
+            tracer=tracer, schedule=schedule,
+        )
     if duration <= 0:
         raise ValueError("duration must be positive")
     model = model or default_query_model()
     if faults is not None and faults.is_null:
         faults = None
+    if schedule is None:
+        # Generated before the fault/recovery streams are derived so the
+        # Generator-seed spawn order is fixed and documented: schedule
+        # children first, then faults, then recovery.
+        schedule = generate_workload(
+            instance, duration, rng,
+            enable_churn=enable_churn, enable_updates=enable_updates,
+            model=model,
+        )
+    elif schedule.duration != duration:
+        raise ValueError(
+            f"schedule covers {schedule.duration}s, run wants {duration}s"
+        )
     if faults is not None:
         if isinstance(rng, np.random.Generator):
             fault_rng = rng.spawn(1)[0]
@@ -756,122 +831,99 @@ def simulate_instance(
     if fault_rt is not None and recovery is not None:
         recovery_rt = RecoveryRuntime(recovery, state, fault_rt, recovery_rng)
         recovery_rt.install(sim)
-    config = instance.config
-    n = state.n
-    users = instance.clients + state.k
+    crash_driven = fault_rt is not None and fault_rt.plan.crash is not None
 
-    # Per-cluster aggregated Poisson query arrivals.
-    def make_query_action(cluster: int):
-        def fire(_now: float) -> None:
-            clients_here = int(instance.clients[cluster])
-            # Uniformly choose the querying user within the cluster.
-            pick = int(rng.integers(0, clients_here + state.k))
-            if pick < clients_here:
-                client_index = int(instance.client_ptr[cluster]) + pick
-            else:
-                client_index = None
-            if fault_rt is None:
-                _run_query(state, cluster, client_index)
-            else:
-                source = cluster
-                if client_index is not None and fault_rt.recovery is not None:
-                    # A re-homed client queries through its current
-                    # super-peer, not its original roster cluster.
-                    source = int(state.cluster_of_client[client_index])
-                _run_query_faulty(state, fault_rt, source, client_index)
-        return fire
+    # Arrivals are replayed from the pre-generated shared schedule; the
+    # main stream only supplies the per-event *workload* draws (query
+    # classes and match outcomes, replacement collections) in firing
+    # order.  Sessions are exponential with each slot's instance-assigned
+    # mean lifespan, so the long-run churn rate at slot i is exactly the
+    # 1 / lifespan_i the mean-value analysis uses (step 3).
 
-    def schedule_poisson(rate: float, action) -> None:
-        def reschedule() -> None:
-            action(sim.now)
-            sim.schedule(float(rng.exponential(1.0 / rate)), reschedule)
-        sim.schedule(float(rng.exponential(1.0 / rate)), reschedule)
+    def fire_query(cluster: int, pick: int, idx: int) -> None:
+        clients_here = int(instance.clients[cluster])
+        if pick < clients_here:
+            client_index = int(instance.client_ptr[cluster]) + pick
+        else:
+            client_index = None
+        j = int(schedule.q_class[idx])
+        if fault_rt is None:
+            _run_query(state, cluster, client_index, j)
+        else:
+            source = cluster
+            if client_index is not None and fault_rt.recovery is not None:
+                # A re-homed client queries through its current
+                # super-peer, not its original roster cluster.
+                source = int(state.cluster_of_client[client_index])
+            # ``_faulty_query`` is the array engine's hook: fastcore
+            # swaps in its mean-field match sampler while every other
+            # moving part (faults, recovery, gossip, retries) stays this
+            # module's code.
+            (_faulty_query or _run_query_faulty)(
+                state, fault_rt, source, client_index, j
+            )
 
-    for c in range(n):
-        rate = config.query_rate * float(users[c])
-        if rate > 0:
-            schedule_poisson(rate, make_query_action(c))
+    def fire_update(cluster: int, pick: int, idx: int) -> None:
+        clients_here = int(instance.clients[cluster])
+        client_index = (
+            int(instance.client_ptr[cluster]) + pick
+            if pick < clients_here else None
+        )
+        if fault_rt is None:
+            _run_update(state, cluster, client_index)
+            return
+        target = cluster
+        if client_index is not None and fault_rt.recovery is not None:
+            target = int(state.cluster_of_client[client_index])
+        if fault_rt.live[target] == 0:
+            # Nobody is listening: the delta is lost (the index
+            # is rebuilt wholesale when a partner recovers).
+            fault_rt.metrics.lost_updates += 1
+        else:
+            _run_update(state, target, client_index,
+                        live=int(fault_rt.live[target]))
 
-    if enable_updates and config.update_rate > 0:
-        def make_update_action(cluster: int):
-            def fire(_now: float) -> None:
-                clients_here = int(instance.clients[cluster])
-                pick = int(rng.integers(0, clients_here + state.k))
-                client_index = (
-                    int(instance.client_ptr[cluster]) + pick
-                    if pick < clients_here else None
-                )
-                if fault_rt is None:
-                    _run_update(state, cluster, client_index)
-                    return
-                target = cluster
-                if client_index is not None and fault_rt.recovery is not None:
-                    target = int(state.cluster_of_client[client_index])
-                if fault_rt.live[target] == 0:
-                    # Nobody is listening: the delta is lost (the index
-                    # is rebuilt wholesale when a partner recovers).
-                    fault_rt.metrics.lost_updates += 1
-                else:
-                    _run_update(state, target, client_index,
-                                live=int(fault_rt.live[target]))
-            return fire
+    def fire_client_churn(client_index: int, _unused: int, idx: int) -> None:
+        new_files = int(schedule.c_files[idx])
+        if fault_rt is None:
+            _run_client_churn(state, client_index, new_files=new_files)
+            return
+        cluster = int(state.cluster_of_client[client_index])
+        if fault_rt.live[cluster] == 0:
+            # No partner to join through: the replacement still arrives
+            # with its collection (the same scheduled draw the
+            # fault-free run consumes) but uploads nothing until a
+            # partner returns.
+            state.client_files[client_index] = new_files
+            fault_rt.metrics.deferred_joins += 1
+        else:
+            _run_client_churn(state, client_index,
+                              live=int(fault_rt.live[cluster]),
+                              new_files=new_files)
 
-        for c in range(n):
-            rate = config.update_rate * float(users[c])
-            if rate > 0:
-                schedule_poisson(rate, make_update_action(c))
+    def fire_partner_churn(cluster: int, partner: int, idx: int) -> None:
+        new_files = int(schedule.p_files[idx])
+        if not crash_driven:
+            # Instantaneous partner replacement (fault-free model).
+            _run_partner_churn(state, cluster, partner, new_files=new_files)
+        else:
+            # A CrashSpec supersedes instantaneous churn: the crash
+            # machinery drives the partner lifecycle with real
+            # down-windows.  This shadow event only keeps the workload
+            # in lockstep with the baseline (same scheduled collection)
+            # and rolls the index contents.
+            state.partner_files[cluster, partner] = new_files
 
-    if enable_churn:
-        # Sessions are exponential with each slot's instance-assigned mean
-        # lifespan, so the long-run churn rate at slot i is exactly the
-        # 1 / lifespan_i the mean-value analysis uses (step 3).
-        def schedule_client_leave(client_index: int) -> None:
-            gap = float(rng.exponential(instance.client_lifespans[client_index]))
-            def leave() -> None:
-                if fault_rt is None:
-                    _run_client_churn(state, client_index)
-                else:
-                    cluster = int(state.cluster_of_client[client_index])
-                    if fault_rt.live[cluster] == 0:
-                        # No partner to join through: the replacement
-                        # still arrives with its collection (the same
-                        # draw the fault-free run makes) but uploads
-                        # nothing until a partner returns.
-                        state.client_files[client_index] = int(
-                            default_file_distribution().sample(rng, 1)[0]
-                        )
-                        fault_rt.metrics.deferred_joins += 1
-                    else:
-                        _run_client_churn(state, client_index,
-                                          live=int(fault_rt.live[cluster]))
-                schedule_client_leave(client_index)
-            sim.schedule(gap, leave)
-
-        crash_driven = fault_rt is not None and fault_rt.plan.crash is not None
-
-        def schedule_partner_leave(cluster: int, partner: int) -> None:
-            gap = float(rng.exponential(instance.partner_lifespans[cluster, partner]))
-            def leave() -> None:
-                if not crash_driven:
-                    # Instantaneous partner replacement (fault-free model).
-                    _run_partner_churn(state, cluster, partner)
-                else:
-                    # A CrashSpec supersedes instantaneous churn: the
-                    # crash machinery drives the partner lifecycle with
-                    # real down-windows.  This shadow event only keeps
-                    # the workload stream in lockstep with the baseline
-                    # (same draws, same order) and rolls the collection.
-                    state.partner_files[cluster, partner] = int(
-                        default_file_distribution().sample(rng, 1)[0]
-                    )
-                schedule_partner_leave(cluster, partner)
-            sim.schedule(gap, leave)
-
-        for i in range(instance.total_clients):
-            schedule_client_leave(i)
-        for c in range(n):
-            for p in range(state.k):
-                schedule_partner_leave(c, p)
+    handlers = {
+        KIND_QUERY: fire_query,
+        KIND_UPDATE: fire_update,
+        KIND_CLIENT_CHURN: fire_client_churn,
+        KIND_PARTNER_CHURN: fire_partner_churn,
+    }
+    ev_time, ev_kind, ev_a, ev_b, ev_idx = schedule.merged_events()
+    for t, kd, a, b, i in zip(ev_time.tolist(), ev_kind.tolist(),
+                              ev_a.tolist(), ev_b.tolist(), ev_idx.tolist()):
+        sim.schedule_at(t, handlers[kd], a, b, i)
 
     sim.run_until(duration)
     if recovery_rt is not None:

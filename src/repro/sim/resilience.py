@@ -272,6 +272,7 @@ def run_resilience(
     recovery: RecoveryPolicy | None = None,
     tracer=None,
     detector: str | None = None,
+    engine: str = "event",
 ) -> ResilienceReport:
     """Measure an instance's degraded-mode behaviour under ``plan``.
 
@@ -293,6 +294,10 @@ def run_resilience(
     planes under one policy.  Without a ``recovery`` policy it is inert:
     detection exists only as part of the self-healing layer, so the run
     stays bit-identical to the no-detector baseline.
+
+    ``engine`` selects the simulation backend for *both* runs
+    (``"event"`` or ``"array"``, see :func:`simulate_instance`): the
+    baseline/degraded comparison only makes sense within one engine.
     """
     if isinstance(rng, np.random.Generator):
         raise TypeError(
@@ -315,7 +320,7 @@ def run_resilience(
         instance, duration=duration, model=model, rng=rng,
         enable_churn=enable_churn, enable_updates=enable_updates,
         faults=plan, fault_metrics=outcome, recovery=recovery,
-        tracer=tracer,
+        tracer=tracer, engine=engine,
     )
     if tracer is not None and getattr(tracer, "_sink", None) is not None:
         # Streaming tracer: drain the ring so the sink holds the full run
@@ -325,6 +330,7 @@ def run_resilience(
         baseline = simulate_instance(
             instance, duration=duration, model=model, rng=rng,
             enable_churn=enable_churn, enable_updates=enable_updates,
+            engine=engine,
         )
     return ResilienceReport(
         plan=plan,

@@ -198,3 +198,58 @@ def build_instance(
         partner_files=partner_files,
         partner_lifespans=partner_lifespans,
     )
+
+
+# --- fingerprint-keyed instance cache ----------------------------------------
+
+#: Config fields that instance generation actually reads.  Two configs
+#: equal on these (same seed, default distributions) generate identical
+#: instances — every other field (ttl, rates) draws nothing, so e.g. a
+#: TTL sweep reuses one built topology across all its points.
+_GENERATIVE_FIELDS = (
+    "graph_type", "graph_size", "cluster_size", "redundancy",
+    "redundancy_factor", "avg_outdegree", "cluster_size_sigma",
+)
+
+_INSTANCE_CACHE: dict[tuple, NetworkInstance] = {}
+
+
+def instance_fingerprint(config: Configuration, seed: int | None) -> tuple:
+    """Hashable key identifying the arrays ``build_instance`` would emit."""
+    return tuple(getattr(config, f) for f in _GENERATIVE_FIELDS) + (seed,)
+
+
+def build_instance_cached(
+    config: Configuration,
+    seed: int | np.random.Generator | None = None,
+) -> NetworkInstance:
+    """:func:`build_instance` behind a process-wide fingerprint cache.
+
+    Bit-identical to the uncached builder (generation is deterministic
+    given the fingerprint); only hashable seeds cache (a live
+    ``Generator`` has unobservable state and falls through).  Cached
+    instances are shared read-only — consumers that mutate collections
+    (the simulators) already copy their arrays — and a hit under a
+    different non-generative config (say another TTL) rebinds ``config``
+    on the cached arrays instead of regenerating them.
+
+    The cache is fork-friendly by design: :func:`repro.api.run_sweep`
+    pre-warms it in the parent so pool workers inherit every instance
+    through copy-on-write memory instead of rebuilding per point.
+    """
+    if isinstance(seed, np.random.Generator):
+        return build_instance(config, seed=seed)
+    key = instance_fingerprint(config, seed)
+    hit = _INSTANCE_CACHE.get(key)
+    if hit is None:
+        hit = _INSTANCE_CACHE[key] = build_instance(config, seed=seed)
+    if hit.config is config or hit.config == config:
+        return hit
+    from dataclasses import replace
+
+    return replace(hit, config=config)
+
+
+def clear_instance_cache() -> None:
+    """Drop every cached instance (tests; memory-sensitive callers)."""
+    _INSTANCE_CACHE.clear()

@@ -244,3 +244,50 @@ class TestValidation:
     def test_bad_seed_mode_rejected(self):
         with pytest.raises(ValueError, match="seed_mode"):
             small_spec(seed_mode="chaotic")
+
+
+class TestInstanceCache:
+    """The fingerprint-keyed builder cache behind sweeps."""
+
+    def test_cached_builder_is_bit_identical(self):
+        from repro.topology.builder import (
+            build_instance, build_instance_cached, clear_instance_cache,
+        )
+
+        clear_instance_cache()
+        fresh = build_instance(BASE, seed=7)
+        cached = build_instance_cached(BASE, seed=7)
+        import numpy as np
+        assert np.array_equal(fresh.client_files, cached.client_files)
+        assert np.array_equal(fresh.partner_files, cached.partner_files)
+        assert np.array_equal(fresh.clients, cached.clients)
+        assert np.array_equal(fresh.graph.indptr, cached.graph.indptr)
+        assert np.array_equal(fresh.graph.indices, cached.graph.indices)
+        # Second call is the same object — no regeneration.
+        assert build_instance_cached(BASE, seed=7) is cached
+
+    def test_non_generative_fields_share_one_build(self):
+        """A TTL variant reuses the cached arrays under its own config."""
+        from repro.topology.builder import (
+            build_instance_cached, clear_instance_cache,
+        )
+
+        clear_instance_cache()
+        base = build_instance_cached(BASE, seed=7)
+        other = build_instance_cached(BASE.with_changes(ttl=2), seed=7)
+        assert other.config.ttl == 2
+        assert other.graph is base.graph
+        assert other.client_files is base.client_files
+
+    def test_generative_fields_miss_the_cache(self):
+        from repro.topology.builder import (
+            build_instance_cached, clear_instance_cache,
+        )
+
+        clear_instance_cache()
+        base = build_instance_cached(BASE, seed=7)
+        other = build_instance_cached(
+            BASE.with_changes(graph_size=100), seed=7
+        )
+        assert other.graph is not base.graph
+        assert other.num_clusters != base.num_clusters

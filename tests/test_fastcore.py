@@ -1,0 +1,135 @@
+"""Property tests for the array engine's batched flood kernel.
+
+``repro.sim.fastcore.flood_block`` claims to be *bit-identical*, per
+source, to the scalar oracle ``repro.core.routing.propagate_query``.
+These tests pin that claim and the kernel's structural invariants on
+hypothesis-generated graphs:
+
+* **bit-identity** — every field (depth, pred, transmissions, receipts)
+  equals the scalar kernel's, for every source;
+* **message conservation per hop** — the transmissions sent by depth-d
+  forwarders equal the receipts their edges deliver, recomputed
+  independently from the raw edge arrays;
+* **TTL monotone coupling** — a TTL-1 flood is a prefix of the TTL
+  flood: nested reached sets, identical depths/preds on the smaller
+  set, monotone message totals;
+* **frontier bound** — per-depth frontier sizes partition the reached
+  set, so no frontier can exceed the reachable-set size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.routing import complete_graph_propagation, propagate_query
+from repro.sim.fastcore import _complete_block, flood_block
+from repro.topology.graph import OverlayGraph
+
+
+@st.composite
+def _graphs(draw):
+    """Small random simple graphs, connected or not (the kernel must not
+    assume connectivity)."""
+    n = draw(st.integers(min_value=2, max_value=24))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), unique=True,
+                          max_size=min(len(possible), 60)))
+    return OverlayGraph.from_edges(n, edges)
+
+
+_TTLS = st.integers(min_value=1, max_value=5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=_graphs(), ttl=_TTLS)
+def test_bit_identity_vs_scalar_kernel(graph, ttl):
+    """flood_block row i == propagate_query(sources[i]) on every field."""
+    sources = np.arange(graph.num_nodes)
+    fb = flood_block(graph, sources, ttl)
+    for i, s in enumerate(sources):
+        prop = propagate_query(graph, int(s), ttl)
+        assert np.array_equal(fb.depth[i], prop.depth)
+        assert np.array_equal(fb.pred[i], prop.pred)
+        assert np.array_equal(fb.transmissions[i], prop.transmissions)
+        assert np.array_equal(fb.receipts[i], prop.receipts)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=_graphs(), ttl=_TTLS)
+def test_message_conservation_per_hop(graph, ttl):
+    """Depth-d transmissions equal the receipts their edges deliver.
+
+    Recomputed straight from the directed edge arrays: a forwarder at
+    depth d re-sends over every out-edge except the one back to its
+    predecessor, and each such copy is received at the head.  Nothing is
+    created or lost at any hop, and only reached nodes ever receive.
+    """
+    sources = np.arange(graph.num_nodes)
+    fb = flood_block(graph, sources, ttl)
+    tails, heads = graph.directed_edge_arrays()
+    for i in range(sources.size):
+        depth, pred = fb.depth[i], fb.pred[i]
+        reached = depth >= 0
+        assert np.all(fb.receipts[i][~reached] == 0)
+        forwarder = reached & (depth < ttl)
+        live = forwarder[tails] & (pred[tails] != heads)
+        max_d = int(depth.max(initial=0))
+        sent_by_depth = np.bincount(
+            depth[reached], weights=fb.transmissions[i][reached],
+            minlength=max_d + 1,
+        )
+        recv_from_depth = np.bincount(
+            depth[tails[live]], minlength=max_d + 1,
+        ).astype(float)
+        assert np.array_equal(sent_by_depth, recv_from_depth)
+        assert fb.transmissions[i].sum() == fb.receipts[i].sum()
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=_graphs(), ttl=st.integers(min_value=2, max_value=5))
+def test_ttl_monotone_coupling(graph, ttl):
+    """The TTL-1 flood is a prefix of the TTL flood from every source."""
+    sources = np.arange(graph.num_nodes)
+    hi = flood_block(graph, sources, ttl)
+    lo = flood_block(graph, sources, ttl - 1)
+    reach_lo = lo.reached
+    # Nested reached sets, identical BFS structure on the common part.
+    assert np.all(hi.reached[reach_lo])
+    assert np.array_equal(lo.depth[reach_lo], hi.depth[reach_lo])
+    assert np.array_equal(lo.pred[reach_lo], hi.pred[reach_lo])
+    # More TTL can only add traffic and reach.
+    assert np.all(hi.transmissions.sum(axis=1) >= lo.transmissions.sum(axis=1))
+    assert np.all(hi.reach() >= lo.reach())
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=_graphs(), ttl=_TTLS)
+def test_frontier_bounded_by_reachable_set(graph, ttl):
+    """Per-depth frontiers partition the reached set: each frontier is at
+    most the reachable-set size and together they exhaust it exactly."""
+    sources = np.arange(graph.num_nodes)
+    fb = flood_block(graph, sources, ttl)
+    reach = fb.reach()
+    for i in range(sources.size):
+        depth = fb.depth[i]
+        frontier_sizes = np.bincount(depth[depth >= 0])
+        assert frontier_sizes.sum() == reach[i]
+        assert np.all(frontier_sizes <= reach[i])
+        # Depths never exceed the TTL and the source owns depth zero.
+        assert depth.max(initial=0) <= ttl
+        assert frontier_sizes[0] == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=2, max_value=40), ttl=_TTLS)
+def test_complete_block_matches_closed_form(n, ttl):
+    """The K_n fast path mirrors complete_graph_propagation exactly."""
+    sources = np.arange(n)
+    fb = _complete_block(n, sources, ttl)
+    for i, s in enumerate(sources):
+        prop = complete_graph_propagation(n, int(s), ttl)
+        assert np.array_equal(fb.depth[i], prop.depth)
+        assert np.array_equal(fb.pred[i], prop.pred)
+        assert np.array_equal(fb.transmissions[i], prop.transmissions)
+        assert np.array_equal(fb.receipts[i], prop.receipts)

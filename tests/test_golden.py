@@ -1,4 +1,4 @@
-"""Golden-value regression tests for the load engine.
+"""Golden-value regression tests for the load engine and the sim engines.
 
 Four small, fixed-seed configurations — strong and power-law, each with
 k=1 and k=2 super-peer redundancy — are evaluated exactly and their
@@ -8,7 +8,13 @@ engine that moves these numbers (beyond float noise) fails here first,
 with a message naming the statistic that moved — turning "the figures
 look different" into a one-line diff.
 
-Regenerating the fixture (only after an *intentional* numeric change)::
+The same quartet is also run through the array simulation engine
+(``engine="array"``, fixed sim seed) and pinned to
+``tests/golden/golden_fastcore.json``, so the vectorized backend's
+numeric behaviour is version-controlled exactly like the analytical
+engine's.
+
+Regenerating the fixtures (only after an *intentional* numeric change)::
 
     PYTHONPATH=src python tests/test_golden.py --regen
 
@@ -20,13 +26,22 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.config import Configuration, GraphType
 from repro.core.load import evaluate_instance
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.sim.network import simulate_instance
 from repro.topology.builder import build_instance
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "golden_loads.json"
+FASTCORE_GOLDEN_PATH = Path(__file__).parent / "golden" / "golden_fastcore.json"
+
+#: Fixed simulation window and seed for the array-engine quartet; part
+#: of the golden contract like the topology seeds above.
+SIM_DURATION = 240.0
+SIM_SEED = 11
 
 #: Loosened only for cross-platform float noise; a real model change
 #: moves these numbers by orders of magnitude more.
@@ -76,8 +91,35 @@ def _evaluate(case: dict) -> dict[str, float]:
     }
 
 
+def _simulate_array(case: dict) -> dict[str, float]:
+    """Headline numbers of one fixed-seed array-engine run."""
+    params = dict(case)
+    seed = params.pop("seed")
+    instance = build_instance(Configuration(**params), seed=seed)
+    with use_registry(MetricsRegistry()):
+        report = simulate_instance(
+            instance, duration=SIM_DURATION, rng=SIM_SEED, engine="array"
+        )
+    return {
+        "num_queries": float(report.num_queries),
+        "num_joins": float(report.num_joins),
+        "num_updates": float(report.num_updates),
+        "superpeer_incoming_bps": float(np.mean(report.superpeer_incoming_bps)),
+        "superpeer_outgoing_bps": float(np.mean(report.superpeer_outgoing_bps)),
+        "superpeer_processing_hz": float(np.mean(report.superpeer_processing_hz)),
+        "client_incoming_bps": float(np.mean(report.client_incoming_bps)),
+        "mean_results_per_query": float(report.mean_results_per_query),
+        "mean_reach_clusters": float(report.mean_reach_clusters),
+    }
+
+
 def _load_golden() -> dict:
     with GOLDEN_PATH.open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _load_fastcore_golden() -> dict:
+    with FASTCORE_GOLDEN_PATH.open("r", encoding="utf-8") as handle:
         return json.load(handle)
 
 
@@ -90,6 +132,21 @@ def test_golden_fixture_covers_all_cases():
 def test_golden_loads(name):
     golden = _load_golden()[name]
     actual = _evaluate(CASES[name])
+    assert set(actual) == set(golden), f"{name}: statistic set changed"
+    for stat, expected in golden.items():
+        assert actual[stat] == pytest.approx(expected, rel=RTOL), (
+            f"{name}.{stat} moved: expected {expected!r}, got {actual[stat]!r}"
+        )
+
+
+def test_fastcore_golden_fixture_covers_all_cases():
+    assert set(_load_fastcore_golden()) == set(CASES)
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_fastcore_golden_loads(name):
+    golden = _load_fastcore_golden()[name]
+    actual = _simulate_array(CASES[name])
     assert set(actual) == set(golden), f"{name}: statistic set changed"
     for stat, expected in golden.items():
         assert actual[stat] == pytest.approx(expected, rel=RTOL), (
@@ -115,6 +172,11 @@ def _regenerate() -> None:
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
     print(f"wrote {GOLDEN_PATH}")
+    payload = {name: _simulate_array(case) for name, case in sorted(CASES.items())}
+    FASTCORE_GOLDEN_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {FASTCORE_GOLDEN_PATH}")
 
 
 if __name__ == "__main__":
