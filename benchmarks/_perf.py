@@ -3,7 +3,9 @@
 One function, :func:`run_perf_workload`, executes the hot paths —
 ``build_instance``, ``evaluate_instance`` (exact and sampled), one
 message-level simulation plus the same run on the vectorized array
-engine (``sim_array``), and the ``repro.api`` sweep executor both
+engine (``sim_array``, repeated with run-journal and progress telemetry
+attached as ``sim_array_telemetry`` to gate the observability tax),
+and the ``repro.api`` sweep executor both
 serially (``sweep_serial``) and sharded over :data:`SWEEP_JOBS` worker
 processes (``sweep_parallel``) — at fixed seeds under a private metrics
 registry, and packages the result as the ``BENCH_perf.json`` payload:
@@ -16,7 +18,9 @@ two sweep phases run the identical grid, so their wall-clock ratio
 
 from __future__ import annotations
 
+import os
 import platform
+import tempfile
 import time
 from pathlib import Path
 
@@ -25,6 +29,7 @@ from repro.config import Configuration, GraphType
 from repro.core.load import evaluate_instance
 from repro.obs.manifest import manifest_for, peak_rss_bytes
 from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.progress import ProgressTracker, start_campaign
 from repro.sim.faults import CrashSpec, FaultPlan
 from repro.sim.monitor import DetectorSpec
 from repro.sim.network import simulate_instance
@@ -128,10 +133,45 @@ def run_perf_workload(
             sampled = evaluate_instance(instance, max_sources=50, rng=seed)
         with manifest.phase("sim_message_level"):
             sim = simulate_instance(instance, duration=sim_duration, rng=sim_seed)
+        # The array run gets a private registry (absorbed below, so the
+        # shared totals are unchanged) — the telemetry lane needs the
+        # array-only counters isolated for a bit-identity comparison.
+        array_registry = MetricsRegistry()
         with manifest.phase("sim_array"):
-            sim_array = simulate_instance(
-                instance, duration=sim_duration, rng=sim_seed, engine="array"
-            )
+            with use_registry(array_registry):
+                sim_array = simulate_instance(
+                    instance, duration=sim_duration, rng=sim_seed,
+                    engine="array",
+                )
+        registry.absorb(array_registry)
+        # Telemetry lane: the identical array run wrapped as a one-point
+        # campaign with the run journal and a silent progress tracker
+        # attached.  Its registry is deliberately NOT absorbed (it would
+        # double the totals); the gate checks the phase stays within a
+        # few percent of plain ``sim_array`` and the counters stay
+        # bit-identical — telemetry observes, never perturbs.
+        telemetry_registry = MetricsRegistry()
+        journal_fd, journal_path = tempfile.mkstemp(suffix=".jsonl")
+        os.close(journal_fd)
+        try:
+            with manifest.phase("sim_array_telemetry"):
+                campaign = start_campaign(
+                    journal_path, ProgressTracker(stream=None),
+                    name="bench_telemetry", total=1,
+                )
+                campaign.point_started(0, "sim_array")
+                with use_registry(telemetry_registry):
+                    sim_array_telemetry = simulate_instance(
+                        instance, duration=sim_duration, rng=sim_seed,
+                        engine="array",
+                    )
+                campaign.point_finished(
+                    0, "sim_array",
+                    counters=telemetry_registry.snapshot()["counters"],
+                )
+                campaign.finish()
+        finally:
+            os.unlink(journal_path)
         with manifest.phase("sim_gossip"):
             gossip = gossip_workload()
     # The sweep phases run outside use_registry: run_sweep collects into
@@ -184,6 +224,19 @@ def run_perf_workload(
         "sim_array_speedup": (
             sim_seconds / array_seconds if array_seconds > 0 else None
         ),
+        # Telemetry neutrality: journal + progress attached must cost a
+        # few percent at most (gated within-run by bench_gate) and must
+        # not perturb a single counter or histogram.
+        "telemetry_overhead": (
+            manifest.phases["sim_array_telemetry"] / array_seconds - 1.0
+            if array_seconds > 0 else None
+        ),
+        "telemetry_counters_identical": (
+            array_registry.snapshot()["counters"]
+            == telemetry_registry.snapshot()["counters"]
+            and array_registry.snapshot()["histograms"]
+            == telemetry_registry.snapshot()["histograms"]
+        ),
         # Gossip control-plane counters: seeded-deterministic, gated
         # strictly like every other count (bench_gate._COUNT_FIELDS).
         "gossip_rumors": gossip.outcome.gossip_rumors_sent,
@@ -207,6 +260,7 @@ def run_perf_workload(
         "sampled": sampled,
         "sim": sim,
         "sim_array": sim_array,
+        "sim_array_telemetry": sim_array_telemetry,
         "gossip": gossip,
         "sweep_serial": sweep_serial,
         "sweep_parallel": sweep_parallel,

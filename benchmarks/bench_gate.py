@@ -51,6 +51,11 @@ HISTORY_LIMIT = 200
 #: machine speed cancels out).
 ARRAY_MIN_SPEEDUP = 5.0
 
+#: Journal + progress telemetry must cost at most this fraction of the
+#: plain ``sim_array`` phase (compared within one run, plus the absolute
+#: ``time_slack`` so sub-second phases are not gated on scheduler noise).
+TELEMETRY_MAX_OVERHEAD = 0.05
+
 #: Scalar payload fields that must match the baseline like counters do.
 _COUNT_FIELDS = ("num_clusters", "sim_events", "sim_queries", "sweep_points",
                  "sim_array_queries",
@@ -129,6 +134,24 @@ def compare(
                 f"sim_array speedup fell to {speedup:.2f}x over "
                 f"sim_message_level (floor {ARRAY_MIN_SPEEDUP:g}x)"
             )
+
+    # Telemetry overhead is likewise a within-run comparison: the same
+    # array workload with journal + progress attached vs without.
+    telemetry_s = cur_phases.get("sim_array_telemetry")
+    if telemetry_s is not None and array_s:
+        allowed = array_s * (1.0 + TELEMETRY_MAX_OVERHEAD) + time_slack
+        if telemetry_s > allowed:
+            failures.append(
+                f"telemetry overhead: sim_array_telemetry took "
+                f"{telemetry_s:.3f}s vs allowed {allowed:.3f}s "
+                f"(sim_array {array_s:.3f}s x "
+                f"{1.0 + TELEMETRY_MAX_OVERHEAD:g} + {time_slack:g}s slack)"
+            )
+    if current.get("telemetry_counters_identical") is False:
+        failures.append(
+            "telemetry perturbed the workload: counters/histograms differ "
+            "between the journaled and plain sim_array runs"
+        )
     return failures
 
 

@@ -46,14 +46,23 @@ cache or record provenance, and is deprecated for sweeps.
 from __future__ import annotations
 
 import itertools
-from concurrent.futures import ProcessPoolExecutor
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Iterator, Mapping, Sequence
 
 from .config import Configuration
 from .core.analysis import ConfigurationSummary, evaluate_configuration
-from .obs.manifest import RunManifest, manifest_for
+from .obs.journal import RunJournal
+from .obs.manifest import (
+    RunManifest,
+    config_fingerprint,
+    git_revision,
+    manifest_for,
+)
 from .obs.metrics import MetricsRegistry, use_registry
+from .obs.progress import Campaign, ProgressTracker, heartbeat, start_campaign
 from .sim.chaos import ChaosReport, ChaosSpec, run_chaos  # noqa: F401 - facade
 from .sim.gossip import GossipSpec  # noqa: F401 - facade
 from .stats.rng import derive_seed
@@ -318,6 +327,85 @@ def _evaluate_point(spec: ExperimentSpec):
     return summary, registry, fragment
 
 
+def _evaluate_point_tracked(args: tuple[int, ExperimentSpec]):
+    """Pool entry point for telemetry-enabled sweeps.
+
+    Wraps the untouched :func:`_evaluate_point` with worker heartbeats
+    (start/finish beats carry wall-clock and labels only — never
+    results, so losing them cannot change the sweep) and returns the
+    worker's pid so the parent can journal which process ran the point.
+    """
+    index, spec = args
+    label = spec.label or "point"
+    heartbeat("point-start", index=index, label=label)
+    outcome = _evaluate_point(spec)
+    heartbeat("point-finish", index=index, label=label)
+    return os.getpid(), outcome
+
+
+def _point_seconds(fragment: RunManifest, label: str) -> float | None:
+    """A point's wall-clock from its manifest fragment's phase record."""
+    if label in fragment.phases:
+        return fragment.phases[label]
+    return fragment.total_seconds or None
+
+
+def _run_points_tracked(
+    specs: Sequence[ExperimentSpec],
+    jobs: int,
+    campaign: Campaign,
+) -> list:
+    """Evaluate sweep points with journal/progress telemetry attached.
+
+    Identical evaluation to the untracked path (:func:`_evaluate_point`
+    per point, same per-point seeds), but dispatched one future per
+    point so finish records stream into the journal in *completion*
+    order while results are still reassembled in stable point order.
+    """
+    outcomes: list = [None] * len(specs)
+    if jobs == 1 or len(specs) <= 1:
+        for index, point_spec in enumerate(specs):
+            label = point_spec.label or "point"
+            campaign.point_started(index, label)
+            try:
+                summary, registry, fragment = _evaluate_point(point_spec)
+            except BaseException as exc:
+                campaign.point_error(index, label, exc)
+                raise
+            outcomes[index] = (summary, registry, fragment)
+            campaign.point_finished(
+                index, label,
+                seconds=_point_seconds(fragment, label),
+                counters=registry.snapshot()["counters"],
+            )
+        return outcomes
+    _warm_instance_cache(specs)
+    workers = min(jobs, len(specs))
+    with campaign.workers_attached():
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_evaluate_point_tracked, (i, s)): i
+                for i, s in enumerate(specs)
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                label = specs[index].label or "point"
+                try:
+                    pid, outcome = future.result()
+                except BaseException as exc:
+                    campaign.point_error(index, label, exc)
+                    raise
+                outcomes[index] = outcome
+                _summary, registry, fragment = outcome
+                campaign.point_finished(
+                    index, label,
+                    seconds=_point_seconds(fragment, label),
+                    counters=registry.snapshot()["counters"],
+                    worker=f"pid{pid}",
+                )
+    return outcomes
+
+
 def _warm_instance_cache(specs: Sequence[ExperimentSpec]) -> None:
     """Build every distinct instance a sweep will touch, once, pre-fork.
 
@@ -339,7 +427,12 @@ def _warm_instance_cache(specs: Sequence[ExperimentSpec]) -> None:
                 build_instance_cached(point_spec.config, trial_seed)
 
 
-def run_sweep(spec: SweepSpec, jobs: int = 1) -> SweepResult:
+def run_sweep(
+    spec: SweepSpec,
+    jobs: int = 1,
+    journal: RunJournal | str | Path | None = None,
+    progress: ProgressTracker | bool | None = None,
+) -> SweepResult:
     """Evaluate every point of ``spec``, sharded over ``jobs`` processes.
 
     ``jobs=1`` runs in-process with no executor — the drop-in
@@ -360,19 +453,48 @@ def run_sweep(spec: SweepSpec, jobs: int = 1) -> SweepResult:
     through copy-on-write memory instead of regenerating it per point,
     and points are handed out in per-worker chunks rather than one IPC
     round-trip each.
+
+    ``journal`` (a path or a :class:`~repro.obs.journal.RunJournal`)
+    streams an append-only JSONL campaign record — header with the point
+    plan, per-point start/finish/error lines, periodic snapshots — that
+    ``repro watch`` renders live or post-hoc.  ``progress`` (``True`` or
+    a :class:`~repro.obs.progress.ProgressTracker`) adds a live progress
+    view with per-worker heartbeats and straggler detection.  Both are
+    observation-only: every point still evaluates through the identical
+    :func:`_evaluate_point`, so results stay bit-identical with
+    telemetry on or off, and with the untracked path both disabled runs
+    take (chunked ``pool.map``, zero telemetry overhead).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     points = spec.points()
     specs = [point_spec for _, point_spec in points]
-    if jobs == 1 or len(specs) <= 1:
-        outcomes = [_evaluate_point(s) for s in specs]
+    campaign = start_campaign(
+        journal, progress,
+        name=spec.name, total=len(specs), jobs=jobs,
+        plan=[{"index": i, "label": point_spec.label, "detail": overrides}
+              for i, (overrides, point_spec) in enumerate(points)],
+        config_hash=config_fingerprint(spec.base),
+        git_rev=git_revision(Path(__file__).resolve().parent),
+        seed=spec.seed,
+    )
+    if campaign is None:
+        if jobs == 1 or len(specs) <= 1:
+            outcomes = [_evaluate_point(s) for s in specs]
+        else:
+            _warm_instance_cache(specs)
+            workers = min(jobs, len(specs))
+            chunk = -(-len(specs) // workers)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(
+                    pool.map(_evaluate_point, specs, chunksize=chunk))
     else:
-        _warm_instance_cache(specs)
-        workers = min(jobs, len(specs))
-        chunk = -(-len(specs) // workers)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            outcomes = list(pool.map(_evaluate_point, specs, chunksize=chunk))
+        try:
+            outcomes = _run_points_tracked(specs, jobs, campaign)
+        except BaseException:
+            campaign.finish(status="error")
+            raise
+        campaign.finish()
 
     manifest = manifest_for(
         spec.name,

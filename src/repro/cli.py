@@ -13,6 +13,12 @@ Commands
 ``chaos``     run seeded random fault plans against the invariant suite
 ``crawl``     synthesize a Gnutella-style crawl and summarize it
 ``profile``   attribute every unit of load to (node, action, hop) hotspots
+``watch``     render live or post-hoc campaign state from a run journal
+
+Campaign commands (``sweep``, ``chaos``, ``resilience``) accept
+``--journal PATH`` to stream an append-only JSONL run journal and
+``--progress`` for a live progress line plus end-of-run campaign
+summary (workers, stragglers, runtime distribution) on stderr.
 
 Every command accepts ``--seed`` for reproducibility and prints the same
 tables the library's reporting helpers produce.
@@ -56,6 +62,15 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="2-redundant virtual super-peers")
     parser.add_argument("--query-rate", type=float, default=None,
                         help="queries per user per second (default 9.26e-3)")
+
+
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--journal", metavar="PATH", default=None,
+                        help="append a JSONL run journal (readable while the "
+                             "campaign runs via 'repro watch PATH')")
+    parser.add_argument("--progress", action="store_true",
+                        help="live progress line and end-of-run campaign "
+                             "summary on stderr")
 
 
 def _load_config_payload(path: str) -> dict:
@@ -169,7 +184,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_sources=args.max_sources,
     )
-    result = run_sweep(spec, jobs=args.jobs)
+    result = run_sweep(spec, jobs=args.jobs,
+                       journal=args.journal, progress=args.progress)
     # Fold the sweep's merged metrics into the --metrics collector (a
     # no-op sink when metrics are disabled).
     get_registry().absorb(result.registry)
@@ -320,6 +336,7 @@ def cmd_resilience(args: argparse.Namespace) -> int:
     report = run_resilience(
         instance, plan, duration=args.duration, rng=args.seed,
         recovery=policy, tracer=args.tracer, engine=args.engine,
+        journal=args.journal, progress=args.progress,
     )
     print(render_resilience_report(
         report, title=f"resilience over {args.duration:.0f}s"
@@ -363,7 +380,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         detector=args.detector,
         engine=args.engine,
     )
-    result = run_chaos(spec, jobs=args.jobs)
+    result = run_chaos(spec, jobs=args.jobs,
+                       journal=args.journal, progress=args.progress)
     get_registry().absorb(result.registry)
     print(render_chaos_report(result))
     if args.report:
@@ -431,6 +449,26 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_watch(args: argparse.Namespace) -> int:
+    import time
+
+    from .obs.journal import replay_journal
+    from .reporting import render_campaign, render_progress_line
+
+    while True:
+        try:
+            state = replay_journal(args.journal)
+        except OSError as exc:
+            raise SystemExit(f"cannot read journal {args.journal}: {exc}")
+        if args.once or state.finished:
+            print(render_campaign(
+                state, straggler_factor=args.straggler_factor
+            ))
+            return 0
+        print(render_progress_line(state), flush=True)
+        time.sleep(args.interval)
+
+
 def cmd_crawl(args: argparse.Namespace) -> int:
     from .topology.crawl import synthesize_crawl
 
@@ -475,6 +513,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep configuration parameters (repro.api.run_sweep)",
     )
     _add_config_arguments(p)
+    _add_telemetry_arguments(p)
     p.add_argument("--param", default=None,
                    help="field to sweep (e.g. cluster_size, ttl, avg_outdegree); "
                         'optional when --config declares a "grid"')
@@ -521,6 +560,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulate under a fault plan and measure degraded operation",
     )
     _add_config_arguments(p)
+    _add_telemetry_arguments(p)
     p.add_argument("--duration", type=float, default=1800.0,
                    help="virtual seconds to simulate")
     p.add_argument("--loss", type=float, default=0.0,
@@ -597,6 +637,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the merged chaos RunManifest as JSON")
     p.add_argument("--engine", choices=("event", "array"), default="event",
                    help="simulation backend for every case")
+    _add_telemetry_arguments(p)
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
@@ -619,6 +660,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--graph-size", type=int, default=20_000)
     p.add_argument("--outdegree", type=float, default=3.1)
     p.set_defaults(func=cmd_crawl)
+
+    p = sub.add_parser(
+        "watch",
+        help="render campaign state (progress, workers, stragglers) "
+             "from a run journal, live or post-hoc",
+    )
+    p.add_argument("journal", metavar="JOURNAL",
+                   help="path to a --journal JSONL file (may still be "
+                        "growing; unreadable lines are skipped)")
+    p.add_argument("--once", action="store_true",
+                   help="render the current state once and exit")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between re-reads while the campaign runs")
+    p.add_argument("--straggler-factor", type=float, default=3.0,
+                   help="flag points slower than this multiple of the "
+                        "median runtime")
+    p.set_defaults(func=cmd_watch)
 
     return parser
 

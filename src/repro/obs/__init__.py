@@ -17,7 +17,19 @@ from .attribution import (
     RESOURCES,
     profile_instance,
 )
-from .export import export_bundle, metric_name, prometheus_exposition, write_json
+from .export import (
+    escape_label_value,
+    export_bundle,
+    metric_name,
+    prometheus_exposition,
+    write_json,
+)
+from .journal import (
+    JOURNAL_SCHEMA,
+    RunJournal,
+    read_journal,
+    replay_journal,
+)
 from .manifest import (
     RunManifest,
     config_fingerprint,
@@ -39,6 +51,14 @@ from .metrics import (
     set_registry,
     use_registry,
 )
+from .progress import (
+    Campaign,
+    CampaignState,
+    ProgressTracker,
+    STRAGGLER_FACTOR,
+    heartbeat,
+    start_campaign,
+)
 from .timeline import (
     OutageWindow,
     QueryLifecycle,
@@ -50,9 +70,12 @@ from .trace import NULL_TRACER, NullTracer, TraceEvent, Tracer, read_jsonl
 __all__ = [
     "ACTIONS",
     "AttributionError",
+    "Campaign",
+    "CampaignState",
     "Counter",
     "Gauge",
     "Histogram",
+    "JOURNAL_SCHEMA",
     "LoadAttribution",
     "MetricsRegistry",
     "NULL_ATTRIBUTION",
@@ -62,9 +85,12 @@ __all__ = [
     "NullRegistry",
     "NullTracer",
     "OutageWindow",
+    "ProgressTracker",
     "QueryLifecycle",
     "RESOURCES",
+    "RunJournal",
     "RunManifest",
+    "STRAGGLER_FACTOR",
     "TimelineReport",
     "Timer",
     "TraceEvent",
@@ -73,16 +99,21 @@ __all__ = [
     "config_fingerprint",
     "disable_metrics",
     "enable_metrics",
+    "escape_label_value",
     "export_bundle",
     "get_registry",
     "git_revision",
+    "heartbeat",
     "manifest_for",
     "metric_name",
     "peak_rss_bytes",
     "profile_instance",
     "prometheus_exposition",
+    "read_journal",
     "read_jsonl",
+    "replay_journal",
     "set_registry",
+    "start_campaign",
     "use_registry",
     "write_json",
 ]

@@ -17,8 +17,11 @@ instrument and can be done mid-run.
 from __future__ import annotations
 
 import json
+import math
 import re
 from pathlib import Path
+
+from .metrics import _BUCKETS_PER_OCTAVE, _INDEX_OFFSET
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
 
@@ -29,14 +32,45 @@ def metric_name(name: str, prefix: str = "repro") -> str:
     return f"{prefix}_{clean}" if prefix else clean
 
 
+def escape_label_value(value) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double-quote and newline are the three characters the
+    format escapes inside a quoted label value.
+    """
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _bucket_upper_bound(index: int) -> float:
+    """Upper edge of a metrics histogram bucket (``le`` label value)."""
+    if index == 0:
+        return 0.0
+    exp = abs(index) - _INDEX_OFFSET
+    if index > 0:
+        try:
+            return 2.0 ** ((exp + 1) / _BUCKETS_PER_OCTAVE)
+        except OverflowError:
+            return math.inf
+    # Negative buckets: the upper edge is the boundary nearer zero.
+    return -(2.0 ** (exp / _BUCKETS_PER_OCTAVE))
+
+
 def prometheus_exposition(registry, prefix: str = "repro") -> str:
     """Render a registry (or its ``snapshot()``) in Prometheus text format.
 
-    Counters and gauges map directly; timers and histograms export as
-    summaries — ``_count`` / ``_sum`` samples plus ``quantile``-labelled
-    gauges for the percentiles the snapshot carries.
+    Counters and gauges map directly; timers export as summaries —
+    ``_count`` / ``_sum`` samples plus ``quantile``-labelled gauges.
+    Histograms rendered from a *live* registry export as true Prometheus
+    histograms with cumulative ``le`` buckets (the bucket boundaries the
+    log-bucketed :class:`~repro.obs.metrics.Histogram` already keeps);
+    a plain ``snapshot()`` dict no longer carries buckets, so it falls
+    back to the historical summary form.
     """
     snapshot = registry if isinstance(registry, dict) else registry.snapshot()
+    live = None if isinstance(registry, dict) else registry
     lines: list[str] = []
 
     for name, value in sorted(snapshot.get("counters", {}).items()):
@@ -55,6 +89,18 @@ def prometheus_exposition(registry, prefix: str = "repro") -> str:
         lines.append(f'{metric}{{quantile="max"}} {t["max_seconds"]!r}')
     for name, h in sorted(snapshot.get("histograms", {}).items()):
         metric = metric_name(name, prefix)
+        buckets = live.histogram(name).bucket_counts() if live else None
+        if buckets:
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for index in sorted(buckets):
+                cumulative += buckets[index]
+                le = escape_label_value(f"{_bucket_upper_bound(index)!r}")
+                lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {h["count"]!r}')
+            lines.append(f"{metric}_sum {h['total']!r}")
+            lines.append(f"{metric}_count {h['count']!r}")
+            continue
         lines.append(f"# TYPE {metric} summary")
         lines.append(f"{metric}_count {h['count']!r}")
         for q_label, key in (("0.5", "p50"), ("0.95", "p95"), ("1", "max")):

@@ -62,12 +62,20 @@ def git_revision(cwd: str | Path | None = None) -> str | None:
 
 
 def peak_rss_bytes() -> int | None:
-    """Peak resident set size of this process, in bytes (None if unknown)."""
+    """Peak resident set size of this process, in bytes (None if unknown).
+
+    Degrades gracefully: platforms without the ``resource`` module
+    (e.g. Windows) or whose ``getrusage`` refuses the query return
+    ``None`` instead of raising, and :meth:`RunManifest.finish` records
+    a note alongside the null value.
+    """
     try:
         import resource
-    except ImportError:  # pragma: no cover - non-POSIX platform
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except (ImportError, AttributeError, OSError, ValueError):
+        # pragma: no cover - non-POSIX platform or restricted runtime
         return None
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     # ru_maxrss is kilobytes on Linux, bytes on macOS.
     return int(peak) if sys.platform == "darwin" else int(peak) * 1024
 
@@ -106,6 +114,12 @@ class RunManifest:
         measured = peak_rss_bytes()
         candidates = [v for v in (self.peak_rss, measured) if v is not None]
         self.peak_rss = max(candidates) if candidates else None
+        if self.peak_rss is None:
+            self.extra.setdefault(
+                "peak_rss_note",
+                "peak RSS unavailable on this platform (no usable "
+                "resource.getrusage); recorded as null",
+            )
         if registry is not None:
             self.metrics = registry.snapshot()
         return self

@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
 
+from .metrics import get_registry
+
 
 @dataclass(frozen=True)
 class TraceEvent:
@@ -83,10 +85,18 @@ class Tracer:
                 self._sink = sink
 
     def emit(self, kind: str, t: float = 0.0, **fields) -> None:
-        """Record one event (evicting the oldest when the ring is full)."""
+        """Record one event (evicting the oldest when the ring is full).
+
+        An eviction with no sink loses the event; that loss is counted
+        on the ``trace.dropped_events`` counter so ring saturation is
+        visible in ``render_metrics`` instead of silent.
+        """
         self.emitted += 1
-        if self._sink is not None and len(self._events) == self.capacity:
-            self._write(self._events[0])
+        if len(self._events) == self.capacity:
+            if self._sink is not None:
+                self._write(self._events[0])
+            else:
+                get_registry().counter("trace.dropped_events").add()
         self._events.append(TraceEvent(t=float(t), kind=kind, fields=fields))
 
     # --- streaming sink -------------------------------------------------------

@@ -15,6 +15,7 @@ from .units import format_bps, format_hz
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .obs.attribution import LoadAttribution
     from .obs.metrics import MetricsRegistry
+    from .obs.progress import CampaignState
     from .obs.timeline import TimelineReport
     from .sim.chaos import ChaosReport
     from .sim.resilience import ResilienceReport
@@ -147,6 +148,159 @@ def render_chaos_report(report: "ChaosReport",
     return "\n".join(lines)
 
 
+def _format_duration(seconds: float | None) -> str:
+    """Compact wall-clock formatting: 12.3s, 4m07s, 2h13m."""
+    if seconds is None:
+        return "?"
+    seconds = max(float(seconds), 0.0)
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+def render_progress_line(state: "CampaignState",
+                         now: float | None = None) -> str:
+    """One-line live campaign status: done/total, rate, ETA, workers."""
+    total = "?" if state.total is None else str(state.total)
+    parts = [f"{state.campaign}: {state.done}/{total}"]
+    if state.errors:
+        parts.append(f"{state.errors} err")
+    rate = state.throughput(now)
+    if rate > 0:
+        parts.append(f"{rate:.2f} pt/s")
+    eta = state.eta_seconds(now)
+    if eta is not None and not state.finished:
+        parts.append(f"eta {_format_duration(eta)}")
+    running = state.running
+    if running:
+        labels = [state.points[i]["label"] for i in running[:3]]
+        suffix = "..." if len(running) > 3 else ""
+        parts.append(f"running [{', '.join(labels)}{suffix}]")
+    if state.finished:
+        parts.append(f"finished ({state.end_status}, "
+                     f"{_format_duration(state.elapsed(now))})")
+    return "  ".join(parts)
+
+
+def render_campaign(
+    state: "CampaignState",
+    straggler_factor: float = 3.0,
+    now: float | None = None,
+    title: str | None = None,
+) -> str:
+    """Render full campaign telemetry from a replayed or live state.
+
+    Header (progress, throughput, fingerprints), per-worker status,
+    the straggler report with each flagged point's plan detail, and —
+    once points have settled — the runtime distribution, slowest
+    points, and the error roll-up grouped by exception type.
+    """
+    sections = [title or render_progress_line(state, now)]
+    if title:
+        sections.append(render_progress_line(state, now))
+
+    meta = []
+    if state.config_hash:
+        meta.append(f"config {state.config_hash}")
+    if state.git_rev:
+        meta.append(f"rev {state.git_rev}")
+    if state.seed is not None:
+        meta.append(f"seed {state.seed}")
+    if state.jobs:
+        meta.append(f"jobs {state.jobs}")
+    if state.skipped_lines:
+        meta.append(f"{state.skipped_lines} unreadable journal line(s) skipped")
+    if meta:
+        sections.append("  ".join(meta))
+
+    workers = state.worker_rows(now)
+    if workers:
+        sections.append(render_table(
+            ["worker", "done", "current point", "last seen"],
+            [
+                [
+                    row["worker"],
+                    row["done"],
+                    (row["running_label"] or "-") if row["running"] is not None
+                    else "-",
+                    ("just now" if row["idle_seconds"] is not None
+                     and row["idle_seconds"] < 1.0
+                     else f"{_format_duration(row['idle_seconds'])} ago"
+                     if row["idle_seconds"] is not None else "?"),
+                ]
+                for row in workers
+            ],
+            title="workers",
+        ))
+
+    stragglers = state.stragglers(straggler_factor, now)
+    if stragglers:
+        sections.append(render_table(
+            ["point", "state", "runtime", "x median", "config"],
+            [
+                [
+                    f"[{f['index']}] {f['label']}",
+                    f["state"],
+                    _format_duration(f["seconds"]),
+                    f"{f['ratio']:.1f}x",
+                    f["detail"] if f["detail"] is not None else "-",
+                ]
+                for f in stragglers
+            ],
+            title=(f"stragglers (> {straggler_factor:g}x median "
+                   f"{_format_duration(stragglers[0]['median'])})"),
+        ))
+
+    slowest = state.slowest()
+    if slowest:
+        sections.append(render_table(
+            ["point", "runtime", "config"],
+            [
+                [
+                    f"[{row['index']}] {row['label']}",
+                    _format_duration(row["seconds"]),
+                    row["detail"] if row["detail"] is not None else "-",
+                ]
+                for row in slowest
+            ],
+            title="slowest points",
+        ))
+
+    histogram = state.runtime_histogram()
+    if len(histogram) > 1:
+        peak = max(count for _, _, count in histogram) or 1
+        lines = ["runtime distribution"]
+        for lo, hi, count in histogram:
+            bar = "#" * round(20 * count / peak)
+            lines.append(
+                f"  {_format_duration(lo):>8} - {_format_duration(hi):<8}"
+                f" {count:>4}  {bar}"
+            )
+        sections.append("\n".join(lines))
+
+    rollup = state.error_rollup()
+    if rollup:
+        sections.append(render_table(
+            ["error type", "count", "points", "example"],
+            [
+                [
+                    kind,
+                    entry["count"],
+                    ", ".join(str(i) for i in entry["indices"][:6])
+                    + ("..." if len(entry["indices"]) > 6 else ""),
+                    (entry["example"] or "")[:60],
+                ]
+                for kind, entry in sorted(rollup.items())
+            ],
+            title="errors",
+        ))
+    return "\n\n".join(sections)
+
+
 def render_metrics(registry: "MetricsRegistry | dict",
                    title: str = "metrics") -> str:
     """Render a metrics registry (or its ``snapshot()``) as tables.
@@ -164,6 +318,13 @@ def render_metrics(registry: "MetricsRegistry | dict",
             [[name, value] for name, value in counters.items()],
             title=title,
         ))
+    dropped = counters.get("trace.dropped_events", 0)
+    if dropped:
+        sections.append(
+            f"WARNING: trace ring saturated — {_cell(dropped)} event(s) "
+            "evicted unrecorded; raise the tracer capacity or attach a "
+            "--trace-out sink to keep the full stream"
+        )
     gauges = snapshot.get("gauges", {})
     if gauges:
         sections.append(render_table(

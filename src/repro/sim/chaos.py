@@ -29,14 +29,28 @@ associatively — so ``jobs=N`` equals ``jobs=1`` case for case.
 from __future__ import annotations
 
 import hashlib
-from concurrent.futures import ProcessPoolExecutor
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 import numpy as np
 
 from ..config import Configuration
-from ..obs.manifest import RunManifest, manifest_for
+from ..obs.journal import RunJournal
+from ..obs.manifest import (
+    RunManifest,
+    config_fingerprint,
+    git_revision,
+    manifest_for,
+)
 from ..obs.metrics import MetricsRegistry, use_registry
+from ..obs.progress import (
+    Campaign,
+    ProgressTracker,
+    heartbeat,
+    start_campaign,
+)
 from ..stats.rng import derive_rng
 from ..topology.builder import build_instance
 from .faults import CrashSpec, FaultPlan, PartitionWindow, RetryPolicy, SlowSpec
@@ -466,22 +480,130 @@ def _case_worker(args: tuple) -> tuple:
     return case, registry, fragment
 
 
-def run_chaos(spec: ChaosSpec, jobs: int = 1) -> ChaosReport:
+def _case_worker_tracked(args: tuple) -> tuple:
+    """Pool entry point for telemetry-enabled chaos runs.
+
+    Wraps the untouched :func:`_case_worker` with worker heartbeats
+    (advisory wall-clock/label beats, never results) and returns the
+    worker pid so the parent journals which process ran the case.
+    """
+    index, spec, seed = args
+    label = f"chaos[{seed}]"
+    heartbeat("point-start", index=index, label=label)
+    outcome = _case_worker((spec, seed))
+    heartbeat("point-finish", index=index, label=label)
+    return os.getpid(), outcome
+
+
+def _run_cases_tracked(
+    spec: ChaosSpec,
+    jobs: int,
+    campaign: Campaign,
+) -> list:
+    """Run chaos cases with journal/progress telemetry attached.
+
+    Same evaluation as the untracked path (each case through
+    :func:`_case_worker` with its own seed), dispatched one future per
+    case so the journal streams finish records in completion order while
+    results reassemble in stable seed order.
+    """
+    seeds = spec.seeds
+    outcomes: list = [None] * len(seeds)
+    if jobs == 1 or len(seeds) <= 1:
+        for index, seed in enumerate(seeds):
+            label = f"chaos[{seed}]"
+            campaign.point_started(index, label)
+            try:
+                case, registry, fragment = _case_worker((spec, seed))
+            except BaseException as exc:
+                campaign.point_error(index, label, exc)
+                raise
+            outcomes[index] = (case, registry, fragment)
+            campaign.point_finished(
+                index, label,
+                seconds=fragment.phases.get(label, fragment.total_seconds),
+                counters=registry.snapshot()["counters"],
+            )
+        return outcomes
+    workers = min(jobs, len(seeds))
+    with campaign.workers_attached():
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_case_worker_tracked, (i, spec, seed)): i
+                for i, seed in enumerate(seeds)
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                label = f"chaos[{seeds[index]}]"
+                try:
+                    pid, outcome = future.result()
+                except BaseException as exc:
+                    campaign.point_error(index, label, exc)
+                    raise
+                outcomes[index] = outcome
+                _case, registry, fragment = outcome
+                campaign.point_finished(
+                    index, label,
+                    seconds=fragment.phases.get(label,
+                                                fragment.total_seconds),
+                    counters=registry.snapshot()["counters"],
+                    worker=f"pid{pid}",
+                )
+    return outcomes
+
+
+def run_chaos(
+    spec: ChaosSpec,
+    jobs: int = 1,
+    journal: RunJournal | str | Path | None = None,
+    progress: ProgressTracker | bool | None = None,
+) -> ChaosReport:
     """Run every case of ``spec``, sharded over ``jobs`` processes.
 
     The same executor discipline as :func:`repro.api.run_sweep`:
     ``jobs=1`` runs in-process, ``jobs=N`` shards cases across a
     ``ProcessPoolExecutor``, and both return identical case results in
     stable seed order with one merged registry/manifest.
+
+    ``journal``/``progress`` attach the campaign-telemetry layer
+    (:mod:`repro.obs.journal` / :mod:`repro.obs.progress`) exactly as in
+    :func:`repro.api.run_sweep`: a streaming JSONL journal for ``repro
+    watch`` and a live heartbeat/straggler view.  Observation-only —
+    case results are bit-identical with telemetry on or off.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    try:
+        config_hash = config_fingerprint(spec.configuration())
+    except ValueError:
+        # An invalid spec must still blow up inside the case worker,
+        # where ChaosCaseError attaches the reproduction recipe.
+        config_hash = None
+    campaign = start_campaign(
+        journal, progress,
+        name="chaos", total=spec.cases, jobs=jobs,
+        plan=[{"index": i, "label": f"chaos[{seed}]",
+               "detail": {"seed": seed, "detector": spec.detector,
+                          "engine": spec.engine}}
+              for i, seed in enumerate(spec.seeds)],
+        config_hash=config_hash,
+        git_rev=git_revision(Path(__file__).resolve().parent),
+        seed=spec.base_seed,
+    )
     work = [(spec, seed) for seed in spec.seeds]
-    if jobs == 1 or len(work) <= 1:
-        outcomes = [_case_worker(item) for item in work]
+    if campaign is None:
+        if jobs == 1 or len(work) <= 1:
+            outcomes = [_case_worker(item) for item in work]
+        else:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
+                outcomes = list(pool.map(_case_worker, work))
     else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
-            outcomes = list(pool.map(_case_worker, work))
+        try:
+            outcomes = _run_cases_tracked(spec, jobs, campaign)
+        except BaseException:
+            campaign.finish(status="error")
+            raise
+        campaign.finish()
 
     manifest = manifest_for(
         "chaos",

@@ -38,13 +38,26 @@ Binomials (``total_clients`` draws per query).  Fault semantics are
 therefore shared by code, not by reimplementation.
 
 The fault-free array path is aggregate-only: it cannot emit per-query
-trace events, so a ``tracer`` is accepted but stays silent (faulty runs
-trace normally through the shared event core).
+trace events, so a ``tracer`` receives one vectorized ``flood-summary``
+event per run (query-weighted frontier sizes and messages per hop —
+the Figs. 4-8 quantities) instead of the event engine's per-query
+stream (faulty runs trace normally through the shared event core).
+
+Instrumentation parity: the fault-free path registers the *same*
+counter and histogram families as the event engine's ``_State`` and
+``Simulator`` — fault-path counters (drops, retries, orphans) exist at
+zero, ``sim.engine.events`` counts replayed schedule events, and the
+run is timed under the ``sim.engine.run`` timer plus per-phase
+``sim.array.*`` timers (churn / updates / flood / delivery) that also
+land in an optional :class:`~repro.obs.manifest.RunManifest`.  The
+differential harness asserts cross-engine counter-name parity, and all
+of it is observation-only (``tests/test_journal.py`` neutrality).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -233,6 +246,7 @@ def simulate_instance_array(
     schedule: WorkloadSchedule | None = None,
     windows: int = DEFAULT_WINDOWS,
     block: int = DEFAULT_BLOCK,
+    manifest=None,
 ):
     """Array-engine counterpart of
     :func:`repro.sim.network.simulate_instance` (same signature, same
@@ -244,6 +258,11 @@ def simulate_instance_array(
     deterministic given the shared schedule — queries, joins, updates,
     flood transmissions, reach — equal the event engine's bit for bit;
     sampled quantities agree statistically (``tests/test_differential.py``).
+
+    ``manifest`` (a :class:`~repro.obs.manifest.RunManifest`) receives
+    per-phase wall-clock for the fault-free path's internal phases
+    (``sim.array.churn`` / ``updates`` / ``flood`` / ``delivery``) — the
+    same attribution the registry's ``sim.array.*`` timers carry.
     """
     if duration <= 0:
         raise ValueError("duration must be positive")
@@ -267,11 +286,23 @@ def simulate_instance_array(
         )
     return _simulate_fault_free_array(
         instance, duration, model, rng, schedule,
-        windows=windows, block=block,
+        windows=windows, block=block, tracer=tracer, manifest=manifest,
     )
 
 
 # --- fault-free aggregate path ------------------------------------------------
+
+
+def _mark_phase(registry, manifest, name: str, started: float) -> float:
+    """Attribute wall-clock since ``started`` to a registry timer and
+    (when a manifest rides along) the same-named manifest phase;
+    returns the next phase's start time."""
+    now = perf_counter()
+    elapsed = now - started
+    registry.timer(name).record(elapsed)
+    if manifest is not None:
+        manifest.phases[name] = manifest.phases.get(name, 0.0) + elapsed
+    return now
 
 
 def _simulate_fault_free_array(
@@ -282,6 +313,8 @@ def _simulate_fault_free_array(
     schedule: WorkloadSchedule,
     windows: int,
     block: int,
+    tracer=None,
+    manifest=None,
 ):
     from .network import (  # deferred: network lazily imports this module
         _MUX, _QUERY_BYTES, _RECV_Q, _SEND_Q, SimulationReport,
@@ -304,6 +337,17 @@ def _simulate_fault_free_array(
     m_query_messages = registry.counter("sim.query_messages")
     m_response_messages = registry.counter("sim.response_messages")
     m_results = registry.histogram("sim.results_per_query")
+    # Parity with the event engine's ``_State``/``Simulator``: the full
+    # fault-free counter family exists on every run (the differential
+    # harness asserts cross-engine counter-name parity), with the
+    # fault-path counters inert at zero on this path.
+    registry.counter("sim.flood_messages_dropped")
+    registry.counter("sim.response_messages_dropped")
+    registry.counter("sim.retries")
+    registry.counter("sim.orphaned_queries")
+    m_events = registry.counter("sim.engine.events")
+    registry.counter("sim.engine.compactions")
+    run_started = phase_started = perf_counter()
 
     sp_in = np.zeros(n)
     sp_out = np.zeros(n)
@@ -398,6 +442,8 @@ def _simulate_fault_free_array(
         np.add.at(deltas, (window_of(pt), pcl),
                   (new_p - prev_p).astype(float))
     num_joins = C + P
+    phase_started = _mark_phase(registry, manifest, "sim.array.churn",
+                                phase_started)
 
     # --- updates: exact per-event accounting --------------------------------
     if U:
@@ -422,6 +468,8 @@ def _simulate_fault_free_array(
                 costs.SEND_UPDATE_UNITS + costs.RECV_UPDATE_UNITS
                 + 2 * _MUX * m_sp[up] + costs.PROCESS_UPDATE_UNITS
             ) / k)
+    phase_started = _mark_phase(registry, manifest, "sim.array.updates",
+                                phase_started)
 
     # --- per-window index sizes and response-weight channels ----------------
     F0 = instance.index_sizes.astype(float)
@@ -491,6 +539,12 @@ def _simulate_fault_free_array(
     resp_msgs = 0.0
     reach_count = np.zeros(n)
     F_reach = np.zeros((n, W))
+    # Query-weighted per-hop flood profile (frontier clusters reached at
+    # each depth, query messages sent from each depth) — the vectorized
+    # stand-in for the event engine's per-query trace stream, one
+    # bincount per block so it can stay on by default.
+    hop_frontier = np.zeros(ttl + 1)
+    hop_messages = np.zeros(ttl + 1)
     for start in range(0, q_sources.size, max(1, block)):
         src = q_sources[start:start + max(1, block)]
         fb = _prop_block(graph, src, ttl)
@@ -498,6 +552,15 @@ def _simulate_fault_free_array(
         rows = np.arange(b)
         mb = m_s[src]
         reached = fb.reached
+
+        w_rows = np.broadcast_to(mb[:, np.newaxis], fb.depth.shape)
+        depths = fb.depth[reached]
+        hop_frontier += np.bincount(depths, weights=w_rows[reached],
+                                    minlength=ttl + 1)[:ttl + 1]
+        hop_messages += np.bincount(
+            depths, weights=(fb.transmissions * w_rows)[reached],
+            minlength=ttl + 1,
+        )[:ttl + 1]
 
         tw = mb @ fb.transmissions
         rw = mb @ fb.receipts
@@ -549,6 +612,8 @@ def _simulate_fault_free_array(
             + costs.RECV_RESPONSE_PER_RESULT * inc[:, 2]
         ) / k
         resp_msgs += float(sender_sum[:, 0].sum())
+    phase_started = _mark_phase(registry, manifest, "sim.array.flood",
+                                phase_started)
 
     # --- per-query client submit (exact) and sampled deliveries -------------
     total_results = 0.0
@@ -607,11 +672,26 @@ def _simulate_fault_free_array(
         for v in to_r:
             m_results.observe(float(v))
 
+    _mark_phase(registry, manifest, "sim.array.delivery", phase_started)
+
     m_queries.add(float(Q))
     m_joins.add(float(num_joins))
     m_updates.add(float(U))
     m_query_messages.add(total_flood)
     m_response_messages.add(resp_msgs)
+    m_events.add(float(Q + num_joins + U))
+    registry.timer("sim.engine.run").record(perf_counter() - run_started)
+
+    if tracer is not None and tracer.enabled:
+        tracer.emit(
+            "flood-summary",
+            duration,
+            queries=int(Q),
+            ttl=int(ttl),
+            frontier_per_hop=[float(x) for x in hop_frontier],
+            messages_per_hop=[float(x) for x in hop_messages],
+            mean_reach=total_reach / M,
+        )
 
     return SimulationReport(
         duration=duration,

@@ -19,6 +19,7 @@ run *is* the baseline run (bit-identical loads), which
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from time import perf_counter
 
 import numpy as np
 
@@ -273,6 +274,8 @@ def run_resilience(
     tracer=None,
     detector: str | None = None,
     engine: str = "event",
+    journal=None,
+    progress=None,
 ) -> ResilienceReport:
     """Measure an instance's degraded-mode behaviour under ``plan``.
 
@@ -298,6 +301,12 @@ def run_resilience(
     ``engine`` selects the simulation backend for *both* runs
     (``"event"`` or ``"array"``, see :func:`simulate_instance`): the
     baseline/degraded comparison only makes sense within one engine.
+
+    ``journal``/``progress`` attach campaign telemetry
+    (:func:`repro.obs.progress.start_campaign`): the degraded and
+    baseline runs journal as a two-point campaign, so even a single
+    resilience run is watchable with ``repro watch`` and a killed run
+    leaves a readable record.  Observation-only, as everywhere else.
     """
     if isinstance(rng, np.random.Generator):
         raise TypeError(
@@ -315,23 +324,57 @@ def run_resilience(
                 detector=replace(recovery.detector, mode=detector,
                                  gossip=None),
             )
-    outcome = FaultOutcome()
-    degraded = simulate_instance(
-        instance, duration=duration, model=model, rng=rng,
-        enable_churn=enable_churn, enable_updates=enable_updates,
-        faults=plan, fault_metrics=outcome, recovery=recovery,
-        tracer=tracer, engine=engine,
-    )
-    if tracer is not None and getattr(tracer, "_sink", None) is not None:
-        # Streaming tracer: drain the ring so the sink holds the full run
-        # before the (untraced) baseline replays the stream.
-        tracer.flush()
+    from ..obs.progress import start_campaign
+
+    detail = {"plan": plan.describe(), "engine": engine,
+              "detector": detector, "duration": duration}
+    points = [{"index": 0, "label": "degraded", "detail": detail}]
     if baseline is None:
-        baseline = simulate_instance(
+        points.append({"index": 1, "label": "baseline", "detail": detail})
+    campaign = start_campaign(
+        journal, progress, name="resilience", total=len(points),
+        plan=points, seed=rng,
+    )
+    try:
+        outcome = FaultOutcome()
+        if campaign is not None:
+            campaign.point_started(0, "degraded")
+        started = perf_counter()
+        degraded = simulate_instance(
             instance, duration=duration, model=model, rng=rng,
             enable_churn=enable_churn, enable_updates=enable_updates,
-            engine=engine,
+            faults=plan, fault_metrics=outcome, recovery=recovery,
+            tracer=tracer, engine=engine,
         )
+        if campaign is not None:
+            campaign.point_finished(
+                0, "degraded", seconds=perf_counter() - started,
+                counters={"num_queries": degraded.num_queries},
+            )
+        if tracer is not None and getattr(tracer, "_sink", None) is not None:
+            # Streaming tracer: drain the ring so the sink holds the full
+            # run before the (untraced) baseline replays the stream.
+            tracer.flush()
+        if baseline is None:
+            if campaign is not None:
+                campaign.point_started(1, "baseline")
+            started = perf_counter()
+            baseline = simulate_instance(
+                instance, duration=duration, model=model, rng=rng,
+                enable_churn=enable_churn, enable_updates=enable_updates,
+                engine=engine,
+            )
+            if campaign is not None:
+                campaign.point_finished(
+                    1, "baseline", seconds=perf_counter() - started,
+                    counters={"num_queries": baseline.num_queries},
+                )
+    except BaseException:
+        if campaign is not None:
+            campaign.finish(status="error")
+        raise
+    if campaign is not None:
+        campaign.finish()
     return ResilienceReport(
         plan=plan,
         duration=duration,

@@ -222,7 +222,32 @@ def run_engine(case: DiffCase, engine: str) -> dict:
             "deferred_joins": outcome.deferred_joins,
             "query_success_rate": outcome.query_success_rate,
         })
+    snapshot = registry.snapshot()
+    out["_counter_names"] = sorted(snapshot["counters"])
+    out["_histogram_names"] = sorted(snapshot["histograms"])
     return out
+
+
+def check_counter_parity(ev: dict, ar: dict) -> list[str]:
+    """Instrumentation-parity mismatches: counter/histogram name sets.
+
+    The array engine must register the same counter and histogram
+    *families* as the event engine on every run — fault counters at
+    zero on paths that cannot fault — so downstream dashboards and the
+    benchmark baseline see one schema regardless of engine.  Timers are
+    excluded: per-phase attribution is engine-specific by design
+    (``sim.array.*`` vs the event loop's internals).
+    """
+    errors = []
+    for key in ("_counter_names", "_histogram_names"):
+        family = key.strip("_").replace("_names", "")
+        missing = sorted(set(ev.get(key, [])) - set(ar.get(key, [])))
+        extra = sorted(set(ar.get(key, [])) - set(ev.get(key, [])))
+        if missing:
+            errors.append(f"{family}s missing from array engine: {missing}")
+        if extra:
+            errors.append(f"{family}s only on array engine: {extra}")
+    return errors
 
 
 def deterministic_fields(case: DiffCase) -> list[str]:

@@ -204,3 +204,36 @@ def test_main_counter_drift_fails_even_when_fast(tmp_path):
         workload=_stub_workload(drifted),
     )
     assert rc == 1
+
+
+def test_telemetry_overhead_within_bound_passes():
+    base = payload(phases_seconds={
+        "sim_message_level": 20.0, "sim_array": 2.0,
+        "sim_array_telemetry": 2.0,
+    })
+    current = copy.deepcopy(base)
+    # Within 5% + slack of the same run's plain array phase.
+    current["phases_seconds"]["sim_array_telemetry"] = 2.05
+    assert bench_gate.compare(base, current, time_slack=0.05) == []
+
+
+def test_telemetry_overhead_beyond_bound_fails():
+    base = payload(phases_seconds={
+        "sim_message_level": 20.0, "sim_array": 2.0,
+        "sim_array_telemetry": 2.0,
+    })
+    current = copy.deepcopy(base)
+    current["phases_seconds"]["sim_array_telemetry"] = 3.0
+    # Keep the cross-run phase gate out of the way: the within-run
+    # telemetry bound must trip on its own.
+    failures = bench_gate.compare(base, current, time_factor=10.0,
+                                  time_slack=0.01)
+    assert any("telemetry overhead" in f for f in failures)
+
+
+def test_telemetry_counter_perturbation_fails():
+    current = payload(telemetry_counters_identical=False)
+    failures = bench_gate.compare(payload(), current)
+    assert any("telemetry perturbed" in f for f in failures)
+    ok = payload(telemetry_counters_identical=True)
+    assert bench_gate.compare(payload(), ok) == []

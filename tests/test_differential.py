@@ -24,9 +24,11 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from _diff import (
+    ARTIFACT_DIR,
     BIAS_TOL,
     PANEL,
     DiffCase,
+    check_counter_parity,
     check_deterministic,
     check_statistical,
     format_failure,
@@ -89,6 +91,48 @@ def test_panel_no_systematic_bias(panel_results):
         f"systematic cross-engine bias beyond {BIAS_TOL:.0%}: {offenders} "
         f"(full bias report: {report})"
     )
+
+
+@pytest.mark.parametrize("name", _case_names())
+def test_panel_counter_parity(panel_results, name):
+    """Both engines register the same counter/histogram name families."""
+    case, ev, ar = panel_results[name]
+    errors = check_counter_parity(ev, ar)
+    assert not errors, format_failure(case, ev, ar, errors)
+
+
+def test_panel_journal_replays(panel_results):
+    """The panel records as a campaign journal that replays faithfully.
+
+    Doubles as the CI artifact: ``differential_journal.jsonl`` is what
+    the differential-smoke job uploads and smoke-checks with
+    ``repro watch --once``.
+    """
+    from repro.obs.journal import RunJournal, replay_journal
+
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    path = ARTIFACT_DIR / "differential_journal.jsonl"
+    plan = [{"index": i, "label": name, "detail": case.to_dict()}
+            for i, (name, (case, _, _)) in enumerate(panel_results.items())]
+    journal = RunJournal(path, campaign="differential-panel",
+                         total_points=len(panel_results), plan=plan)
+    for i, (name, (case, ev, ar)) in enumerate(panel_results.items()):
+        journal.point_start(i, name)
+        journal.point_finish(i, name, counters={
+            "event.num_queries": ev["num_queries"],
+            "array.num_queries": ar["num_queries"],
+        })
+    journal.close()
+
+    state = replay_journal(path)
+    assert state.campaign == "differential-panel"
+    assert state.total == len(panel_results)
+    assert state.done == len(panel_results)
+    assert state.errors == 0
+    assert state.finished and state.end_status == "complete"
+    assert state.skipped_lines == 0
+    labels = [state.points[i]["label"] for i in sorted(state.points)]
+    assert labels == [name for name in panel_results]
 
 
 def test_artifact_roundtrip(tmp_path):

@@ -480,3 +480,131 @@ def test_resilience_is_metrics_and_trace_neutral():
     # The degraded run actually dropped messages — and tracing saw it.
     assert counters["sim.flood_messages_dropped"] > 0
     assert tracer.counts_by_kind().get("drop", 0) > 0
+
+
+# --- ring saturation surfaced as a counter (sink-less tracers only) ------------
+
+
+def test_tracer_eviction_counts_dropped_events_metric():
+    with use_registry(MetricsRegistry()) as registry:
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            tracer.emit("tick", t=float(i), i=i)
+    counters = registry.snapshot()["counters"]
+    assert counters["trace.dropped_events"] == 6.0
+    assert tracer.dropped == 6
+
+
+def test_tracer_with_sink_streams_instead_of_dropping(tmp_path):
+    path = tmp_path / "t.jsonl"
+    with use_registry(MetricsRegistry()) as registry:
+        tracer = Tracer(capacity=4, sink=path)
+        for i in range(10):
+            tracer.emit("tick", t=float(i), i=i)
+        tracer.flush()
+        tracer.close()
+    # Evicted events went to the sink — nothing was lost, so the
+    # saturation counter must stay silent.
+    assert "trace.dropped_events" not in registry.snapshot()["counters"]
+    assert len(read_jsonl(path)) == 10
+
+
+def test_render_metrics_warns_on_trace_saturation():
+    saturated = render_metrics(
+        {"counters": {"trace.dropped_events": 6.0}}, title="m"
+    )
+    assert "WARNING" in saturated and "ring saturated" in saturated
+    clean = render_metrics({"counters": {"sim.queries": 5.0}}, title="m")
+    assert "WARNING" not in clean
+
+
+# --- peak-RSS graceful degradation ---------------------------------------------
+
+
+def test_peak_rss_unavailable_records_null_and_note(monkeypatch):
+    import repro.obs.manifest as manifest_mod
+
+    def broken_getrusage(_who):
+        raise OSError("getrusage unsupported here")
+
+    import resource
+
+    monkeypatch.setattr(resource, "getrusage", broken_getrusage)
+    assert manifest_mod.peak_rss_bytes() is None
+
+    manifest = manifest_for("rss-degraded", config=None, seed=0)
+    manifest.finish()
+    assert manifest.peak_rss is None
+    assert "peak RSS unavailable" in manifest.extra["peak_rss_note"]
+    # The roundtrip keeps the null + note (no crash, no fake number).
+    payload = manifest.to_dict()
+    assert payload["peak_rss"] is None
+    assert "peak_rss_note" in payload["extra"]
+
+
+def test_peak_rss_note_absent_when_measured():
+    manifest = manifest_for("rss-ok", config=None, seed=0)
+    manifest.finish()
+    if manifest.peak_rss is not None:  # platform-dependent
+        assert "peak_rss_note" not in manifest.extra
+
+
+# --- Prometheus exposition edge cases ------------------------------------------
+
+
+def test_escape_label_value_escapes_the_three_specials():
+    from repro.obs.export import escape_label_value
+
+    assert escape_label_value('pl"ai\\n') == 'pl\\"ai\\\\n'
+    assert escape_label_value("a\nb") == "a\\nb"
+    assert escape_label_value("\\") == "\\\\"
+    assert escape_label_value("plain") == "plain"
+    assert escape_label_value(1.5) == "1.5"
+
+
+def test_prometheus_exposition_empty_registry_is_empty():
+    from repro.obs.export import prometheus_exposition
+
+    assert prometheus_exposition(MetricsRegistry()) == ""
+    assert prometheus_exposition({}) == ""
+    assert prometheus_exposition({"counters": {}, "histograms": {}}) == ""
+
+
+def test_prometheus_histogram_buckets_are_cumulative():
+    from repro.obs.export import prometheus_exposition
+
+    registry = MetricsRegistry()
+    hist = registry.histogram("sim.results")
+    values = [0.0, 0.5, 1.0, 2.0, 2.0, 64.0, 1e6]
+    for v in values:
+        hist.observe(v)
+    text = prometheus_exposition(registry)
+    assert "# TYPE repro_sim_results histogram" in text
+
+    bucket_lines = [line for line in text.splitlines()
+                    if line.startswith("repro_sim_results_bucket")]
+    les, counts = [], []
+    for line in bucket_lines:
+        le = line.split('le="', 1)[1].split('"', 1)[0]
+        les.append(math.inf if le == "+Inf" else float(le))
+        counts.append(float(line.rsplit(" ", 1)[1]))
+    # le edges ascend, cumulative counts never decrease, and the +Inf
+    # bucket equals the total observation count.
+    assert les == sorted(les)
+    assert counts == sorted(counts)
+    assert les[-1] == math.inf
+    assert counts[-1] == float(len(values))
+    # Every observation is at or below some finite edge except none here;
+    # the last finite bucket already holds everything.
+    assert counts[-2] == float(len(values))
+    assert f"repro_sim_results_count {len(values)}" in text
+
+
+def test_prometheus_snapshot_dict_falls_back_to_summary():
+    from repro.obs.export import prometheus_exposition
+
+    registry = MetricsRegistry()
+    registry.histogram("h").observe(3.0)
+    text = prometheus_exposition(registry.snapshot())
+    assert "# TYPE repro_h summary" in text
+    assert "_bucket" not in text

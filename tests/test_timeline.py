@@ -196,7 +196,11 @@ def test_prometheus_exposition_covers_all_families():
     assert "# TYPE repro_sim_live gauge" in text
     assert "# TYPE repro_phase_run_seconds summary" in text
     assert "repro_phase_run_seconds_count 1" in text
-    assert 'repro_search_reach{quantile="0.5"}' in text
+    # Live registries carry bucket counts, so histograms export as true
+    # Prometheus histograms (snapshot dicts still fall back to summaries).
+    assert "# TYPE repro_search_reach histogram" in text
+    assert 'repro_search_reach_bucket{le="+Inf"} 1' in text
+    assert "repro_search_reach_count 1" in text
     assert text.endswith("\n")
 
 
