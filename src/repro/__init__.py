@@ -27,6 +27,14 @@ scripts regenerating every table and figure of the paper.
 """
 
 from .api import ExperimentSpec, SweepPoint, SweepResult, SweepSpec, run_sweep
+from .exec import (
+    Executor,
+    JobFileExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
 from .config import (
     Configuration,
     GraphType,
@@ -63,12 +71,15 @@ from .sim import (
     PartitionWindow,
     RecoveryPolicy,
     ResilienceReport,
+    ResilienceResult,
+    ResilienceSpec,
     RetryPolicy,
     SlowSpec,
     gossip_attribution,
     repair_attribution,
     run_chaos,
     run_resilience,
+    run_resilience_spec,
     simulate_cluster_churn,
     simulate_instance,
 )
@@ -110,6 +121,12 @@ __all__ = [
     "SweepResult",
     "SweepSpec",
     "run_sweep",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "JobFileExecutor",
+    "make_executor",
     "Configuration",
     "GraphType",
     "DEFAULT",
@@ -142,6 +159,9 @@ __all__ = [
     "FaultPlan",
     "PartitionWindow",
     "ResilienceReport",
+    "ResilienceResult",
+    "ResilienceSpec",
+    "run_resilience_spec",
     "RetryPolicy",
     "SlowSpec",
     "ChaosSpec",

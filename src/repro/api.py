@@ -46,14 +46,19 @@ cache or record provenance, and is deprecated for sweeps.
 from __future__ import annotations
 
 import itertools
-import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator, Mapping, Sequence
 
 from .config import Configuration
 from .core.analysis import ConfigurationSummary, evaluate_configuration
+from .exec import (  # noqa: F401 - Executor re-exported as part of the facade
+    EXECUTOR_NAMES,
+    Executor,
+    Task,
+    fragment_describer,
+    make_executor,
+)
 from .obs.journal import RunJournal
 from .obs.manifest import (
     RunManifest,
@@ -62,7 +67,7 @@ from .obs.manifest import (
     manifest_for,
 )
 from .obs.metrics import MetricsRegistry, use_registry
-from .obs.progress import Campaign, ProgressTracker, heartbeat, start_campaign
+from .obs.progress import ProgressTracker, start_campaign
 from .sim.chaos import ChaosReport, ChaosSpec, run_chaos  # noqa: F401 - facade
 from .sim.gossip import GossipSpec  # noqa: F401 - facade
 from .stats.rng import derive_seed
@@ -77,6 +82,8 @@ __all__ = [
     "ChaosReport",
     "GossipSpec",
     "run_chaos",
+    "Executor",
+    "make_executor",
 ]
 
 
@@ -167,6 +174,11 @@ class SweepSpec:
     #: Drop grid points whose Configuration raises ValueError (e.g.
     #: cluster_size > graph_size) instead of failing the whole sweep.
     skip_invalid: bool = True
+    #: Default dispatch backend for :func:`run_sweep` — one of
+    #: :data:`repro.exec.EXECUTOR_NAMES` — or ``None`` to keep the
+    #: jobs-based rule (``jobs > 1`` implies ``process``, else serial).
+    #: Inert to the results: every backend is bit-identical.
+    executor: str | None = None
 
     def __post_init__(self) -> None:
         if not self.grid:
@@ -174,6 +186,11 @@ class SweepSpec:
         if self.seed_mode not in ("shared", "per-point"):
             raise ValueError(
                 f"seed_mode must be 'shared' or 'per-point', got {self.seed_mode!r}"
+            )
+        if self.executor is not None and self.executor not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_NAMES} or None, "
+                f"got {self.executor!r}"
             )
         for field_name in self.grid:
             if not hasattr(self.base, field_name):
@@ -231,6 +248,7 @@ class SweepSpec:
             "keep_reports": self.keep_reports,
             "seed_mode": self.seed_mode,
             "skip_invalid": self.skip_invalid,
+            "executor": self.executor,
         }
 
     @classmethod
@@ -242,7 +260,7 @@ class SweepSpec:
         (e.g. ``trials`` from a CLI flag) win over the payload.
         """
         known = {"name", "base", "grid", "trials", "seed", "max_sources",
-                 "keep_reports", "seed_mode", "skip_invalid"}
+                 "keep_reports", "seed_mode", "skip_invalid", "executor"}
         unknown = sorted(set(payload) - known)
         if unknown:
             raise ValueError(
@@ -327,85 +345,6 @@ def _evaluate_point(spec: ExperimentSpec):
     return summary, registry, fragment
 
 
-def _evaluate_point_tracked(args: tuple[int, ExperimentSpec]):
-    """Pool entry point for telemetry-enabled sweeps.
-
-    Wraps the untouched :func:`_evaluate_point` with worker heartbeats
-    (start/finish beats carry wall-clock and labels only — never
-    results, so losing them cannot change the sweep) and returns the
-    worker's pid so the parent can journal which process ran the point.
-    """
-    index, spec = args
-    label = spec.label or "point"
-    heartbeat("point-start", index=index, label=label)
-    outcome = _evaluate_point(spec)
-    heartbeat("point-finish", index=index, label=label)
-    return os.getpid(), outcome
-
-
-def _point_seconds(fragment: RunManifest, label: str) -> float | None:
-    """A point's wall-clock from its manifest fragment's phase record."""
-    if label in fragment.phases:
-        return fragment.phases[label]
-    return fragment.total_seconds or None
-
-
-def _run_points_tracked(
-    specs: Sequence[ExperimentSpec],
-    jobs: int,
-    campaign: Campaign,
-) -> list:
-    """Evaluate sweep points with journal/progress telemetry attached.
-
-    Identical evaluation to the untracked path (:func:`_evaluate_point`
-    per point, same per-point seeds), but dispatched one future per
-    point so finish records stream into the journal in *completion*
-    order while results are still reassembled in stable point order.
-    """
-    outcomes: list = [None] * len(specs)
-    if jobs == 1 or len(specs) <= 1:
-        for index, point_spec in enumerate(specs):
-            label = point_spec.label or "point"
-            campaign.point_started(index, label)
-            try:
-                summary, registry, fragment = _evaluate_point(point_spec)
-            except BaseException as exc:
-                campaign.point_error(index, label, exc)
-                raise
-            outcomes[index] = (summary, registry, fragment)
-            campaign.point_finished(
-                index, label,
-                seconds=_point_seconds(fragment, label),
-                counters=registry.snapshot()["counters"],
-            )
-        return outcomes
-    _warm_instance_cache(specs)
-    workers = min(jobs, len(specs))
-    with campaign.workers_attached():
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_evaluate_point_tracked, (i, s)): i
-                for i, s in enumerate(specs)
-            }
-            for future in as_completed(futures):
-                index = futures[future]
-                label = specs[index].label or "point"
-                try:
-                    pid, outcome = future.result()
-                except BaseException as exc:
-                    campaign.point_error(index, label, exc)
-                    raise
-                outcomes[index] = outcome
-                _summary, registry, fragment = outcome
-                campaign.point_finished(
-                    index, label,
-                    seconds=_point_seconds(fragment, label),
-                    counters=registry.snapshot()["counters"],
-                    worker=f"pid{pid}",
-                )
-    return outcomes
-
-
 def _warm_instance_cache(specs: Sequence[ExperimentSpec]) -> None:
     """Build every distinct instance a sweep will touch, once, pre-fork.
 
@@ -429,30 +368,38 @@ def _warm_instance_cache(specs: Sequence[ExperimentSpec]) -> None:
 
 def run_sweep(
     spec: SweepSpec,
-    jobs: int = 1,
+    jobs: int | None = None,
     journal: RunJournal | str | Path | None = None,
     progress: ProgressTracker | bool | None = None,
+    *,
+    executor: Executor | str | None = None,
+    jobdir: str | Path | None = None,
+    retries: int = 0,
+    task_timeout: float | None = None,
 ) -> SweepResult:
-    """Evaluate every point of ``spec``, sharded over ``jobs`` processes.
+    """Evaluate every point of ``spec`` on a pluggable executor backend.
 
-    ``jobs=1`` runs in-process with no executor — the drop-in
-    replacement for the historical serial loops, bit-identical to them.
-    ``jobs>1`` shards the points across a ``ProcessPoolExecutor``;
-    results come back in stable point order and match ``jobs=1`` exactly
-    because each point's evaluation is self-contained (its spec carries
-    its own seed and the per-trial streams derive from it).
+    Dispatch resolves through :func:`repro.exec.make_executor`:
+    ``executor`` (an :class:`~repro.exec.Executor` instance or one of
+    ``"serial" | "thread" | "process" | "jobfile"``) wins, then
+    ``spec.executor``, then the historical jobs rule — ``jobs > 1``
+    implies ``process``, anything else runs serial in-process,
+    bit-identical to calling ``evaluate_configuration`` in a loop.
 
+    Results come back in stable point order and are bit-identical across
+    every backend because each point's evaluation is self-contained (its
+    spec carries its own seed and the per-trial streams derive from it).
     The returned :class:`SweepResult` carries the merged
     :class:`~repro.obs.metrics.MetricsRegistry` and
     :class:`~repro.obs.manifest.RunManifest` (per-point phases keyed by
-    point label), folded associatively from the per-point fragments.
+    point label), folded associatively from the per-point fragments in
+    point order — the merge never sees dispatch order, which is what
+    keeps the fold identical no matter where points physically ran.
 
-    Parallel runs pre-warm the fingerprint-keyed instance cache
+    Forking backends pre-warm the fingerprint-keyed instance cache
     (:func:`repro.topology.builder.build_instance_cached`) in the parent
     before the pool forks, so workers inherit every distinct topology
-    through copy-on-write memory instead of regenerating it per point,
-    and points are handed out in per-worker chunks rather than one IPC
-    round-trip each.
+    through copy-on-write memory instead of regenerating it per point.
 
     ``journal`` (a path or a :class:`~repro.obs.journal.RunJournal`)
     streams an append-only JSONL campaign record — header with the point
@@ -462,38 +409,45 @@ def run_sweep(
     view with per-worker heartbeats and straggler detection.  Both are
     observation-only: every point still evaluates through the identical
     :func:`_evaluate_point`, so results stay bit-identical with
-    telemetry on or off, and with the untracked path both disabled runs
-    take (chunked ``pool.map``, zero telemetry overhead).
+    telemetry on or off, and with telemetry off the process backend
+    keeps its zero-overhead chunked ``pool.map`` path.
+
+    ``retries`` re-runs a failed point up to N more times before the
+    campaign aborts; ``task_timeout`` bounds one point's runtime (see
+    :mod:`repro.exec.base` for per-backend enforcement).  A sweep with
+    zero valid points returns a well-formed empty result (and a
+    campaign-end journal record) instead of dying in pool construction.
     """
-    if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    backend = make_executor(
+        executor if executor is not None else spec.executor,
+        jobs=jobs, jobdir=jobdir, retries=retries, task_timeout=task_timeout,
+    )
     points = spec.points()
     specs = [point_spec for _, point_spec in points]
+    tasks = [Task(i, point_spec.label or "point", point_spec)
+             for i, point_spec in enumerate(specs)]
     campaign = start_campaign(
         journal, progress,
-        name=spec.name, total=len(specs), jobs=jobs,
+        name=spec.name, total=len(specs), jobs=backend.jobs,
         plan=[{"index": i, "label": point_spec.label, "detail": overrides}
               for i, (overrides, point_spec) in enumerate(points)],
         config_hash=config_fingerprint(spec.base),
         git_rev=git_revision(Path(__file__).resolve().parent),
         seed=spec.seed,
+        extra={"executor": backend.name},
     )
-    if campaign is None:
-        if jobs == 1 or len(specs) <= 1:
-            outcomes = [_evaluate_point(s) for s in specs]
-        else:
-            _warm_instance_cache(specs)
-            workers = min(jobs, len(specs))
-            chunk = -(-len(specs) // workers)
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                outcomes = list(
-                    pool.map(_evaluate_point, specs, chunksize=chunk))
-    else:
-        try:
-            outcomes = _run_points_tracked(specs, jobs, campaign)
-        except BaseException:
+    try:
+        outcomes = backend.submit_map(
+            _evaluate_point, tasks,
+            campaign=campaign,
+            prewarm=lambda: _warm_instance_cache(specs),
+            describe=fragment_describer,
+        )
+    except BaseException:
+        if campaign is not None:
             campaign.finish(status="error")
-            raise
+        raise
+    if campaign is not None:
         campaign.finish()
 
     manifest = manifest_for(
@@ -504,7 +458,8 @@ def run_sweep(
         trials=spec.trials,
         max_sources=spec.max_sources,
         seed_mode=spec.seed_mode,
-        jobs=jobs,
+        jobs=backend.jobs,
+        executor=backend.name,
     )
     registry = MetricsRegistry()
     result_points: list[SweepPoint] = []
@@ -526,5 +481,5 @@ def run_sweep(
         points=result_points,
         manifest=manifest,
         registry=registry,
-        jobs=jobs,
+        jobs=backend.jobs,
     )

@@ -14,11 +14,23 @@ Commands
 ``crawl``     synthesize a Gnutella-style crawl and summarize it
 ``profile``   attribute every unit of load to (node, action, hop) hotspots
 ``watch``     render live or post-hoc campaign state from a run journal
+``worker``    drain tasks from a jobfile campaign's shared job directory
 
-Campaign commands (``sweep``, ``chaos``, ``resilience``) accept
-``--journal PATH`` to stream an append-only JSONL run journal and
-``--progress`` for a live progress line plus end-of-run campaign
-summary (workers, stragglers, runtime distribution) on stderr.
+Campaign commands (``sweep``, ``chaos``, ``resilience``) share one
+execution surface:
+
+* ``--executor {serial,thread,process,jobfile}`` picks the dispatch
+  backend (:mod:`repro.exec`); every backend is bit-identical, so the
+  choice is purely about where the work runs.
+* ``--jobs N`` sets the worker-lane count.  ``--jobs`` without
+  ``--executor`` implies ``--executor process`` (the historical
+  behaviour); ``--jobs 0`` is only valid with ``jobfile`` and means
+  "external workers only" — start ``repro worker JOBDIR`` processes
+  (any number, any host sharing the directory) to drain the campaign.
+* ``--jobdir PATH`` names the shared job directory for ``jobfile``.
+* ``--journal PATH`` streams an append-only JSONL run journal and
+  ``--progress`` adds a live progress line plus end-of-run campaign
+  summary (workers, stragglers, runtime distribution) on stderr.
 
 Every command accepts ``--seed`` for reproducibility and prints the same
 tables the library's reporting helpers produce.
@@ -64,13 +76,36 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="queries per user per second (default 9.26e-3)")
 
 
-def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--journal", metavar="PATH", default=None,
-                        help="append a JSONL run journal (readable while the "
-                             "campaign runs via 'repro watch PATH')")
-    parser.add_argument("--progress", action="store_true",
-                        help="live progress line and end-of-run campaign "
-                             "summary on stderr")
+def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared campaign surface: executor selection plus telemetry.
+
+    One parent for ``sweep``/``chaos``/``resilience`` so the three
+    campaign commands stay flag-compatible: same executor names, same
+    jobs rule, same journal/progress switches everywhere.
+    """
+    group = parser.add_argument_group("campaign execution")
+    group.add_argument("--executor",
+                       choices=("serial", "thread", "process", "jobfile"),
+                       default=None,
+                       help="dispatch backend for the campaign's points "
+                            "(default: 'process' when --jobs > 1, else "
+                            "'serial'; every backend is bit-identical)")
+    group.add_argument("--jobs", type=int, default=None,
+                       help="worker lanes; --jobs N without --executor "
+                            "implies --executor process; --jobs 0 is "
+                            "jobfile-only (external 'repro worker' "
+                            "processes drain the campaign)")
+    group.add_argument("--jobdir", metavar="PATH", default=None,
+                       help="shared job directory for --executor jobfile "
+                            "(default: a private temp dir; point N hosts "
+                            "or 'repro worker' processes at the same path "
+                            "to drain one campaign cooperatively)")
+    group.add_argument("--journal", metavar="PATH", default=None,
+                       help="append a JSONL run journal (readable while the "
+                            "campaign runs via 'repro watch PATH')")
+    group.add_argument("--progress", action="store_true",
+                       help="live progress line and end-of-run campaign "
+                            "summary on stderr")
 
 
 def _load_config_payload(path: str) -> dict:
@@ -185,7 +220,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         max_sources=args.max_sources,
     )
     result = run_sweep(spec, jobs=args.jobs,
-                       journal=args.journal, progress=args.progress)
+                       journal=args.journal, progress=args.progress,
+                       executor=args.executor, jobdir=args.jobdir)
     # Fold the sweep's merged metrics into the --metrics collector (a
     # no-op sink when metrics are disabled).
     get_registry().absorb(result.registry)
@@ -205,7 +241,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 f"{summary.mean('epl'):.2f}",
             ]
         )
-    jobs_note = f", jobs={args.jobs}" if args.jobs > 1 else ""
+    jobs_note = f", jobs={result.jobs}" if result.jobs > 1 else ""
     print(render_table(
         grid_fields + ["sp bandwidth", "sp processing",
                        "aggregate bandwidth", "results", "EPL"],
@@ -213,10 +249,42 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         title=f"sweep of {', '.join(grid_fields)} over "
               f"{base.describe()}{jobs_note}",
     ))
+    if args.results_out:
+        from .obs.export import write_json
+
+        print(f"sweep results -> "
+              f"{write_json(_sweep_results_payload(result), args.results_out)}")
     if args.manifest_out:
         result.manifest.to_json(args.manifest_out)
         print(f"sweep manifest -> {args.manifest_out}")
     return 0
+
+
+def _sweep_results_payload(result) -> dict:
+    """Deterministic JSON view of a sweep: diffable across executors.
+
+    Holds only content that is bit-identical across backends (labels,
+    overrides, metric intervals) — no wall-clock, jobs, or host fields —
+    so CI can assert two runs merged to the same science with a plain
+    file diff.
+    """
+    points = []
+    for point in result.points:
+        summary = point.summary
+        points.append({
+            "label": point.label,
+            "overrides": dict(point.overrides),
+            "metrics": {
+                name: {
+                    "mean": interval.mean,
+                    "half_width": interval.half_width,
+                    "level": interval.level,
+                    "num_trials": interval.num_trials,
+                }
+                for name, interval in sorted(summary.intervals.items())
+            },
+        })
+    return {"name": result.spec.name, "points": points}
 
 
 def _parse_value(param: str, raw: str):
@@ -294,7 +362,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 def cmd_resilience(args: argparse.Namespace) -> int:
     from .sim.faults import CrashSpec, FaultPlan, RetryPolicy, SlowSpec
-    from .sim.resilience import run_resilience
+    from .sim.resilience import ResilienceSpec, run_resilience_spec
     from .topology.builder import build_instance
 
     config = _config_from_args(args)
@@ -333,11 +401,38 @@ def cmd_resilience(args: argparse.Namespace) -> int:
     print(f"fault plan: {plan.describe()}")
     if policy is not None:
         print(f"recovery: {policy.describe()}")
-    report = run_resilience(
-        instance, plan, duration=args.duration, rng=args.seed,
-        recovery=policy, tracer=args.tracer, engine=args.engine,
-        journal=args.journal, progress=args.progress,
-    )
+    if args.tracer is not None:
+        # Tracing is a single-run instrument: the ring buffer belongs to
+        # one simulation, so fan-out would interleave streams.
+        if args.replicates != 1:
+            raise SystemExit("--trace-out needs a single run; "
+                             "drop --replicates to trace")
+        from .sim.resilience import run_resilience
+
+        report = run_resilience(
+            instance, plan, duration=args.duration, rng=args.seed,
+            recovery=policy, tracer=args.tracer, engine=args.engine,
+            journal=args.journal, progress=args.progress,
+        )
+    else:
+        spec = ResilienceSpec(
+            config=config,
+            plan=plan,
+            duration=args.duration,
+            seed=args.seed,
+            replicates=args.replicates,
+            recovery=policy,
+            engine=args.engine,
+        )
+        result = run_resilience_spec(
+            spec, jobs=args.jobs, journal=args.journal,
+            progress=args.progress, executor=args.executor,
+            jobdir=args.jobdir,
+        )
+        report = result.report
+        if args.replicates > 1:
+            print(f"replicates: {len(result.reports)} "
+                  f"(showing replicate 0, seed {spec.replicate_seed(0)})")
     print(render_resilience_report(
         report, title=f"resilience over {args.duration:.0f}s"
     ))
@@ -381,7 +476,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         engine=args.engine,
     )
     result = run_chaos(spec, jobs=args.jobs,
-                       journal=args.journal, progress=args.progress)
+                       journal=args.journal, progress=args.progress,
+                       executor=args.executor, jobdir=args.jobdir)
     get_registry().absorb(result.registry)
     print(render_chaos_report(result))
     if args.report:
@@ -469,6 +565,20 @@ def cmd_watch(args: argparse.Namespace) -> int:
         time.sleep(args.interval)
 
 
+def cmd_worker(args: argparse.Namespace) -> int:
+    from .exec.base import TaskError
+    from .exec.jobfile import run_worker
+
+    try:
+        done = run_worker(args.jobdir, startup_timeout=args.startup_timeout,
+                          max_tasks=args.max_tasks)
+    except TaskError as exc:
+        raise SystemExit(str(exc))
+    print(f"worker drained {done} task(s) from {args.jobdir}",
+          file=sys.stderr)
+    return 0
+
+
 def cmd_crawl(args: argparse.Namespace) -> int:
     from .topology.crawl import synthesize_crawl
 
@@ -513,15 +623,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep configuration parameters (repro.api.run_sweep)",
     )
     _add_config_arguments(p)
-    _add_telemetry_arguments(p)
+    _add_campaign_arguments(p)
     p.add_argument("--param", default=None,
                    help="field to sweep (e.g. cluster_size, ttl, avg_outdegree); "
                         'optional when --config declares a "grid"')
     p.add_argument("--values", default=None,
                    help="comma-separated values, e.g. 1,10,100,1000")
-    p.add_argument("--jobs", type=int, default=1,
-                   help="worker processes for the sweep (1 = serial, "
-                        "in-process, bit-identical to the historical path)")
+    p.add_argument("--results-out", metavar="PATH", default=None,
+                   help="write per-point metric intervals as deterministic "
+                        "JSON (bit-identical across executors, so two runs "
+                        "can be compared with a plain diff)")
     p.add_argument("--manifest-out", metavar="PATH", default=None,
                    help="write the merged sweep RunManifest as JSON")
     p.set_defaults(func=cmd_sweep)
@@ -560,9 +671,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulate under a fault plan and measure degraded operation",
     )
     _add_config_arguments(p)
-    _add_telemetry_arguments(p)
+    _add_campaign_arguments(p)
     p.add_argument("--duration", type=float, default=1800.0,
                    help="virtual seconds to simulate")
+    p.add_argument("--replicates", type=int, default=1,
+                   help="independent replicates of the degraded run "
+                        "(replicate 0 reuses --seed exactly; r>0 derive "
+                        "fresh seeds; incompatible with --trace-out)")
     p.add_argument("--loss", type=float, default=0.0,
                    help="per-hop message-loss probability")
     p.add_argument("--recovery", type=float, default=120.0,
@@ -614,8 +729,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--cases", type=int, default=20,
                    help="number of seeded chaos cases (seeds --seed..+cases)")
-    p.add_argument("--jobs", type=int, default=1,
-                   help="worker processes (1 = serial, bit-identical)")
     p.add_argument("--duration", type=float, default=400.0,
                    help="virtual seconds per case")
     p.add_argument("--graph-size", type=int, default=250,
@@ -637,7 +750,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the merged chaos RunManifest as JSON")
     p.add_argument("--engine", choices=("event", "array"), default="event",
                    help="simulation backend for every case")
-    _add_telemetry_arguments(p)
+    _add_campaign_arguments(p)
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
@@ -660,6 +773,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--graph-size", type=int, default=20_000)
     p.add_argument("--outdegree", type=float, default=3.1)
     p.set_defaults(func=cmd_crawl)
+
+    p = sub.add_parser(
+        "worker",
+        help="drain tasks from a jobfile campaign's shared job directory "
+             "(start any number, on any host sharing the directory)",
+    )
+    p.add_argument("jobdir", metavar="JOBDIR",
+                   help="the campaign's --jobdir (may not exist yet; the "
+                        "worker waits for the job header to appear)")
+    p.add_argument("--startup-timeout", type=float, default=120.0,
+                   help="seconds to wait for the job header before exiting")
+    p.add_argument("--max-tasks", type=int, default=None,
+                   help="exit after evaluating this many tasks")
+    p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser(
         "watch",

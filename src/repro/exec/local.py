@@ -1,0 +1,250 @@
+"""Single-host executors: serial, thread pool, process pool.
+
+:class:`SerialExecutor` is the reference implementation — the other
+backends exist to go faster while reproducing its results bit-for-bit.
+:class:`ProcessExecutor` preserves the PR 7 parallel-sweep fast path
+verbatim: fork-prewarmed caches plus chunked ``pool.map`` dispatch when
+no telemetry or retries are attached, and one-future-per-task dispatch
+(journal records streaming in completion order, results reassembled in
+task order) when they are.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from typing import Any, Callable, Sequence
+
+from .base import Executor, Task, TaskTimeoutError
+
+__all__ = ["SerialExecutor", "ThreadExecutor", "ProcessExecutor"]
+
+
+class SerialExecutor(Executor):
+    """In-process, in-order evaluation: the bit-identity oracle.
+
+    ``jobs`` is accepted for interface uniformity and ignored — there is
+    exactly one lane.
+    """
+
+    name = "serial"
+
+    def __init__(self, jobs: int = 1, retries: int = 0,
+                 task_timeout: float | None = None) -> None:
+        super().__init__(retries=retries, task_timeout=task_timeout)
+        self.jobs = 1
+
+    def submit_map(self, fn, tasks, *, campaign=None, prewarm=None,
+                   describe=None) -> list:
+        return self._run_serial(fn, tasks, campaign=campaign,
+                                describe=describe)
+
+
+def _tracked_process_task(args: tuple) -> tuple:
+    """Pool entry point wrapping a task with worker heartbeats.
+
+    Module-level so it pickles.  The beats carry wall-clock and labels
+    only — never results — so losing every heartbeat degrades the view,
+    not the run; the parent writes the authoritative finish record when
+    the future resolves, crediting this worker's pid.
+    """
+    from ..obs.progress import heartbeat
+
+    fn, index, label, payload = args
+    heartbeat("point-start", index=index, label=label)
+    result = fn(payload)
+    heartbeat("point-finish", index=index, label=label)
+    return os.getpid(), result
+
+
+class _FutureDispatcher:
+    """Shared future-per-task loop for the thread and process pools.
+
+    Streams finish records in *completion* order (so the journal shows
+    live progress) while reassembling results in stable task order, and
+    resubmits failed tasks while retry budget remains.  A per-task
+    deadline — measured from dispatch, since a pool cannot observe when
+    a queued task actually starts — enforces ``task_timeout``.
+    """
+
+    def __init__(self, executor: Executor, fn: Callable[[Any], Any],
+                 tasks: Sequence[Task], campaign, describe,
+                 submit: Callable, worker_of: Callable) -> None:
+        self.executor = executor
+        self.fn = fn
+        self.tasks = tasks
+        self.campaign = campaign
+        self.describe = describe
+        self._submit = submit
+        self._worker_of = worker_of
+
+    def run(self) -> list:
+        timeout = self.executor.task_timeout
+        results: list = [None] * len(self.tasks)
+        attempts = [0] * len(self.tasks)
+        pending: dict = {}
+        deadlines: dict = {}
+
+        def dispatch(pos: int) -> None:
+            future = self._submit(self.tasks[pos])
+            pending[future] = pos
+            if timeout is not None:
+                deadlines[future] = time.monotonic() + timeout
+
+        for pos in range(len(self.tasks)):
+            dispatch(pos)
+        while pending:
+            done, _ = wait(list(pending), timeout=0.1,
+                           return_when=FIRST_COMPLETED)
+            now = time.monotonic()
+            for future, deadline in deadlines.items():
+                if future not in done and now > deadline:
+                    pos = pending[future]
+                    task = self.tasks[pos]
+                    exc = TaskTimeoutError(
+                        f"task {task.index} ({task.label}) exceeded the "
+                        f"{timeout:.2f}s task timeout"
+                    )
+                    if self.campaign is not None:
+                        self.campaign.point_error(task.index, task.label, exc)
+                    raise exc
+            for future in done:
+                pos = pending.pop(future)
+                deadlines.pop(future, None)
+                task = self.tasks[pos]
+                try:
+                    outcome = future.result()
+                except BaseException as exc:
+                    if (attempts[pos] < self.executor.retries
+                            and isinstance(exc, Exception)):
+                        attempts[pos] += 1
+                        dispatch(pos)
+                        continue
+                    if self.campaign is not None:
+                        self.campaign.point_error(task.index, task.label, exc)
+                    raise
+                worker, result = self._worker_of(outcome)
+                results[pos] = result
+                if self.campaign is not None:
+                    fields = (dict(self.describe(task, result))
+                              if self.describe else {})
+                    if worker is not None:
+                        fields.setdefault("worker", worker)
+                    self.campaign.point_finished(task.index, task.label,
+                                                 **fields)
+        return results
+
+
+class ThreadExecutor(Executor):
+    """A thread pool: ``jobs`` concurrent in-process lanes.
+
+    The evaluation hot paths are numpy-heavy (GIL released inside the
+    kernels), so threads overlap real work without fork overhead or
+    pickling — useful for small campaigns and for environments where
+    process pools are unavailable.  Per-task metric attribution is
+    exact because :func:`repro.obs.metrics.use_registry` scopes the
+    collecting registry per thread.
+    """
+
+    name = "thread"
+
+    def __init__(self, jobs: int | None = None, retries: int = 0,
+                 task_timeout: float | None = None) -> None:
+        super().__init__(retries=retries, task_timeout=task_timeout)
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def submit_map(self, fn, tasks, *, campaign=None, prewarm=None,
+                   describe=None) -> list:
+        if not tasks:
+            return []
+        if self.jobs == 1 or len(tasks) == 1:
+            return self._run_serial(fn, tasks, campaign=campaign,
+                                    describe=describe)
+        campaign_ = campaign
+
+        def call(task: Task):
+            if campaign_ is not None:
+                campaign_.point_started(
+                    task.index, task.label,
+                    worker=f"thread-{threading.get_ident()}",
+                )
+            return threading.current_thread().name, fn(task.payload)
+
+        with ThreadPoolExecutor(
+            max_workers=min(self.jobs, len(tasks)),
+            thread_name_prefix="exec",
+        ) as pool:
+            return _FutureDispatcher(
+                self, fn, tasks, campaign, describe,
+                submit=lambda task: pool.submit(call, task),
+                worker_of=lambda outcome: outcome,
+            ).run()
+
+
+class ProcessExecutor(Executor):
+    """A fork-based process pool: the PR 7 parallel-sweep fast path.
+
+    Telemetry-off, retry-free batches dispatch as chunked ``pool.map``
+    over a fork-prewarmed worker pool (one IPC round-trip per chunk,
+    caches inherited copy-on-write) — byte-for-byte the code path that
+    made ``jobs=4`` beat serial in PR 7.  With a campaign attached or a
+    retry budget, dispatch switches to one future per task so journal
+    records stream in completion order and failed tasks can resubmit.
+    ``jobs=1`` short-circuits in-process: a pool of one is pure
+    overhead, and the results are bit-identical either way.
+    """
+
+    name = "process"
+    forks = True
+
+    def __init__(self, jobs: int | None = None, retries: int = 0,
+                 task_timeout: float | None = None) -> None:
+        super().__init__(retries=retries, task_timeout=task_timeout)
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def submit_map(self, fn, tasks, *, campaign=None, prewarm=None,
+                   describe=None) -> list:
+        if not tasks:
+            return []
+        if self.jobs == 1 or len(tasks) == 1:
+            return self._run_serial(fn, tasks, campaign=campaign,
+                                    describe=describe)
+        if prewarm is not None:
+            prewarm()
+        workers = min(self.jobs, len(tasks))
+        if campaign is None and self.retries == 0 and self.task_timeout is None:
+            # The zero-telemetry fast path: per-worker chunks, one
+            # result round-trip each, nothing to journal.
+            chunk = -(-len(tasks) // workers)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(fn, [t.payload for t in tasks],
+                                     chunksize=chunk))
+        from contextlib import nullcontext
+
+        attach = (campaign.workers_attached() if campaign is not None
+                  else nullcontext())
+        with attach:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return _FutureDispatcher(
+                    self, fn, tasks, campaign, describe,
+                    submit=lambda task: pool.submit(
+                        _tracked_process_task,
+                        (fn, task.index, task.label, task.payload),
+                    ),
+                    worker_of=lambda outcome: (f"pid{outcome[0]}", outcome[1]),
+                ).run()

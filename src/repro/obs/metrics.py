@@ -472,10 +472,23 @@ NULL_REGISTRY = NullRegistry()
 
 _default_registry: MetricsRegistry = NULL_REGISTRY
 _default_lock = threading.Lock()
+# Per-thread override stack: use_registry scopes its registry to the
+# *calling thread* so concurrent campaign tasks (ThreadExecutor lanes)
+# each collect into their own registry with exact attribution, while
+# single-threaded code sees the historical process-global semantics
+# (the override simply shadows the global for that one thread).
+_thread_override = threading.local()
 
 
 def get_registry() -> MetricsRegistry:
-    """The process-wide default registry instrumented code reports to."""
+    """The registry instrumented code reports to.
+
+    The calling thread's :func:`use_registry` scope wins when one is
+    active; otherwise the process-wide default (:func:`set_registry`).
+    """
+    stack = getattr(_thread_override, "stack", None)
+    if stack:
+        return stack[-1]
     return _default_registry
 
 
@@ -502,9 +515,19 @@ def disable_metrics() -> None:
 
 @contextmanager
 def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
-    """Scope ``registry`` as the process default for a ``with`` block."""
-    previous = set_registry(registry)
+    """Scope ``registry`` as this thread's default for a ``with`` block.
+
+    Thread-scoped on purpose: concurrent campaign tasks on a thread pool
+    each wrap their evaluation in ``use_registry`` and must not see (or
+    restore over) one another's registries.  For single-threaded callers
+    the behavior is indistinguishable from the historical process-global
+    swap.
+    """
+    stack = getattr(_thread_override, "stack", None)
+    if stack is None:
+        stack = _thread_override.stack = []
+    stack.append(registry)
     try:
         yield registry
     finally:
-        set_registry(previous)
+        stack.pop()

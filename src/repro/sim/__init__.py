@@ -25,7 +25,13 @@ from .faults import (
     RetryPolicy,
     SlowSpec,
 )
-from .resilience import ResilienceReport, run_resilience
+from .resilience import (
+    ResilienceReport,
+    ResilienceResult,
+    ResilienceSpec,
+    run_resilience,
+    run_resilience_spec,
+)
 from .monitor import DetectorSpec, FailureDetector
 from .gossip import GossipDetector, GossipSpec, gossip_attribution
 from .recovery import RecoveryPolicy, RecoveryRuntime, repair_attribution
@@ -57,7 +63,10 @@ __all__ = [
     "RetryPolicy",
     "SlowSpec",
     "ResilienceReport",
+    "ResilienceResult",
+    "ResilienceSpec",
     "run_resilience",
+    "run_resilience_spec",
     "DetectorSpec",
     "FailureDetector",
     "GossipDetector",

@@ -29,14 +29,19 @@ associatively — so ``jobs=N`` equals ``jobs=1`` case for case.
 from __future__ import annotations
 
 import hashlib
-import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 import numpy as np
 
 from ..config import Configuration
+from ..exec import (
+    EXECUTOR_NAMES,
+    Executor,
+    Task,
+    fragment_describer,
+    make_executor,
+)
 from ..obs.journal import RunJournal
 from ..obs.manifest import (
     RunManifest,
@@ -45,12 +50,7 @@ from ..obs.manifest import (
     manifest_for,
 )
 from ..obs.metrics import MetricsRegistry, use_registry
-from ..obs.progress import (
-    Campaign,
-    ProgressTracker,
-    heartbeat,
-    start_campaign,
-)
+from ..obs.progress import ProgressTracker, start_campaign
 from ..stats.rng import derive_rng
 from ..topology.builder import build_instance
 from .faults import CrashSpec, FaultPlan, PartitionWindow, RetryPolicy, SlowSpec
@@ -197,10 +197,17 @@ class ChaosSpec:
     replay: bool = True
     detector: str = "oracle"
     engine: str = "event"
+    #: Default dispatch backend for :func:`run_chaos` — one of
+    #: :data:`repro.exec.EXECUTOR_NAMES` — or ``None`` for the jobs rule
+    #: (``jobs > 1`` implies ``process``).  Inert to the case results.
+    executor: str | None = None
 
     def __post_init__(self) -> None:
-        if self.cases < 1:
-            raise ValueError("cases must be >= 1")
+        # cases == 0 is a legal empty campaign: it returns a well-formed
+        # empty report (and a campaign-end journal record) rather than
+        # dying in pool construction.
+        if self.cases < 0:
+            raise ValueError("cases must be >= 0")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
         if self.detector not in ("oracle", "gossip"):
@@ -210,6 +217,11 @@ class ChaosSpec:
         if self.engine not in ("event", "array"):
             raise ValueError(
                 f"engine must be 'event' or 'array', got {self.engine!r}"
+            )
+        if self.executor is not None and self.executor not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_NAMES} or None, "
+                f"got {self.executor!r}"
             )
 
     @property
@@ -235,11 +247,12 @@ class ChaosSpec:
             "replay": self.replay,
             "detector": self.detector,
             "engine": self.engine,
+            "executor": self.executor,
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ChaosSpec":
-        payload = {"engine": "event", **payload}
+        payload = {"engine": "event", "executor": None, **payload}
         return cls(**payload)
 
 
@@ -480,99 +493,38 @@ def _case_worker(args: tuple) -> tuple:
     return case, registry, fragment
 
 
-def _case_worker_tracked(args: tuple) -> tuple:
-    """Pool entry point for telemetry-enabled chaos runs.
-
-    Wraps the untouched :func:`_case_worker` with worker heartbeats
-    (advisory wall-clock/label beats, never results) and returns the
-    worker pid so the parent journals which process ran the case.
-    """
-    index, spec, seed = args
-    label = f"chaos[{seed}]"
-    heartbeat("point-start", index=index, label=label)
-    outcome = _case_worker((spec, seed))
-    heartbeat("point-finish", index=index, label=label)
-    return os.getpid(), outcome
-
-
-def _run_cases_tracked(
-    spec: ChaosSpec,
-    jobs: int,
-    campaign: Campaign,
-) -> list:
-    """Run chaos cases with journal/progress telemetry attached.
-
-    Same evaluation as the untracked path (each case through
-    :func:`_case_worker` with its own seed), dispatched one future per
-    case so the journal streams finish records in completion order while
-    results reassemble in stable seed order.
-    """
-    seeds = spec.seeds
-    outcomes: list = [None] * len(seeds)
-    if jobs == 1 or len(seeds) <= 1:
-        for index, seed in enumerate(seeds):
-            label = f"chaos[{seed}]"
-            campaign.point_started(index, label)
-            try:
-                case, registry, fragment = _case_worker((spec, seed))
-            except BaseException as exc:
-                campaign.point_error(index, label, exc)
-                raise
-            outcomes[index] = (case, registry, fragment)
-            campaign.point_finished(
-                index, label,
-                seconds=fragment.phases.get(label, fragment.total_seconds),
-                counters=registry.snapshot()["counters"],
-            )
-        return outcomes
-    workers = min(jobs, len(seeds))
-    with campaign.workers_attached():
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_case_worker_tracked, (i, spec, seed)): i
-                for i, seed in enumerate(seeds)
-            }
-            for future in as_completed(futures):
-                index = futures[future]
-                label = f"chaos[{seeds[index]}]"
-                try:
-                    pid, outcome = future.result()
-                except BaseException as exc:
-                    campaign.point_error(index, label, exc)
-                    raise
-                outcomes[index] = outcome
-                _case, registry, fragment = outcome
-                campaign.point_finished(
-                    index, label,
-                    seconds=fragment.phases.get(label,
-                                                fragment.total_seconds),
-                    counters=registry.snapshot()["counters"],
-                    worker=f"pid{pid}",
-                )
-    return outcomes
-
-
 def run_chaos(
     spec: ChaosSpec,
-    jobs: int = 1,
+    jobs: int | None = None,
     journal: RunJournal | str | Path | None = None,
     progress: ProgressTracker | bool | None = None,
+    *,
+    executor: Executor | str | None = None,
+    jobdir: str | Path | None = None,
+    retries: int = 0,
+    task_timeout: float | None = None,
 ) -> ChaosReport:
-    """Run every case of ``spec``, sharded over ``jobs`` processes.
+    """Run every case of ``spec`` on a pluggable executor backend.
 
     The same executor discipline as :func:`repro.api.run_sweep`:
-    ``jobs=1`` runs in-process, ``jobs=N`` shards cases across a
-    ``ProcessPoolExecutor``, and both return identical case results in
-    stable seed order with one merged registry/manifest.
+    dispatch resolves through :func:`repro.exec.make_executor`
+    (``executor`` argument, then ``spec.executor``, then the jobs rule),
+    and every backend returns identical case results in stable seed
+    order with one merged registry/manifest — each case is evaluated by
+    the module-level :func:`_case_worker` under private collectors, so
+    where it runs cannot change what it computes.
 
     ``journal``/``progress`` attach the campaign-telemetry layer
     (:mod:`repro.obs.journal` / :mod:`repro.obs.progress`) exactly as in
     :func:`repro.api.run_sweep`: a streaming JSONL journal for ``repro
     watch`` and a live heartbeat/straggler view.  Observation-only —
-    case results are bit-identical with telemetry on or off.
+    case results are bit-identical with telemetry on or off.  A spec
+    with ``cases=0`` returns a well-formed empty report.
     """
-    if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    backend = make_executor(
+        executor if executor is not None else spec.executor,
+        jobs=jobs, jobdir=jobdir, retries=retries, task_timeout=task_timeout,
+    )
     try:
         config_hash = config_fingerprint(spec.configuration())
     except ValueError:
@@ -581,7 +533,7 @@ def run_chaos(
         config_hash = None
     campaign = start_campaign(
         journal, progress,
-        name="chaos", total=spec.cases, jobs=jobs,
+        name="chaos", total=spec.cases, jobs=backend.jobs,
         plan=[{"index": i, "label": f"chaos[{seed}]",
                "detail": {"seed": seed, "detector": spec.detector,
                           "engine": spec.engine}}
@@ -589,20 +541,21 @@ def run_chaos(
         config_hash=config_hash,
         git_rev=git_revision(Path(__file__).resolve().parent),
         seed=spec.base_seed,
+        extra={"executor": backend.name},
     )
-    work = [(spec, seed) for seed in spec.seeds]
-    if campaign is None:
-        if jobs == 1 or len(work) <= 1:
-            outcomes = [_case_worker(item) for item in work]
-        else:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
-                outcomes = list(pool.map(_case_worker, work))
-    else:
-        try:
-            outcomes = _run_cases_tracked(spec, jobs, campaign)
-        except BaseException:
+    tasks = [Task(i, f"chaos[{seed}]", (spec, seed))
+             for i, seed in enumerate(spec.seeds)]
+    try:
+        outcomes = backend.submit_map(
+            _case_worker, tasks,
+            campaign=campaign,
+            describe=fragment_describer,
+        )
+    except BaseException:
+        if campaign is not None:
             campaign.finish(status="error")
-            raise
+        raise
+    if campaign is not None:
         campaign.finish()
 
     manifest = manifest_for(
@@ -615,7 +568,8 @@ def run_chaos(
         replay=spec.replay,
         detector=spec.detector,
         engine=spec.engine,
-        jobs=jobs,
+        jobs=backend.jobs,
+        executor=backend.name,
     )
     registry = MetricsRegistry()
     cases: list[ChaosCaseResult] = []
@@ -625,4 +579,4 @@ def run_chaos(
         cases.append(case)
     manifest.finish(registry)
     return ChaosReport(spec=spec, cases=cases, manifest=manifest,
-                       registry=registry, jobs=jobs)
+                       registry=registry, jobs=backend.jobs)

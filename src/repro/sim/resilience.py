@@ -18,13 +18,31 @@ run *is* the baseline run (bit-identical loads), which
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import warnings
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 from time import perf_counter
 
 import numpy as np
 
+from ..config import Configuration
+from ..exec import (
+    EXECUTOR_NAMES,
+    Executor,
+    Task,
+    fragment_describer,
+    make_executor,
+)
+from ..obs.manifest import (
+    RunManifest,
+    config_fingerprint,
+    git_revision,
+    manifest_for,
+)
+from ..obs.metrics import MetricsRegistry, use_registry
 from ..querymodel.distributions import QueryModel
-from ..topology.builder import NetworkInstance
+from ..stats.rng import derive_seed
+from ..topology.builder import NetworkInstance, build_instance
 from .faults import FaultOutcome, FaultPlan
 from .network import SimulationReport, simulate_instance
 from .recovery import RecoveryPolicy
@@ -261,6 +279,255 @@ class ResilienceReport:
         )
 
 
+@dataclass(frozen=True)
+class ResilienceSpec:
+    """A declarative resilience campaign: one scenario, N replicates.
+
+    The resilience twin of :class:`~repro.api.ExperimentSpec` /
+    :class:`~repro.api.SweepSpec` / :class:`~repro.sim.chaos.ChaosSpec`:
+    everything :func:`run_resilience_spec` needs travels inside the spec
+    (picklable, JSON round-trippable via :meth:`to_dict` /
+    :meth:`from_dict`), so replicates ship to any executor backend
+    verbatim and the same spec evaluated anywhere yields bit-identical
+    reports.
+
+    Replicate 0 runs at exactly ``seed`` — bit-identical to the
+    historical single ``run_resilience`` call on the instance built from
+    that seed — and replicate ``r > 0`` runs at
+    ``derive_seed(seed, "replicate", r)``, giving mutually independent
+    instances/workloads for confidence intervals over the degradation
+    metrics.
+    """
+
+    config: Configuration
+    plan: FaultPlan
+    duration: float = 1800.0
+    seed: int | None = 0
+    replicates: int = 1
+    recovery: RecoveryPolicy | None = None
+    detector: str | None = None
+    engine: str = "event"
+    enable_churn: bool = True
+    enable_updates: bool = True
+    #: Default dispatch backend for :func:`run_resilience_spec` — one of
+    #: :data:`repro.exec.EXECUTOR_NAMES` — or ``None`` for the jobs rule.
+    executor: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        # replicates == 0 is a legal empty campaign (well-formed empty
+        # result), mirroring cases == 0 on ChaosSpec.
+        if self.replicates < 0:
+            raise ValueError("replicates must be >= 0")
+        if self.detector not in (None, "oracle", "gossip"):
+            raise ValueError(
+                f"detector must be None, 'oracle' or 'gossip', "
+                f"got {self.detector!r}"
+            )
+        if self.engine not in ("event", "array"):
+            raise ValueError(
+                f"engine must be 'event' or 'array', got {self.engine!r}"
+            )
+        if self.executor is not None and self.executor not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_NAMES} or None, "
+                f"got {self.executor!r}"
+            )
+
+    def replicate_seed(self, replicate: int) -> int | None:
+        """The seed replicate ``replicate`` builds and simulates from."""
+        if replicate == 0:
+            return self.seed
+        return derive_seed(self.seed, "replicate", replicate)
+
+    # --- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict; round-trips through :meth:`from_dict`."""
+        return {
+            "config": self.config.to_dict(),
+            "plan": self.plan.to_dict(),
+            "duration": self.duration,
+            "seed": self.seed,
+            "replicates": self.replicates,
+            "recovery": (
+                None if self.recovery is None else self.recovery.to_dict()
+            ),
+            "detector": self.detector,
+            "engine": self.engine,
+            "enable_churn": self.enable_churn,
+            "enable_updates": self.enable_updates,
+            "executor": self.executor,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict, **overrides) -> "ResilienceSpec":
+        known = {"config", "plan", "duration", "seed", "replicates",
+                 "recovery", "detector", "engine", "enable_churn",
+                 "enable_updates", "executor"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown resilience fields {unknown}; valid fields are "
+                f"{sorted(known)}"
+            )
+        kwargs = dict(payload)
+        kwargs["config"] = Configuration.from_dict(kwargs.get("config", {}))
+        kwargs["plan"] = FaultPlan.from_dict(kwargs.get("plan", {}))
+        recovery = kwargs.get("recovery")
+        kwargs["recovery"] = (
+            None if recovery is None else RecoveryPolicy.from_dict(recovery)
+        )
+        kwargs.update(overrides)
+        return cls(**kwargs)
+
+
+@dataclass
+class ResilienceResult:
+    """Every replicate of a resilience campaign plus merged observability."""
+
+    spec: ResilienceSpec
+    reports: list[ResilienceReport]
+    manifest: RunManifest
+    registry: MetricsRegistry = field(repr=False,
+                                      default_factory=MetricsRegistry)
+    jobs: int = 1
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def __iter__(self):
+        return iter(self.reports)
+
+    @property
+    def report(self) -> ResilienceReport:
+        """Replicate 0's report — the historical single-run view."""
+        if not self.reports:
+            raise ValueError("empty resilience campaign has no reports")
+        return self.reports[0]
+
+    def metric_values(self, name: str) -> list[float]:
+        """One named degradation metric across replicates, in order."""
+        return [float(getattr(report, name)) for report in self.reports]
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "jobs": self.jobs,
+            "reports": [report.to_dict() for report in self.reports],
+        }
+
+
+def _replicate_worker(args: tuple) -> tuple:
+    """One replicate under private collectors (mirrors ``api._evaluate_point``).
+
+    Module-level and picklable; builds the replicate's instance from its
+    derived seed and runs the plain (telemetry-free) resilience
+    comparison — which is what makes replicate 0 bit-identical to the
+    historical single-call path.
+    """
+    spec, replicate = args
+    seed = spec.replicate_seed(replicate)
+    label = f"replicate[{replicate}]"
+    registry = MetricsRegistry()
+    fragment = RunManifest(name=label)
+    with use_registry(registry):
+        with fragment.phase(label):
+            instance = build_instance(spec.config, seed=seed)
+            report = run_resilience(
+                instance, spec.plan, duration=spec.duration, rng=seed,
+                enable_churn=spec.enable_churn,
+                enable_updates=spec.enable_updates,
+                recovery=spec.recovery, detector=spec.detector,
+                engine=spec.engine,
+            )
+    fragment.finish()
+    return report, registry, fragment
+
+
+def run_resilience_spec(
+    spec: ResilienceSpec,
+    jobs: int | None = None,
+    journal=None,
+    progress=None,
+    *,
+    executor: Executor | str | None = None,
+    jobdir: str | Path | None = None,
+    retries: int = 0,
+    task_timeout: float | None = None,
+) -> ResilienceResult:
+    """Run every replicate of ``spec`` on a pluggable executor backend.
+
+    The resilience campaign runner, on the same
+    :func:`repro.exec.make_executor` discipline as
+    :func:`repro.api.run_sweep` and :func:`repro.sim.chaos.run_chaos`:
+    replicates fan out as self-contained tasks (each carries its derived
+    seed), results return in stable replicate order, and every backend
+    is bit-identical.  ``journal``/``progress`` attach the usual
+    campaign telemetry; a spec with ``replicates=0`` returns a
+    well-formed empty result.
+    """
+    from ..obs.progress import start_campaign
+
+    backend = make_executor(
+        executor if executor is not None else spec.executor,
+        jobs=jobs, jobdir=jobdir, retries=retries, task_timeout=task_timeout,
+    )
+    campaign = start_campaign(
+        journal, progress,
+        name="resilience", total=spec.replicates, jobs=backend.jobs,
+        plan=[{"index": r, "label": f"replicate[{r}]",
+               "detail": {"replicate": r, "seed": spec.replicate_seed(r),
+                          "plan": spec.plan.describe(),
+                          "engine": spec.engine}}
+              for r in range(spec.replicates)],
+        config_hash=config_fingerprint(spec.config),
+        git_rev=git_revision(Path(__file__).resolve().parent),
+        seed=spec.seed,
+        extra={"executor": backend.name},
+    )
+    tasks = [Task(r, f"replicate[{r}]", (spec, r))
+             for r in range(spec.replicates)]
+    try:
+        outcomes = backend.submit_map(
+            _replicate_worker, tasks,
+            campaign=campaign,
+            describe=fragment_describer,
+        )
+    except BaseException:
+        if campaign is not None:
+            campaign.finish(status="error")
+        raise
+    if campaign is not None:
+        campaign.finish()
+
+    manifest = manifest_for(
+        "resilience",
+        config=spec.config,
+        seed=spec.seed,
+        replicates=spec.replicates,
+        duration=spec.duration,
+        plan=spec.plan.describe(),
+        recovery=(
+            None if spec.recovery is None else spec.recovery.describe()
+        ),
+        detector=spec.detector,
+        engine=spec.engine,
+        jobs=backend.jobs,
+        executor=backend.name,
+    )
+    registry = MetricsRegistry()
+    reports: list[ResilienceReport] = []
+    for report, frag_registry, fragment in outcomes:
+        registry.absorb(frag_registry)
+        manifest = manifest.merge(fragment, name="resilience")
+        reports.append(report)
+    manifest.finish(registry)
+    return ResilienceResult(spec=spec, reports=reports, manifest=manifest,
+                            registry=registry, jobs=backend.jobs)
+
+
 def run_resilience(
     instance: NetworkInstance,
     plan: FaultPlan,
@@ -307,12 +574,26 @@ def run_resilience(
     baseline runs journal as a two-point campaign, so even a single
     resilience run is watchable with ``repro watch`` and a killed run
     leaves a readable record.  Observation-only, as everywhere else.
+
+    Passing a :class:`~repro.config.Configuration` as the first argument
+    is deprecated: the instance is built from ``rng`` as the seed
+    (matching the historical CLI path bit-for-bit), but new code should
+    declare a :class:`ResilienceSpec` and call
+    :func:`run_resilience_spec`, which adds replicate fan-out, executor
+    selection, and JSON round-tripping.
     """
     if isinstance(rng, np.random.Generator):
         raise TypeError(
             "run_resilience needs a seed (int or None), not a Generator: "
             "the baseline and degraded runs must replay the same stream"
         )
+    if isinstance(instance, Configuration):
+        warnings.warn(
+            "run_resilience(config, ...) is deprecated; declare a "
+            "ResilienceSpec and call run_resilience_spec instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        instance = build_instance(instance, seed=rng)
     if detector is not None:
         if detector not in ("oracle", "gossip"):
             raise ValueError(

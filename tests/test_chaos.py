@@ -58,9 +58,13 @@ class TestGenerators:
 class TestSpec:
     def test_validation(self):
         with pytest.raises(ValueError):
-            ChaosSpec(cases=0)
+            ChaosSpec(cases=-1)
         with pytest.raises(ValueError):
             ChaosSpec(duration=0.0)
+        with pytest.raises(ValueError):
+            ChaosSpec(executor="mainframe")
+        # cases=0 is a legal empty campaign, not an error.
+        assert ChaosSpec(cases=0).seeds == ()
 
     def test_seeds_are_contiguous_from_base(self):
         assert ChaosSpec(cases=3, base_seed=7).seeds == (7, 8, 9)

@@ -314,6 +314,133 @@ class TestResilienceRecover:
         assert "failures detected" not in out
 
 
+class TestCampaignSurface:
+    """The shared --executor/--jobs/--jobdir/--journal/--progress parent."""
+
+    SWEEP = [*SMALL, "sweep", "--graph-size", "300",
+             "--param", "cluster_size", "--values", "5,10"]
+
+    def data_rows(self, out: str) -> list[str]:
+        return [ln for ln in out.splitlines() if ln][-2:]
+
+    def test_executor_flag_on_all_campaign_commands(self):
+        parser = build_parser()
+        for argv in (["sweep", "--executor", "thread"],
+                     ["chaos", "--executor", "thread"],
+                     ["resilience", "--executor", "thread"]):
+            args = parser.parse_args(argv)
+            assert args.executor == "thread"
+            assert args.jobs is None
+            assert hasattr(args, "jobdir")
+            assert hasattr(args, "journal")
+            assert hasattr(args, "progress")
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--executor", "mainframe"])
+
+    def test_jobs_implies_process(self, capsys):
+        """--jobs N without --executor dispatches on the process backend
+        (visible via the table's jobs note) and changes nothing."""
+        code, serial_out = run_cli(capsys, *self.SWEEP)
+        assert code == 0
+        assert "jobs=" not in serial_out
+        code, jobs_out = run_cli(capsys, *self.SWEEP, "--jobs", "2")
+        assert code == 0
+        assert "jobs=2" in jobs_out
+        assert self.data_rows(serial_out) == self.data_rows(jobs_out)
+
+    def test_explicit_executor_matches_serial(self, capsys):
+        code, serial_out = run_cli(capsys, *self.SWEEP, "--executor", "serial")
+        assert code == 0
+        code, thread_out = run_cli(capsys, *self.SWEEP,
+                                   "--executor", "thread", "--jobs", "2")
+        assert code == 0
+        assert self.data_rows(serial_out) == self.data_rows(thread_out)
+
+    def test_results_out_identical_across_executors(self, capsys, tmp_path):
+        a, b = tmp_path / "serial.json", tmp_path / "thread.json"
+        code, _ = run_cli(capsys, *self.SWEEP, "--results-out", str(a))
+        assert code == 0
+        code, _ = run_cli(capsys, *self.SWEEP, "--executor", "thread",
+                          "--jobs", "2", "--results-out", str(b))
+        assert code == 0
+        assert a.read_bytes() == b.read_bytes()
+
+        import json
+
+        payload = json.loads(a.read_text())
+        assert [p["overrides"]["cluster_size"] for p in payload["points"]] \
+            == [5, 10]
+        assert all("mean" in m and "half_width" in m
+                   for p in payload["points"]
+                   for m in p["metrics"].values())
+
+    def test_journal_written(self, capsys, tmp_path):
+        import json
+
+        journal = tmp_path / "sweep.jsonl"
+        code, _ = run_cli(capsys, *self.SWEEP, "--journal", str(journal))
+        assert code == 0
+        records = [json.loads(ln) for ln in journal.read_text().splitlines()]
+        assert records[0]["record"] == "campaign"
+        assert records[0]["extra"]["executor"] == "serial"
+        assert records[-1]["record"] == "campaign-end"
+
+    def test_resilience_replicates(self, capsys):
+        code, out = run_cli(
+            capsys, "--seed", "1", "resilience", "--graph-size", "200",
+            "--cluster-size", "10", "--duration", "150", "--loss", "0.02",
+            "--replicates", "2",
+        )
+        assert code == 0
+        assert "replicates: 2" in out
+        assert "query success rate" in out
+
+    def test_tracer_incompatible_with_replicates(self, capsys, tmp_path):
+        with pytest.raises(SystemExit, match="single run"):
+            run_cli(capsys, "--trace-out", str(tmp_path / "t.jsonl"),
+                    "resilience", "--graph-size", "200", "--duration", "100",
+                    "--replicates", "2")
+
+
+class TestWorkerCommand:
+    def test_exits_zero_on_stop_sentinel(self, capsys, tmp_path):
+        (tmp_path / "stop").write_text("")
+        code, _ = run_cli(capsys, "worker", str(tmp_path))
+        assert code == 0
+
+    def test_startup_timeout_is_usage_error(self, capsys, tmp_path):
+        with pytest.raises(SystemExit, match="job.json"):
+            run_cli(capsys, "worker", str(tmp_path),
+                    "--startup-timeout", "0")
+
+    def test_drains_a_jobfile_campaign(self, capsys, tmp_path):
+        """End-to-end: a --jobs 0 jobfile sweep drained by an in-process
+        worker thread (the CLI equivalent of a second host)."""
+        import threading
+
+        from repro.exec.jobfile import run_worker
+
+        jobdir = tmp_path / "job"
+        drained = {}
+        thread = threading.Thread(
+            target=lambda: drained.update(n=run_worker(jobdir, poll=0.02)))
+        thread.start()
+        try:
+            code, out = run_cli(
+                capsys, *SMALL, "sweep", "--graph-size", "300",
+                "--param", "cluster_size", "--values", "5,10",
+                "--executor", "jobfile", "--jobs", "0",
+                "--jobdir", str(jobdir),
+            )
+        finally:
+            thread.join(timeout=60.0)
+        assert code == 0
+        assert drained["n"] == 2
+        assert "sweep of cluster_size" in out
+
+
 class TestChaos:
     def test_passing_batch_exits_zero(self, capsys, tmp_path):
         report_path = tmp_path / "chaos.json"
