@@ -46,6 +46,12 @@ from .config import (
 )
 from .core.analysis import ConfigurationSummary, evaluate_configuration
 from .core.design import DesignConstraints, DesignOutcome, design_topology
+from .risk import (
+    RiskAssessment,
+    RiskDesignOutcome,
+    RiskSpec,
+    design_topology_risk,
+)
 from .core.epl import choose_ttl, epl_approximation, measure_epl, measure_reach
 from .core.load import LoadReport, LoadVector, evaluate_instance
 from .core.redundancy import (
@@ -139,6 +145,10 @@ __all__ = [
     "DesignConstraints",
     "DesignOutcome",
     "design_topology",
+    "RiskSpec",
+    "RiskAssessment",
+    "RiskDesignOutcome",
+    "design_topology_risk",
     "choose_ttl",
     "epl_approximation",
     "measure_epl",

@@ -68,6 +68,12 @@ from .obs.manifest import (
 )
 from .obs.metrics import MetricsRegistry, use_registry
 from .obs.progress import ProgressTracker, start_campaign
+from .risk import (  # noqa: F401 - facade
+    RiskAssessment,
+    RiskDesignOutcome,
+    RiskSpec,
+    design_topology_risk,
+)
 from .sim.chaos import ChaosReport, ChaosSpec, run_chaos  # noqa: F401 - facade
 from .sim.gossip import GossipSpec  # noqa: F401 - facade
 from .stats.rng import derive_seed
@@ -82,6 +88,10 @@ __all__ = [
     "ChaosReport",
     "GossipSpec",
     "run_chaos",
+    "RiskSpec",
+    "RiskAssessment",
+    "RiskDesignOutcome",
+    "design_topology_risk",
     "Executor",
     "make_executor",
 ]

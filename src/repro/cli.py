@@ -6,6 +6,9 @@ Commands
 ``sweep``     sweep configuration parameters (optionally in parallel
               via ``--jobs``) and tabulate the loads
 ``design``    run the Figure 10 global design procedure
+``design-risk``  risk-aware design: score candidates against weighted
+              failure scenarios and pick the cheapest meeting an
+              availability target (expected value and CVaR-at-α)
 ``capacity``  largest cluster size fitting a per-super-peer budget
 ``simulate``  run the event-driven simulator on a configuration
 ``resilience``  simulate under a fault plan and measure degradation
@@ -16,8 +19,8 @@ Commands
 ``watch``     render live or post-hoc campaign state from a run journal
 ``worker``    drain tasks from a jobfile campaign's shared job directory
 
-Campaign commands (``sweep``, ``chaos``, ``resilience``) share one
-execution surface:
+Campaign commands (``sweep``, ``chaos``, ``resilience``,
+``design-risk``) share one execution surface:
 
 * ``--executor {serial,thread,process,jobfile}`` picks the dispatch
   backend (:mod:`repro.exec`); every backend is bit-identical, so the
@@ -321,6 +324,86 @@ def cmd_design(args: argparse.Namespace) -> int:
     return 0 if outcome.feasible else 1
 
 
+def cmd_design_risk(args: argparse.Namespace) -> int:
+    from .core.design import DesignConstraints
+    from .risk import RiskSpec, design_topology_risk
+
+    spec_payload: dict = {}
+    if args.spec:
+        spec_payload = _load_config_payload(args.spec)
+        unknown = sorted(set(spec_payload) - {"constraints", "risk"})
+        if unknown:
+            raise SystemExit(
+                f"spec file {args.spec}: unknown section(s) {unknown}; "
+                'expected "constraints" and/or "risk"'
+            )
+
+    constraints_payload = dict(spec_payload.get("constraints", {}))
+    constraint_flags = {
+        "num_users": args.users,
+        "desired_reach_peers": args.reach,
+        "max_incoming_bps": args.max_in,
+        "max_outgoing_bps": args.max_out,
+        "max_processing_hz": args.max_proc,
+        "max_connections": args.max_connections,
+    }
+    for field_name, value in constraint_flags.items():
+        if value is not None:
+            constraints_payload[field_name] = value
+    if args.no_redundancy:
+        constraints_payload["allow_redundancy"] = False
+    constraints_payload.setdefault("max_incoming_bps", 100_000.0)
+    constraints_payload.setdefault("max_outgoing_bps", 100_000.0)
+    constraints_payload.setdefault("max_processing_hz", 10_000_000.0)
+    constraints_payload.setdefault("max_connections", 100)
+    if ("num_users" not in constraints_payload
+            or "desired_reach_peers" not in constraints_payload):
+        raise SystemExit(
+            "design-risk needs --users and --reach (or a --spec file "
+            'with a "constraints" section providing them)'
+        )
+    try:
+        constraints = DesignConstraints(**constraints_payload)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"invalid constraints: {exc}")
+
+    risk_payload = dict(spec_payload.get("risk", {}))
+    risk_flags = {
+        "cutoff": args.cutoff,
+        "alpha": args.alpha,
+        "availability_target": args.availability_target,
+        "target_metric": args.target_metric,
+        "mean_recovery": args.mean_recovery,
+        "duration": args.duration,
+        "partition_units": args.partition_units,
+        "partition_probability": args.partition_probability,
+        "max_candidates": args.max_candidates,
+        "max_scenarios": args.max_scenarios,
+        "engine": args.engine,
+    }
+    for field_name, value in risk_flags.items():
+        if value is not None:
+            risk_payload[field_name] = value
+    risk_payload.setdefault("seed", args.seed)
+    try:
+        risk = RiskSpec.from_dict(risk_payload)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"invalid risk spec: {exc}")
+
+    outcome = design_topology_risk(
+        constraints, risk, trials=args.trials, max_sources=args.max_sources,
+        jobs=args.jobs, journal=args.journal, progress=args.progress,
+        executor=args.executor, jobdir=args.jobdir,
+    )
+    print(outcome.describe())
+    if args.out:
+        from .obs.export import write_json
+
+        path = write_json(outcome.to_payload(), args.out)
+        print(f"ranked designs -> {path}")
+    return 0 if outcome.feasible else 1
+
+
 def cmd_capacity(args: argparse.Namespace) -> int:
     from .core.capacity import LoadBudget, max_supported_cluster_size, saturating_resource
 
@@ -571,7 +654,7 @@ def cmd_worker(args: argparse.Namespace) -> int:
 
     try:
         done = run_worker(args.jobdir, startup_timeout=args.startup_timeout,
-                          max_tasks=args.max_tasks)
+                          max_tasks=args.max_tasks, max_idle=args.max_idle)
     except TaskError as exc:
         raise SystemExit(str(exc))
     print(f"worker drained {done} task(s) from {args.jobdir}",
@@ -648,6 +731,72 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-connections", type=int, default=100)
     p.add_argument("--no-redundancy", action="store_true")
     p.set_defaults(func=cmd_design)
+
+    p = sub.add_parser(
+        "design-risk",
+        help="risk-aware design: score Figure 10 candidates against "
+             "weighted failure scenarios and pick the cheapest meeting "
+             "an availability target",
+    )
+    p.add_argument("--spec", metavar="PATH", default=None,
+                   help='JSON file with "constraints" and "risk" '
+                        "sections; explicit flags override file values")
+    p.add_argument("--users", type=int, default=None,
+                   help="number of users (required unless --spec sets it)")
+    p.add_argument("--reach", type=int, default=None,
+                   help="desired reach in peers (required unless --spec "
+                        "sets it)")
+    p.add_argument("--max-in", type=float, default=None,
+                   help="per-super-peer incoming bps limit "
+                        "(default 100000)")
+    p.add_argument("--max-out", type=float, default=None,
+                   help="per-super-peer outgoing bps limit "
+                        "(default 100000)")
+    p.add_argument("--max-proc", type=float, default=None,
+                   help="per-super-peer processing Hz limit "
+                        "(default 10000000)")
+    p.add_argument("--max-connections", type=int, default=None,
+                   help="connection budget per node (default 100)")
+    p.add_argument("--no-redundancy", action="store_true")
+    p.add_argument("--cutoff", type=float, default=None,
+                   help="residual scenario probability mass allowed to "
+                        "stay un-enumerated (default 0.05; covered mass "
+                        "is guaranteed >= 1 - cutoff)")
+    p.add_argument("--alpha", type=float, default=None,
+                   help="CVaR tail level (default 0.9 = worst 10%% of "
+                        "scenario mass)")
+    p.add_argument("--availability-target", type=float, default=None,
+                   help="availability the chosen design must reach "
+                        "(default 0.98)")
+    p.add_argument("--target-metric", choices=("expected", "cvar"),
+                   default=None,
+                   help="which availability reading must meet the "
+                        "target: scenario-weighted mean or the "
+                        "conservative CVaR tail (default expected)")
+    p.add_argument("--mean-recovery", type=float, default=None,
+                   help="mean partner-recovery time in seconds feeding "
+                        "the crash-unit weights (default 120)")
+    p.add_argument("--duration", type=float, default=None,
+                   help="virtual seconds per scenario cell (default 600)")
+    p.add_argument("--partition-units", type=int, default=None,
+                   help="number of disjoint partition islands to add as "
+                        "failure units (default 0)")
+    p.add_argument("--partition-probability", type=float, default=None,
+                   help="cut probability of each partition unit "
+                        "(default 0.01)")
+    p.add_argument("--max-candidates", type=int, default=None,
+                   help="feasible candidates to assess (default 6)")
+    p.add_argument("--max-scenarios", type=int, default=None,
+                   help="enumeration budget per candidate (default 4096)")
+    p.add_argument("--engine", choices=("event", "array"), default=None,
+                   help="simulation backend for the scenario cells "
+                        "(default array)")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="write the ranked-designs document as "
+                        "deterministic JSON (bit-identical across "
+                        "executors, so two runs diff cleanly)")
+    _add_campaign_arguments(p)
+    p.set_defaults(func=cmd_design_risk)
 
     p = sub.add_parser("capacity", help="largest cluster size under a budget")
     _add_config_arguments(p)
@@ -786,6 +935,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seconds to wait for the job header before exiting")
     p.add_argument("--max-tasks", type=int, default=None,
                    help="exit after evaluating this many tasks")
+    p.add_argument("--max-idle", type=float, default=None,
+                   help="exit after this many consecutive seconds with "
+                        "no claimable task (lets fleets drain and "
+                        "disband on their own)")
     p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser(

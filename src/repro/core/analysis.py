@@ -8,6 +8,7 @@ confidence intervals."
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -44,6 +45,24 @@ class ConfigurationSummary:
     num_trials: int
     intervals: dict[str, ConfidenceInterval]
     reports: tuple[LoadReport, ...] = field(repr=False, default=())
+
+    def __post_init__(self) -> None:
+        if self.num_trials < 1:
+            raise ValueError(
+                f"num_trials must be >= 1 (a summary averages at least "
+                f"one trial), got {self.num_trials}"
+            )
+        if not self.intervals:
+            raise ValueError(
+                "intervals must not be empty: a summary with no metrics "
+                "cannot answer mean() or any load query"
+            )
+        for name, interval in self.intervals.items():
+            if math.isnan(interval.mean):
+                raise ValueError(
+                    f"metric {name!r} has a NaN mean; refusing to build a "
+                    f"summary that would poison every downstream comparison"
+                )
 
     def mean(self, metric: str) -> float:
         """Trial mean of one metric (KeyError lists valid names)."""

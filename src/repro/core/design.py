@@ -48,14 +48,39 @@ class DesignConstraints:
 
     def __post_init__(self) -> None:
         if self.num_users < 2:
-            raise ValueError("num_users must be >= 2")
+            raise ValueError(
+                f"num_users must be >= 2 (a one-user network has nothing "
+                f"to design), got {self.num_users}"
+            )
         if not 2 <= self.desired_reach_peers <= self.num_users:
-            raise ValueError("desired_reach_peers must be in [2, num_users]")
+            raise ValueError(
+                f"desired_reach_peers must be in [2, num_users], "
+                f"got {self.desired_reach_peers}"
+            )
         for name in ("max_incoming_bps", "max_outgoing_bps", "max_processing_hz"):
-            if getattr(self, name) <= 0:
-                raise ValueError(f"{name} must be positive")
+            value = float(getattr(self, name))
+            # NaN slips through a plain `<= 0` check (every comparison
+            # with NaN is False), so reject it by name first.
+            if math.isnan(value):
+                raise ValueError(f"{name} must not be NaN")
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+            # Normalize int inputs (e.g. from JSON spec files) so asdict
+            # payloads do not depend on the caller's literal type.
+            object.__setattr__(self, name, value)
         if self.max_connections < 2:
-            raise ValueError("max_connections must be >= 2")
+            raise ValueError(
+                f"max_connections must be >= 2, got {self.max_connections}"
+            )
+        if self.max_aggregate_bandwidth_bps is not None:
+            agg = float(self.max_aggregate_bandwidth_bps)
+            if math.isnan(agg):
+                raise ValueError("max_aggregate_bandwidth_bps must not be NaN")
+            if agg <= 0:
+                raise ValueError(
+                    f"max_aggregate_bandwidth_bps must be positive (or None "
+                    f"for no aggregate budget), got {agg}"
+                )
 
 
 @dataclass
@@ -156,14 +181,31 @@ def design_topology(
     seed: int | None = 0,
     max_sources: int | None = 200,
     max_ttl: int = 8,
-) -> DesignOutcome:
+    risk=None,
+):
     """Run the Figure 10 global design procedure.
 
     Returns the first (largest-cluster, smallest-TTL) configuration that
     meets every constraint while attaining the desired reach, with the
     audit trail of decisions; ``feasible=False`` (with the best attempt
     attached) if even the degenerate options violate the limits.
+
+    Pass ``risk`` (a :class:`repro.risk.RiskSpec`) to optimize against
+    the weighted failure-scenario distribution instead of the fault-free
+    network: the call then delegates to
+    :func:`repro.risk.design.design_topology_risk` and returns its
+    :class:`~repro.risk.design.RiskDesignOutcome` — the cheapest
+    candidate meeting the spec's availability target, with expected and
+    CVaR-at-α statistics per candidate.
     """
+    if risk is not None:
+        # Deferred import: repro.risk builds on this module.
+        from ..risk.design import design_topology_risk
+
+        return design_topology_risk(
+            constraints, risk, trials=trials,
+            max_sources=max_sources, max_ttl=max_ttl,
+        )
     trail: list[DesignStep] = []
     reach_peers = constraints.desired_reach_peers
     trail.append(DesignStep("1", f"desired reach = {reach_peers} peers"))

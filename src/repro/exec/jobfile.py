@@ -41,6 +41,7 @@ import threading
 import time
 from pathlib import Path
 
+from ..obs.metrics import get_registry
 from .base import Executor, Task, TaskError
 
 __all__ = ["JobFileExecutor", "run_worker", "worker_id"]
@@ -103,6 +104,7 @@ def run_worker(
     poll: float = 0.05,
     startup_timeout: float | None = 120.0,
     max_tasks: int | None = None,
+    max_idle: float | None = None,
 ) -> int:
     """Drain tasks from a job directory until the job completes.
 
@@ -110,7 +112,15 @@ def run_worker(
     this.  Returns the number of tasks this worker evaluated.  Exits
     when every result is present or the parent leaves its ``stop``
     sentinel; ``max_tasks`` bounds the drain for tests.
+
+    ``max_idle`` (seconds) auto-exits a worker that has found nothing to
+    claim for that long in a row — the clock resets on every successful
+    claim.  Externally-launched workers (``repro worker --max-idle``)
+    use it so a drained or abandoned job directory cannot strand them
+    forever when the parent dies without leaving its ``stop`` sentinel.
     """
+    if max_idle is not None and max_idle <= 0:
+        raise ValueError(f"max_idle must be positive, got {max_idle}")
     root = Path(jobdir)
     header_path = root / _HEADER
     waited = 0.0
@@ -132,6 +142,7 @@ def run_worker(
     results_dir = root / _RESULTS
     wid = worker_id()
     done = 0
+    idle = 0.0
     while True:
         if (root / _STOP).exists():
             return done
@@ -141,7 +152,10 @@ def run_worker(
             p.name for p in tasks_dir.glob("task-*.pkl")
         )
         if not candidates:
+            if max_idle is not None and idle >= max_idle:
+                return done
             time.sleep(poll)
+            idle += poll
             continue
         name = candidates[0]
         claim = claims_dir / f"{name}.{wid}"
@@ -149,6 +163,7 @@ def run_worker(
             os.rename(tasks_dir / name, claim)
         except OSError:
             continue  # another worker won the rename
+        idle = 0.0
         task: Task = pickle.loads(claim.read_bytes())
         stop = threading.Event()
         refresher = threading.Thread(
@@ -216,6 +231,12 @@ class JobFileExecutor(Executor):
             task_timeout if task_timeout is not None else DEFAULT_LEASE
         )
         self.poll = poll
+        #: Stale claims re-queued over this executor's lifetime — each
+        #: one is a worker that died (or stalled past its lease)
+        #: mid-task.  Surfaced to the campaign journal as
+        #: ``lease-reclaimed`` records and to the metrics registry as
+        #: the ``jobfile.leases_reclaimed`` counter.
+        self.leases_reclaimed = 0
 
     # --- worker process management --------------------------------------------
 
@@ -336,6 +357,20 @@ class JobFileExecutor(Executor):
                 _atomic_write(root / _TASKS / _task_name(pos), blobs[pos])
                 claim.unlink(missing_ok=True)
                 announced.discard(pos)
+                self.leases_reclaimed += 1
+                get_registry().counter("jobfile.leases_reclaimed").add()
+                if campaign is not None and campaign.journal is not None:
+                    # Custom record kind: the campaign reducer ignores
+                    # kinds it does not know, so old readers stay
+                    # compatible while new ones see the reclaim trail.
+                    campaign.journal.write({
+                        "record": "lease-reclaimed",
+                        "point": int(task.index),
+                        "label": task.label,
+                        "worker": claim.name.partition(".pkl.")[2] or "worker",
+                        "lease": self.lease,
+                        "total_reclaimed": self.leases_reclaimed,
+                    })
 
     def _collect_results(self, root: Path, tasks, results, have, attempts,
                          announced, blobs, campaign, describe) -> None:

@@ -1,0 +1,531 @@
+"""Score (candidate design × failure scenario) cells on the fast engine.
+
+The middle layer of the risk-aware design subsystem: given candidate
+configurations and a :class:`RiskSpec`, build each candidate's weighted
+scenario set (:mod:`repro.risk.scenarios`), fan every non-nominal cell
+out through the executor layer as a self-contained task on the array
+engine, and fold the per-scenario measurements into expected-value and
+CVaR-at-α statistics per candidate.
+
+Cells are independent by construction — each task carries its config,
+seed, duration, and scenario, and results return in stable task order —
+so the merged assessment is bit-identical across every executor backend
+(the same contract ``run_sweep`` and ``run_resilience_spec`` honour).
+The nominal (all-units-up) scenario is never dispatched: its degraded
+run *is* the fault-free baseline, so the baseline cell's measurements
+are reused at aggregation time.
+
+Risk statistics are reported over **losses** (per-super-peer load,
+results-lost fraction, unavailability), normalized over the covered
+probability mass.  ``CVaR_α`` is the expected loss within the worst
+``1 - α`` probability mass — always ``>= `` the mean, which the test
+suite asserts for every reported metric.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+from pathlib import Path
+
+import numpy as np
+
+from ..config import Configuration
+from ..exec import EXECUTOR_NAMES, Executor, Task, fragment_describer, make_executor
+from ..obs.manifest import RunManifest, config_fingerprint, git_revision
+from ..obs.metrics import MetricsRegistry, use_registry
+from ..sim.faults import CrashSpec, FaultOutcome
+from ..sim.network import SimulationReport, simulate_instance
+from ..topology.builder import NetworkInstance, build_instance_cached
+from .scenarios import (
+    FailureScenario,
+    ScenarioSet,
+    crash_failure_units,
+    enumerate_scenarios,
+    partition_failure_units,
+)
+
+__all__ = [
+    "RiskSpec",
+    "ScenarioOutcome",
+    "RiskAssessment",
+    "build_scenario_set",
+    "evaluate_designs",
+    "weighted_mean",
+    "cvar",
+]
+
+#: The loss metrics every assessment reports mean and CVaR for.
+RISK_METRICS = ("superpeer_load_bps", "results_lost", "unavailability")
+
+_ENGINES = ("event", "array")
+_TARGET_METRICS = ("expected", "cvar")
+
+
+@dataclass(frozen=True)
+class RiskSpec:
+    """Everything the risk-aware design procedure needs beyond constraints.
+
+    ``cutoff`` bounds the residual (un-enumerated) probability mass;
+    ``alpha`` sets the CVaR tail; the chosen design must reach
+    ``availability_target`` on the ``target_metric`` availability
+    ("expected" = scenario-weighted mean, "cvar" = ``1 - CVaR_α`` of
+    unavailability — the conservative tail reading).  Crash-unit weights
+    come from the calibrated lifespan model via ``mean_recovery`` /
+    ``lifespan_scale``; optional partition units add ``partition_units``
+    disjoint islands cut with ``partition_probability`` each.
+    """
+
+    cutoff: float = 0.05
+    alpha: float = 0.9
+    availability_target: float = 0.98
+    target_metric: str = "expected"
+    mean_recovery: float = 120.0
+    lifespan_scale: float = 1.0
+    partition_units: int = 0
+    partition_probability: float = 0.01
+    partition_island_size: int = 2
+    duration: float = 600.0
+    seed: int | None = 0
+    engine: str = "array"
+    max_candidates: int = 6
+    max_scenarios: int = 4096
+    executor: str | None = None
+
+    def __post_init__(self) -> None:
+        cutoff = float(self.cutoff)
+        if math.isnan(cutoff) or not 0.0 < cutoff < 1.0:
+            raise ValueError(f"cutoff must be in (0, 1), got {cutoff}")
+        alpha = float(self.alpha)
+        if math.isnan(alpha) or not 0.0 <= alpha < 1.0:
+            raise ValueError(f"alpha must be in [0, 1), got {alpha}")
+        target = float(self.availability_target)
+        if math.isnan(target) or not 0.0 < target <= 1.0:
+            raise ValueError(
+                f"availability_target must be in (0, 1], got {target}"
+            )
+        if self.target_metric not in _TARGET_METRICS:
+            raise ValueError(
+                f"target_metric must be one of {_TARGET_METRICS}, "
+                f"got {self.target_metric!r}"
+            )
+        if not self.mean_recovery > 0:
+            raise ValueError("mean_recovery must be positive")
+        if not self.lifespan_scale > 0:
+            raise ValueError("lifespan_scale must be positive")
+        if self.partition_units < 0:
+            raise ValueError("partition_units must be non-negative")
+        p = float(self.partition_probability)
+        if math.isnan(p) or not 0.0 <= p <= 1.0:
+            raise ValueError(
+                f"partition_probability must be in [0, 1], got {p}"
+            )
+        if self.partition_island_size < 1:
+            raise ValueError("partition_island_size must be >= 1")
+        duration = float(self.duration)
+        if math.isnan(duration) or duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        if self.engine not in _ENGINES:
+            raise ValueError(
+                f"engine must be one of {_ENGINES}, got {self.engine!r}"
+            )
+        if self.max_candidates < 1:
+            raise ValueError("max_candidates must be >= 1")
+        if self.max_scenarios < 1:
+            raise ValueError("max_scenarios must be >= 1")
+        if self.executor is not None and not isinstance(self.executor, str):
+            raise ValueError("executor must be a backend name or None")
+        if (isinstance(self.executor, str)
+                and self.executor not in EXECUTOR_NAMES):
+            raise ValueError(
+                f"unknown executor {self.executor!r}; "
+                f"expected one of {EXECUTOR_NAMES}"
+            )
+
+    def crash_spec(self) -> CrashSpec:
+        return CrashSpec(mean_recovery=self.mean_recovery,
+                         lifespan_scale=self.lifespan_scale)
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RiskSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown RiskSpec key(s): {unknown}; expected a subset of "
+                f"{sorted(known)}"
+            )
+        return cls(**payload)
+
+
+def build_scenario_set(instance: NetworkInstance, spec: RiskSpec) -> ScenarioSet:
+    """The weighted failure scenarios of one candidate's instance."""
+    units = crash_failure_units(instance, spec.crash_spec())
+    if spec.partition_units:
+        units += partition_failure_units(
+            instance,
+            count=spec.partition_units,
+            probability=spec.partition_probability,
+            island_size=spec.partition_island_size,
+            seed=spec.seed,
+        )
+    return enumerate_scenarios(units, spec.cutoff,
+                               max_scenarios=spec.max_scenarios)
+
+
+# --- risk statistics ---------------------------------------------------------
+
+
+def weighted_mean(values, weights) -> float:
+    """Probability-weighted mean, normalized over the given weights."""
+    v = np.asarray(values, dtype=float)
+    w = np.asarray(weights, dtype=float)
+    total = w.sum()
+    if v.size == 0 or total <= 0:
+        raise ValueError("weighted_mean needs >= 1 positively-weighted value")
+    return float((v * w).sum() / total)
+
+
+def cvar(values, weights, alpha: float) -> float:
+    """Conditional value-at-risk: mean loss over the worst ``1 - alpha`` mass.
+
+    Weights are normalized to a distribution; values are sorted worst
+    (largest loss) first and consumed until ``1 - alpha`` probability is
+    accounted, splitting the boundary atom.  ``alpha = 0`` degenerates
+    to the plain weighted mean; by construction ``cvar >= mean`` (the
+    result is clamped to the mean so floating-point round-off can never
+    undercut the invariant).
+    """
+    if math.isnan(alpha) or not 0.0 <= alpha < 1.0:
+        raise ValueError(f"alpha must be in [0, 1), got {alpha}")
+    v = np.asarray(values, dtype=float)
+    w = np.asarray(weights, dtype=float)
+    total = w.sum()
+    if v.size == 0 or total <= 0:
+        raise ValueError("cvar needs >= 1 positively-weighted value")
+    w = w / total
+    mean = float((v * w).sum())
+    tail = 1.0 - alpha
+    acc = 0.0
+    num = 0.0
+    for i in np.argsort(-v, kind="stable"):
+        take = min(float(w[i]), tail - acc)
+        if take <= 0.0:
+            break
+        num += float(v[i]) * take
+        acc += take
+    return max(num / max(acc, 1e-300), mean)
+
+
+# --- the (design x scenario) cell worker -------------------------------------
+
+
+@dataclass(frozen=True)
+class RiskCell:
+    """One self-contained evaluation task (picklable, seed included)."""
+
+    label: str
+    config: Configuration
+    seed: int | None
+    duration: float
+    engine: str
+    scenario: FailureScenario | None  # None = the fault-free baseline cell
+
+    def run(self) -> dict:
+        instance = build_instance_cached(self.config, seed=self.seed)
+        if self.scenario is None:
+            report = simulate_instance(
+                instance, self.duration, rng=self.seed, engine=self.engine
+            )
+            return {
+                "total_results": _total_results(report),
+                "superpeer_load_bps": _peak_load(report, dark=()),
+                "aggregate_bandwidth_bps": float(report.aggregate_bandwidth_bps()),
+            }
+        plan = self.scenario.fault_plan(self.duration)
+        outcome = FaultOutcome()
+        report = simulate_instance(
+            instance, self.duration, rng=self.seed, faults=plan,
+            fault_metrics=outcome, engine=self.engine,
+        )
+        return {
+            "total_results": _total_results(report),
+            "superpeer_load_bps": _peak_load(
+                report, dark=self.scenario.dark_clusters
+            ),
+            "availability": float(outcome.query_success_rate),
+        }
+
+
+def _total_results(report: SimulationReport) -> float:
+    return float(report.mean_results_per_query * report.num_queries)
+
+
+def _peak_load(report: SimulationReport, dark) -> float:
+    """Worst per-super-peer bandwidth among clusters that are up.
+
+    Dark clusters idle at ~0 load; excluding them makes the statistic
+    read "what the busiest *serving* super-peer absorbs" — the quantity
+    a capacity limit is written against.
+    """
+    load = report.superpeer_incoming_bps + report.superpeer_outgoing_bps
+    if len(dark):
+        mask = np.ones(load.size, dtype=bool)
+        mask[np.asarray(dark, dtype=np.int64)] = False
+        load = load[mask]
+    if load.size == 0:
+        return 0.0
+    return float(load.max())
+
+
+def _evaluate_cell(cell: RiskCell) -> tuple:
+    """Executor entry point: run one cell under private collectors.
+
+    Module-level and importable by name — the jobfile backend's external
+    workers resolve it via ``repro.risk.evaluate:_evaluate_cell``.
+    """
+    registry = MetricsRegistry()
+    fragment = RunManifest(name=cell.label)
+    with use_registry(registry):
+        with fragment.phase(cell.label):
+            payload = cell.run()
+    fragment.finish()
+    return payload, registry, fragment
+
+
+# --- per-candidate aggregation -----------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """One candidate's measured behaviour in one scenario."""
+
+    failed: tuple[str, ...]
+    probability: float
+    availability: float
+    results_lost: float
+    superpeer_load_bps: float
+
+    @property
+    def unavailability(self) -> float:
+        return 1.0 - self.availability
+
+    def to_dict(self) -> dict:
+        return {
+            "failed": list(self.failed),
+            "probability": self.probability,
+            "availability": self.availability,
+            "results_lost": self.results_lost,
+            "superpeer_load_bps": self.superpeer_load_bps,
+        }
+
+
+@dataclass(frozen=True)
+class RiskAssessment:
+    """One candidate design scored against the scenario distribution."""
+
+    label: str
+    config: Configuration
+    cost_bps: float
+    covered_probability: float
+    residual_probability: float
+    scenarios: tuple[ScenarioOutcome, ...]
+    stats: dict
+    alpha: float
+    expected_availability: float
+    cvar_availability: float
+    availability_target: float
+    meets_target: bool
+
+    def to_dict(self) -> dict:
+        """Deterministic JSON payload: measurement content only, no
+        wall-clock or host fields, so two runs diff byte-for-byte."""
+        return {
+            "label": self.label,
+            "config": {
+                "graph_type": self.config.graph_type.value,
+                "graph_size": self.config.graph_size,
+                "cluster_size": self.config.cluster_size,
+                "redundancy": self.config.redundancy,
+                "avg_outdegree": self.config.avg_outdegree,
+                "ttl": self.config.ttl,
+            },
+            "cost_bps": self.cost_bps,
+            "covered_probability": self.covered_probability,
+            "residual_probability": self.residual_probability,
+            "alpha": self.alpha,
+            "expected_availability": self.expected_availability,
+            "cvar_availability": self.cvar_availability,
+            "availability_target": self.availability_target,
+            "meets_target": self.meets_target,
+            "stats": self.stats,
+            "scenarios": [s.to_dict() for s in self.scenarios],
+        }
+
+
+def _assess(label: str, config: Configuration, spec: RiskSpec,
+            sset: ScenarioSet, baseline: dict,
+            cells: list[tuple[FailureScenario, dict]]) -> RiskAssessment:
+    """Fold one candidate's cell results into a risk assessment."""
+    by_key = {scenario.failed: payload for scenario, payload in cells}
+    base_total = baseline["total_results"]
+    outcomes = []
+    for scenario in sset.scenarios:
+        if scenario.is_nominal:
+            outcomes.append(ScenarioOutcome(
+                failed=scenario.failed,
+                probability=scenario.probability,
+                availability=1.0,
+                results_lost=0.0,
+                superpeer_load_bps=baseline["superpeer_load_bps"],
+            ))
+            continue
+        payload = by_key[scenario.failed]
+        if base_total > 0:
+            lost = 1.0 - payload["total_results"] / base_total
+        else:
+            lost = 0.0
+        outcomes.append(ScenarioOutcome(
+            failed=scenario.failed,
+            probability=scenario.probability,
+            availability=payload["availability"],
+            results_lost=min(1.0, max(0.0, lost)),
+            superpeer_load_bps=payload["superpeer_load_bps"],
+        ))
+    weights = [o.probability for o in outcomes]
+    losses = {
+        "superpeer_load_bps": [o.superpeer_load_bps for o in outcomes],
+        "results_lost": [o.results_lost for o in outcomes],
+        "unavailability": [o.unavailability for o in outcomes],
+    }
+    stats = {
+        name: {
+            "mean": weighted_mean(values, weights),
+            "cvar": cvar(values, weights, spec.alpha),
+        }
+        for name, values in losses.items()
+    }
+    expected_availability = 1.0 - stats["unavailability"]["mean"]
+    cvar_availability = 1.0 - stats["unavailability"]["cvar"]
+    achieved = (expected_availability if spec.target_metric == "expected"
+                else cvar_availability)
+    return RiskAssessment(
+        label=label,
+        config=config,
+        cost_bps=baseline["aggregate_bandwidth_bps"],
+        covered_probability=sset.covered_probability,
+        residual_probability=sset.residual_probability,
+        scenarios=tuple(outcomes),
+        stats=stats,
+        alpha=spec.alpha,
+        expected_availability=expected_availability,
+        cvar_availability=cvar_availability,
+        availability_target=spec.availability_target,
+        meets_target=achieved >= spec.availability_target,
+    )
+
+
+def evaluate_designs(
+    candidates: list[tuple[str, Configuration]],
+    spec: RiskSpec,
+    jobs: int | None = None,
+    journal=None,
+    progress=None,
+    *,
+    executor: Executor | str | None = None,
+    jobdir: str | Path | None = None,
+    retries: int = 0,
+    task_timeout: float | None = None,
+) -> list[RiskAssessment]:
+    """Score every candidate against its weighted scenario set.
+
+    One campaign: a fault-free baseline cell per candidate plus one cell
+    per non-nominal scenario, all dispatched together through
+    :func:`repro.exec.make_executor` with the usual journal/progress
+    telemetry.  Results are folded per candidate in input order —
+    bit-identical across backends.
+    """
+    from ..obs.progress import start_campaign
+
+    if not candidates:
+        return []
+    scenario_sets = []
+    cells: list[RiskCell] = []
+    plan_rows = []
+    for label, config in candidates:
+        instance = build_instance_cached(config, seed=spec.seed)
+        sset = build_scenario_set(instance, spec)
+        scenario_sets.append(sset)
+        pending = [RiskCell(label=f"{label}/baseline", config=config,
+                            seed=spec.seed, duration=spec.duration,
+                            engine=spec.engine, scenario=None)]
+        pending += [
+            RiskCell(label=f"{label}/{'+'.join(s.failed)}", config=config,
+                     seed=spec.seed, duration=spec.duration,
+                     engine=spec.engine, scenario=s)
+            for s in sset.scenarios if not s.is_nominal
+        ]
+        for cell in pending:
+            plan_rows.append({
+                "index": len(cells), "label": cell.label,
+                "detail": {
+                    "design": label,
+                    "scenario": (list(cell.scenario.failed)
+                                 if cell.scenario is not None else None),
+                    "probability": (cell.scenario.probability
+                                    if cell.scenario is not None else None),
+                    "engine": spec.engine,
+                },
+            })
+            cells.append(cell)
+
+    backend = make_executor(
+        executor if executor is not None else spec.executor,
+        jobs=jobs, jobdir=jobdir, retries=retries, task_timeout=task_timeout,
+    )
+    campaign = start_campaign(
+        journal, progress,
+        name="design-risk", total=len(cells), jobs=backend.jobs,
+        plan=plan_rows,
+        config_hash=config_fingerprint(candidates[0][1]),
+        git_rev=git_revision(Path(__file__).resolve().parent),
+        seed=spec.seed,
+        extra={"executor": backend.name, "cutoff": spec.cutoff,
+               "alpha": spec.alpha},
+    )
+    tasks = [Task(i, cell.label, cell) for i, cell in enumerate(cells)]
+
+    def _prewarm() -> None:
+        for _, config in candidates:
+            build_instance_cached(config, seed=spec.seed)
+
+    try:
+        results = backend.submit_map(
+            _evaluate_cell, tasks,
+            campaign=campaign,
+            prewarm=_prewarm,
+            describe=fragment_describer,
+        )
+    except BaseException:
+        if campaign is not None:
+            campaign.finish(status="error")
+        raise
+    if campaign is not None:
+        campaign.finish()
+
+    payloads = [payload for payload, _registry, _fragment in results]
+    assessments = []
+    cursor = 0
+    for (label, config), sset in zip(candidates, scenario_sets):
+        baseline = payloads[cursor]
+        cursor += 1
+        live = [s for s in sset.scenarios if not s.is_nominal]
+        paired = list(zip(live, payloads[cursor:cursor + len(live)]))
+        cursor += len(live)
+        assessments.append(
+            _assess(label, config, spec, sset, baseline, paired)
+        )
+    return assessments

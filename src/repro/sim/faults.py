@@ -16,6 +16,12 @@ runtime that injects them into a simulation:
   is dark: it neither relays nor answers, and its clients are orphaned;
 * **network partitions** — time windows during which an "island" of
   clusters is cut off from the rest of the overlay;
+* **blackouts** — named clusters that are dark for the *entire* run
+  (every partner down from t=0, no scheduled recovery).  This is the
+  deterministic building block the risk-aware design layer uses to
+  realize an enumerated failure scenario as a plan: no RNG draw decides
+  *whether* the failure happens — the scenario's probability weight
+  already did;
 * **slow nodes** — a fraction of clusters whose forwarding latency is
   inflated by a factor, modelled as the fraction of their forwards that
   miss the query deadline.
@@ -205,6 +211,7 @@ class FaultPlan:
     message_loss: float = 0.0
     crash: CrashSpec | None = None
     partitions: tuple[PartitionWindow, ...] = ()
+    blackout: tuple[int, ...] = ()
     slow: SlowSpec | None = None
     retry: RetryPolicy | None = None
 
@@ -219,6 +226,12 @@ class FaultPlan:
                 f"message_loss must be < 1 (a query must be able to leave "
                 f"its source), got {loss}"
             )
+        dark = tuple(int(c) for c in self.blackout)
+        if any(c < 0 for c in dark):
+            raise ValueError(f"blackout cluster ids must be non-negative, got {dark}")
+        if len(set(dark)) != len(dark):
+            raise ValueError(f"blackout names a cluster twice: {dark}")
+        object.__setattr__(self, "blackout", tuple(sorted(dark)))
         windows = tuple(self.partitions)
         object.__setattr__(self, "partitions", windows)
         # Two windows that are simultaneously active on an intersecting
@@ -245,6 +258,7 @@ class FaultPlan:
             self.message_loss == 0.0
             and self.crash is None
             and not self.partitions
+            and not self.blackout
             and (self.slow is None or self.slow.fraction == 0.0)
         )
 
@@ -269,6 +283,8 @@ class FaultPlan:
             parts.append(f"crash(recovery~{self.crash.mean_recovery:.0f}s)")
         if self.partitions:
             parts.append(f"{len(self.partitions)} partition window(s)")
+        if self.blackout:
+            parts.append(f"blackout({len(self.blackout)} cluster(s))")
         if self.slow is not None and self.slow.fraction > 0:
             parts.append(
                 f"slow({self.slow.fraction:.0%} of clusters, {self.slow.factor:g}x)"
@@ -285,6 +301,7 @@ class FaultPlan:
             "message_loss": self.message_loss,
             "crash": None if self.crash is None else self.crash.to_dict(),
             "partitions": [w.to_dict() for w in self.partitions],
+            "blackout": list(self.blackout),
             "slow": None if self.slow is None else self.slow.to_dict(),
             "retry": None if self.retry is None else self.retry.to_dict(),
         }
@@ -301,6 +318,7 @@ class FaultPlan:
                 PartitionWindow.from_dict(w)
                 for w in payload.get("partitions", ())
             ),
+            blackout=tuple(payload.get("blackout", ())),
             slow=None if slow is None else SlowSpec.from_dict(slow),
             retry=None if retry is None else RetryPolicy.from_dict(retry),
         )
@@ -461,6 +479,21 @@ class FaultRuntime:
             self._islands.append((window.start, window.end, mask))
         self._outage_started = np.full(n, -1.0)
         self._downtime = np.zeros(n)
+        if plan.blackout:
+            dark = np.asarray(plan.blackout, dtype=np.int64)
+            if dark.max(initial=0) >= n:
+                raise ValueError(
+                    f"blackout names cluster {int(dark.max())} but the "
+                    f"instance has only {n} clusters"
+                )
+            # Dark from t=0 with no recovery scheduled: the whole run is
+            # one open outage per cluster, closed by finish() so downtime
+            # and orphaned-client-seconds cover the full duration.
+            self.up[dark, :] = False
+            self.live[dark] = 0
+            self._outage_started[dark] = 0.0
+            self.metrics.outages += len(plan.blackout)
+            self._m_outages.add(len(plan.blackout))
         self.sim = None
         self._on_recovery = None
         # Mutable per-cluster client population.  Starts as the static
@@ -493,7 +526,10 @@ class FaultRuntime:
             return
         for c in range(self.n):
             for p in range(self.k):
-                self._schedule_crash(c, p)
+                # Blacked-out slots start down with no recovery pending;
+                # they get a crash clock only if something revives them.
+                if self.up[c, p]:
+                    self._schedule_crash(c, p)
 
     def _schedule_crash(self, cluster: int, partner: int) -> None:
         mean = (

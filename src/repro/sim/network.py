@@ -903,7 +903,12 @@ def simulate_instance(
 
     def fire_partner_churn(cluster: int, partner: int, idx: int) -> None:
         new_files = int(schedule.p_files[idx])
-        if not crash_driven:
+        if fault_rt is not None and fault_rt.live[cluster] == 0:
+            # Blacked-out cluster: nobody is up to handshake with, so
+            # the replacement cannot be charged.  Roll the scheduled
+            # collection so the workload stays in lockstep.
+            state.partner_files[cluster, partner] = new_files
+        elif not crash_driven:
             # Instantaneous partner replacement (fault-free model).
             _run_partner_churn(state, cluster, partner, new_files=new_files)
         else:

@@ -415,6 +415,21 @@ class TestWorkerCommand:
             run_cli(capsys, "worker", str(tmp_path),
                     "--startup-timeout", "0")
 
+    def test_max_idle_exits_a_stranded_worker(self, capsys, tmp_path):
+        """--max-idle lets a worker give up on a job directory that
+        never grows claimable tasks."""
+        import json
+
+        jobdir = tmp_path / "job"
+        for sub in ("tasks", "claims", "results"):
+            (jobdir / sub).mkdir(parents=True)
+        (jobdir / "job.json").write_text(json.dumps(
+            {"fn": "math:sqrt", "total": 1, "lease": 5.0}
+        ))
+        code, _ = run_cli(capsys, "worker", str(jobdir),
+                          "--max-idle", "0.1")
+        assert code == 0
+
     def test_drains_a_jobfile_campaign(self, capsys, tmp_path):
         """End-to-end: a --jobs 0 jobfile sweep drained by an in-process
         worker thread (the CLI equivalent of a second host)."""
@@ -439,6 +454,80 @@ class TestWorkerCommand:
         assert code == 0
         assert drained["n"] == 2
         assert "sweep of cluster_size" in out
+
+
+class TestDesignRisk:
+    ARGS = [
+        "--trials", "1", "--max-sources", "60", "design-risk",
+        "--users", "120", "--reach", "60",
+        "--max-in", "200000", "--max-out", "200000",
+        "--max-proc", "20000000", "--max-connections", "80",
+        "--cutoff", "0.05", "--availability-target", "0.9",
+        "--duration", "60", "--mean-recovery", "30",
+        "--max-candidates", "2",
+    ]
+
+    def test_feasible_run_writes_ranked_json(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "ranked.json"
+        code, out = run_cli(capsys, *self.ARGS, "--out", str(out_path))
+        assert code == 0
+        assert "FEASIBLE" in out
+        assert "chosen" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["kind"] == "design-risk"
+        assert payload["feasible"] is True
+        assert payload["chosen"] is not None
+        assert payload["designs"]
+
+    def test_spec_file_supplies_both_sections(self, capsys, tmp_path):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "constraints": {
+                "num_users": 120, "desired_reach_peers": 60,
+                "max_incoming_bps": 200_000.0,
+                "max_outgoing_bps": 200_000.0,
+                "max_processing_hz": 20_000_000.0,
+                "max_connections": 80,
+            },
+            "risk": {
+                "cutoff": 0.05, "availability_target": 0.9,
+                "duration": 60.0, "mean_recovery": 30.0,
+                "max_candidates": 2,
+            },
+        }))
+        code, out = run_cli(
+            capsys, "--trials", "1", "--max-sources", "60",
+            "design-risk", "--spec", str(spec_path),
+        )
+        assert code == 0
+        assert "FEASIBLE" in out
+
+    def test_missing_users_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit, match="--users"):
+            run_cli(capsys, "design-risk", "--reach", "60")
+
+    def test_unknown_risk_key_is_usage_error(self, capsys, tmp_path):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "constraints": {"num_users": 120, "desired_reach_peers": 60},
+            "risk": {"cutof": 0.1},
+        }))
+        with pytest.raises(SystemExit, match="unknown RiskSpec key"):
+            run_cli(capsys, "design-risk", "--spec", str(spec_path))
+
+    def test_unknown_section_is_usage_error(self, capsys, tmp_path):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({"constraint": {}}))
+        with pytest.raises(SystemExit, match="unknown section"):
+            run_cli(capsys, "design-risk", "--spec", str(spec_path))
 
 
 class TestChaos:

@@ -53,6 +53,97 @@ class TestConstraints:
                 max_outgoing_bps=1, max_processing_hz=1, max_connections=10,
             )
 
+    @staticmethod
+    def valid(**overrides):
+        kwargs = dict(
+            num_users=100, desired_reach_peers=50, max_incoming_bps=1e5,
+            max_outgoing_bps=1e5, max_processing_hz=1e7, max_connections=10,
+        )
+        kwargs.update(overrides)
+        return DesignConstraints(**kwargs)
+
+    def test_each_rejection_names_the_field(self):
+        with pytest.raises(ValueError, match="num_users"):
+            self.valid(num_users=1, desired_reach_peers=1)
+        with pytest.raises(ValueError, match="desired_reach_peers"):
+            self.valid(desired_reach_peers=1000)
+        with pytest.raises(ValueError, match="max_incoming_bps"):
+            self.valid(max_incoming_bps=0.0)
+        with pytest.raises(ValueError, match="max_outgoing_bps"):
+            self.valid(max_outgoing_bps=-5.0)
+        with pytest.raises(ValueError, match="max_processing_hz"):
+            self.valid(max_processing_hz=0.0)
+        with pytest.raises(ValueError, match="max_connections"):
+            self.valid(max_connections=1)
+
+    def test_nan_limits_rejected(self):
+        # NaN slips through a plain `<= 0` check, so each limit rejects
+        # it explicitly.
+        nan = float("nan")
+        with pytest.raises(ValueError, match="max_incoming_bps.*NaN"):
+            self.valid(max_incoming_bps=nan)
+        with pytest.raises(ValueError, match="max_outgoing_bps.*NaN"):
+            self.valid(max_outgoing_bps=nan)
+        with pytest.raises(ValueError, match="max_processing_hz.*NaN"):
+            self.valid(max_processing_hz=nan)
+
+    def test_int_limits_normalized_to_float(self):
+        # JSON spec files supply ints; the payload echo must not depend
+        # on the caller's literal type.
+        c = self.valid(max_incoming_bps=200_000, max_outgoing_bps=200_000,
+                       max_processing_hz=20_000_000)
+        assert isinstance(c.max_incoming_bps, float)
+        assert isinstance(c.max_outgoing_bps, float)
+        assert isinstance(c.max_processing_hz, float)
+
+    def test_aggregate_budget_validation(self):
+        assert self.valid(
+            max_aggregate_bandwidth_bps=None
+        ).max_aggregate_bandwidth_bps is None
+        with pytest.raises(ValueError, match="max_aggregate_bandwidth_bps"):
+            self.valid(max_aggregate_bandwidth_bps=0.0)
+        with pytest.raises(ValueError,
+                           match="max_aggregate_bandwidth_bps.*NaN"):
+            self.valid(max_aggregate_bandwidth_bps=float("nan"))
+
+
+class TestSummaryValidation:
+    @staticmethod
+    def interval(mean: float):
+        from repro.stats.confidence import ConfidenceInterval
+
+        return ConfidenceInterval(mean=mean, half_width=0.1, num_trials=2)
+
+    @staticmethod
+    def summary(**overrides):
+        from repro.config import Configuration
+        from repro.core.analysis import ConfigurationSummary
+
+        kwargs = dict(
+            config=Configuration(graph_size=100),
+            num_trials=2,
+            intervals={"epl": TestSummaryValidation.interval(3.0)},
+        )
+        kwargs.update(overrides)
+        return ConfigurationSummary(**kwargs)
+
+    def test_valid_summary_builds(self):
+        assert self.summary().mean("epl") == pytest.approx(3.0)
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError, match="num_trials"):
+            self.summary(num_trials=0)
+
+    def test_empty_intervals_rejected(self):
+        with pytest.raises(ValueError, match="intervals"):
+            self.summary(intervals={})
+
+    def test_nan_mean_rejected_and_named(self):
+        bad = {"epl": self.interval(3.0),
+               "reach_peers": self.interval(float("nan"))}
+        with pytest.raises(ValueError, match="reach_peers"):
+            self.summary(intervals=bad)
+
 
 @pytest.fixture(scope="module")
 def small_outcome():

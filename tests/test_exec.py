@@ -273,6 +273,23 @@ class TestJobfileProtocol:
         with pytest.raises(TaskError, match="job.json"):
             run_worker(tmp_path, startup_timeout=0.0)
 
+    def test_worker_max_idle_exits_when_nothing_to_claim(self, tmp_path):
+        """A worker pointed at a job with no claimable tasks gives up
+        after ``max_idle`` seconds instead of polling forever."""
+        jobdir = tmp_path / "job"
+        for sub in ("tasks", "claims", "results"):
+            (jobdir / sub).mkdir(parents=True)
+        (jobdir / "job.json").write_text(json.dumps(
+            {"fn": "math:sqrt", "total": 1, "lease": 5.0}
+        ))
+        start = time.monotonic()
+        assert run_worker(jobdir, poll=0.01, max_idle=0.1) == 0
+        assert time.monotonic() - start < 5.0
+
+    def test_worker_max_idle_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="max_idle"):
+            run_worker(tmp_path, max_idle=0.0)
+
     def test_in_process_worker_drains_job(self, tmp_path):
         """workers=0 + an in-process run_worker thread: the pure
         protocol, no subprocess spawning."""
@@ -340,6 +357,46 @@ class TestJobfileCrashRecovery:
                                  [Task(0, "t", (str(sentinel), 21))])
         assert out == [42]
         assert sentinel.read_text() == "crashed"
+
+    def test_reclaim_counts_and_journals(self, crash_helper, tmp_path):
+        """Every reclaimed lease is visible: the executor counter, the
+        ``jobfile.leases_reclaimed`` metric, and a ``lease-reclaimed``
+        journal record (a custom kind old readers skip)."""
+        from repro.obs.progress import start_campaign
+
+        backend = JobFileExecutor(workers=1, lease=0.5, poll=0.02)
+        journal_path = tmp_path / "journal.jsonl"
+        campaign = start_campaign(
+            journal_path, None, name="reclaim", total=1, jobs=1,
+            plan=[{"index": 0, "label": "t"}],
+        )
+        sentinel = tmp_path / "reclaim-sentinel"
+        registry = MetricsRegistry()
+        try:
+            with use_registry(registry):
+                out = backend.submit_map(
+                    crash_helper.crash_once,
+                    [Task(0, "t", (str(sentinel), 21))],
+                    campaign=campaign,
+                )
+        finally:
+            campaign.finish()
+        assert out == [42]
+        # The crash guarantees at least one reclaim; a loaded machine can
+        # let a live worker's lease go stale too, so pin agreement across
+        # the three surfaces rather than an exact count.
+        reclaimed = backend.leases_reclaimed
+        assert reclaimed >= 1
+        assert registry.snapshot()["counters"][
+            "jobfile.leases_reclaimed"] == reclaimed
+        records = [json.loads(line) for line in
+                   journal_path.read_text().splitlines()]
+        reclaims = [r for r in records
+                    if r.get("record") == "lease-reclaimed"]
+        assert len(reclaims) == reclaimed
+        assert {r["point"] for r in reclaims} == {0}
+        assert {r["label"] for r in reclaims} == {"t"}
+        assert reclaims[-1]["total_reclaimed"] == reclaimed
 
     def test_task_error_spends_retry_budget(self, crash_helper, tmp_path):
         backend = JobFileExecutor(workers=1, retries=1, poll=0.02)
